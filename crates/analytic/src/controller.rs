@@ -1,0 +1,144 @@
+//! The hourly BATCH controller used in the paper's evaluation (§IV-B):
+//! every hour, fit the previous hour's arrivals to a MAP and re-optimize.
+//! Its weakness — the previous hour being a poor predictor of the next —
+//! is exactly what Figs. 7–12 measure.
+
+use crate::optimizer::optimize_from_interarrivals;
+use dbat_sim::{ConfigGrid, LambdaConfig, SimParams};
+use dbat_workload::Trace;
+use std::time::{Duration, Instant};
+
+/// One planning interval with the configuration BATCH applies during it.
+#[derive(Clone, Copy, Debug)]
+pub struct PlannedInterval {
+    pub index: usize,
+    pub start: f64,
+    pub end: f64,
+    pub config: LambdaConfig,
+    /// False when fitting failed and the previous configuration was reused.
+    pub refitted: bool,
+    /// Wall-clock spent fitting + solving for this interval.
+    pub solve_time: Duration,
+}
+
+/// BATCH's control loop parameters.
+#[derive(Clone, Debug)]
+pub struct BatchController {
+    pub params: SimParams,
+    pub grid: ConfigGrid,
+    pub slo: f64,
+    pub percentile: f64,
+    /// Re-fit cadence in seconds (the paper uses one hour).
+    pub refit_interval: f64,
+}
+
+impl BatchController {
+    pub fn new(grid: ConfigGrid, slo: f64) -> Self {
+        BatchController {
+            params: SimParams::default(),
+            grid,
+            slo,
+            percentile: 95.0,
+            refit_interval: 3_600.0,
+        }
+    }
+
+    /// Plan configurations over the trace. Interval `i` (for `i ≥ 1`) is
+    /// served with the configuration fitted on interval `i − 1`'s data;
+    /// interval 0 bootstraps from its own data (BATCH's warm-up profiling).
+    /// When fitting fails (too few arrivals) the previous configuration is
+    /// carried over.
+    pub fn plan(&self, trace: &Trace) -> Vec<PlannedInterval> {
+        let n = (trace.horizon() / self.refit_interval).ceil() as usize;
+        let mut out = Vec::with_capacity(n);
+        let mut current: Option<LambdaConfig> = None;
+        for i in 0..n {
+            let start = i as f64 * self.refit_interval;
+            let end = (start + self.refit_interval).min(trace.horizon());
+            // Fit window: previous interval, except at bootstrap.
+            let (fs, fe) = if i == 0 {
+                (start, end)
+            } else {
+                (start - self.refit_interval, start)
+            };
+            let t0 = Instant::now();
+            let ia = trace.slice(fs, fe).interarrivals();
+            let solved = optimize_from_interarrivals(
+                &ia,
+                &self.grid,
+                &self.params,
+                self.slo,
+                self.percentile,
+            );
+            let solve_time = t0.elapsed();
+            let (config, refitted) = match solved {
+                Some((best, _)) => (best.config, true),
+                None => (
+                    current.unwrap_or_else(|| LambdaConfig::new(2048, 1, 0.0)),
+                    false,
+                ),
+            };
+            current = Some(config);
+            out.push(PlannedInterval { index: i, start, end, config, refitted, solve_time });
+        }
+        out
+    }
+
+    /// The configuration active at absolute time `t` under a plan.
+    pub fn config_at(plan: &[PlannedInterval], t: f64) -> Option<LambdaConfig> {
+        plan.iter()
+            .find(|p| t >= p.start && t < p.end)
+            .map(|p| p.config)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbat_workload::{Map, Rng};
+
+    fn short_trace(rate: f64, horizon: f64) -> Trace {
+        let map = Map::poisson(rate);
+        let mut rng = Rng::new(77);
+        Trace::new(map.simulate(&mut rng, 0.0, horizon), horizon)
+    }
+
+    #[test]
+    fn plan_covers_every_interval() {
+        let mut ctl = BatchController::new(ConfigGrid::tiny(), 0.1);
+        ctl.refit_interval = 60.0;
+        let trace = short_trace(20.0, 300.0);
+        let plan = ctl.plan(&trace);
+        assert_eq!(plan.len(), 5);
+        for (i, p) in plan.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert!((p.start - i as f64 * 60.0).abs() < 1e-9);
+            assert!(p.refitted, "interval {i} should have fitted");
+        }
+    }
+
+    #[test]
+    fn config_at_lookup() {
+        let mut ctl = BatchController::new(ConfigGrid::tiny(), 0.1);
+        ctl.refit_interval = 60.0;
+        let trace = short_trace(20.0, 180.0);
+        let plan = ctl.plan(&trace);
+        let c = BatchController::config_at(&plan, 70.0).unwrap();
+        assert_eq!(c, plan[1].config);
+        assert!(BatchController::config_at(&plan, 1e9).is_none());
+    }
+
+    #[test]
+    fn sparse_interval_carries_previous_config() {
+        // Arrivals only in the first minute: later fits fail and reuse.
+        let mut ts: Vec<f64> = (0..200).map(|i| i as f64 * 0.25).collect();
+        ts.push(119.0); // a stray arrival, not enough to fit
+        let trace = Trace::new(ts, 180.0);
+        let mut ctl = BatchController::new(ConfigGrid::tiny(), 0.1);
+        ctl.refit_interval = 60.0;
+        let plan = ctl.plan(&trace);
+        assert!(plan[0].refitted);
+        assert!(!plan[2].refitted, "empty interval cannot refit");
+        assert_eq!(plan[2].config, plan[1].config);
+    }
+}

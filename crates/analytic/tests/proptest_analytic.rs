@@ -1,0 +1,109 @@
+//! Property-based tests for the BATCH analytic model.
+
+use dbat_analytic::{fit_to_targets, BatchModel, FitTargets};
+use dbat_sim::{LambdaConfig, SimParams};
+use dbat_workload::{Map, Mmpp2};
+use proptest::prelude::*;
+
+fn mmpp() -> impl Strategy<Value = Mmpp2> {
+    (5.0f64..80.0, 2.0f64..100.0, 2.0f64..20.0, 0.1f64..0.5)
+        .prop_map(|(rate, idc, ratio, p1)| Mmpp2::from_targets(rate, idc, ratio, p1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn batch_pmf_is_distribution(m in mmpp(), b in 2u32..16, t in 0.01f64..0.2) {
+        let model = BatchModel::new(m.to_map().unwrap(), SimParams::default());
+        let ws = model.wait_structure(b, t);
+        let sum: f64 = ws.batch_pmf.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-5, "pmf sums to {sum}");
+        prop_assert!(ws.batch_pmf.iter().all(|&p| p >= -1e-12));
+        prop_assert!(ws.mean_batch >= 1.0 - 1e-9);
+        prop_assert!(ws.mean_batch <= b as f64 + 1e-9);
+    }
+
+    #[test]
+    fn outcome_mass_equals_mean_batch(m in mmpp(), b in 2u32..12, t in 0.01f64..0.15) {
+        let model = BatchModel::new(m.to_map().unwrap(), SimParams::default());
+        let ws = model.wait_structure(b, t);
+        let mass: f64 = ws.outcomes.iter().map(|o| o.2).sum();
+        prop_assert!(
+            (mass - ws.mean_batch).abs() / ws.mean_batch < 0.03,
+            "mass {mass} vs E[b] {}",
+            ws.mean_batch
+        );
+        // Waits bounded by the timeout; sizes within [1, B].
+        for &(wait, size, m) in &ws.outcomes {
+            prop_assert!(wait >= 0.0 && wait <= t + 1e-9);
+            prop_assert!(size >= 1 && size <= b);
+            prop_assert!(m >= 0.0);
+        }
+    }
+
+    #[test]
+    fn percentiles_monotone_and_cost_positive(m in mmpp(), b in 1u32..12, t in 0.0f64..0.15) {
+        let model = BatchModel::new(m.to_map().unwrap(), SimParams::default());
+        let e = model.evaluate(&LambdaConfig::new(2048, b, t));
+        prop_assert!(e.percentiles[0] <= e.percentiles[1] + 1e-12);
+        prop_assert!(e.percentiles[1] <= e.percentiles[2] + 1e-12);
+        prop_assert!(e.percentiles[2] <= e.percentiles[3] + 1e-12);
+        prop_assert!(e.cost_per_request > 0.0);
+        prop_assert!(e.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn longer_timeout_never_cheaper_to_skip(m in mmpp(), b in 2u32..10) {
+        // Cost per request is non-increasing in the timeout (bigger batches).
+        let model = BatchModel::new(m.to_map().unwrap(), SimParams::default());
+        let mut prev = f64::INFINITY;
+        for t in [0.01, 0.05, 0.15] {
+            let e = model.evaluate(&LambdaConfig::new(2048, b, t));
+            prop_assert!(
+                e.cost_per_request <= prev * 1.02,
+                "cost rose with timeout: {} -> {}",
+                prev,
+                e.cost_per_request
+            );
+            prev = e.cost_per_request;
+        }
+    }
+
+    #[test]
+    fn fit_matches_exact_rate(rate in 1.0f64..100.0, scv in 0.5f64..8.0, lag1 in 0.0f64..0.4) {
+        let fit = fit_to_targets(FitTargets { rate, scv, lag1 });
+        prop_assert!((fit.map.rate() - rate).abs() / rate < 1e-6,
+            "rate {} vs target {rate}", fit.map.rate());
+    }
+
+    #[test]
+    fn poisson_special_case_everywhere(rate in 5.0f64..100.0, b in 1u32..8) {
+        // For Poisson arrivals the model's batch pmf at T has the closed
+        // form of an Erlang counting process; sanity-check P(size = B).
+        let model = BatchModel::new(Map::poisson(rate), SimParams::default());
+        let t = 1.5 * (b as f64) / rate; // generous window
+        let ws = model.wait_structure(b, t);
+        if b >= 2 {
+            // Probability all B-1 extra arrivals land within T:
+            // P(Erlang(B-1, rate) <= T).
+            let mut p = 0.0;
+            // 1 - sum_{k=0}^{B-2} e^{-rt} (rt)^k / k!
+            let rt = rate * t;
+            let mut term = (-rt).exp();
+            let mut cum = 0.0;
+            for k in 0..(b - 1) {
+                if k > 0 {
+                    term *= rt / k as f64;
+                }
+                cum += term;
+            }
+            p += 1.0 - cum;
+            prop_assert!(
+                (ws.batch_pmf[(b - 1) as usize] - p).abs() < 0.02,
+                "P(full) model {} vs closed form {p}",
+                ws.batch_pmf[(b - 1) as usize]
+            );
+        }
+    }
+}

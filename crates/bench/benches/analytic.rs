@@ -1,0 +1,41 @@
+//! Benchmarks of the BATCH baseline's pipeline stages: MAP fitting,
+//! single-structure transient analysis, full analytic grid evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbat_analytic::{fit_map, BatchModel};
+use dbat_sim::{ConfigGrid, SimParams};
+use dbat_workload::{Map, Mmpp2, Rng};
+use std::hint::black_box;
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analytic");
+    g.sample_size(10);
+
+    let truth = Mmpp2::from_targets(30.0, 40.0, 10.0, 0.3).to_map().unwrap();
+    let mut rng = Rng::new(2);
+    let arrivals = truth.simulate(&mut rng, 0.0, 300.0);
+    let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+
+    g.bench_function("fit_map_9k_interarrivals", |b| {
+        b.iter(|| black_box(fit_map(black_box(&ia))))
+    });
+
+    let model = BatchModel::new(truth.clone(), SimParams::default());
+    g.bench_function("wait_structure_B8_T100ms", |b| {
+        b.iter(|| black_box(model.wait_structure(8, 0.1)))
+    });
+    g.bench_function("wait_structure_B32_T200ms", |b| {
+        b.iter(|| black_box(model.wait_structure(32, 0.2)))
+    });
+
+    let poisson_model = BatchModel::new(Map::poisson(40.0), SimParams::default());
+    let grid = ConfigGrid::paper_default();
+    g.bench_function("evaluate_grid_216_configs", |b| {
+        b.iter(|| black_box(poisson_model.evaluate_grid(&grid)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_analytic);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Micro-benchmarks of the nn compute kernels (the training hot path).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbat_nn::{bmm, bmm_nt, bmm_tn, matmul2d, softmax_lastdim, Binder, Graph, InitRng,
+    MultiHeadAttention, Tensor};
+use std::hint::black_box;
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels");
+    g.sample_size(20);
+
+    let a = Tensor::full(vec![512, 64], 0.3);
+    let b = Tensor::full(vec![64, 64], 0.7);
+    g.bench_function("matmul2d_512x64x64", |bch| {
+        bch.iter(|| black_box(matmul2d(black_box(&a), black_box(&b))))
+    });
+
+    let q = Tensor::full(vec![16, 128, 4], 0.5);
+    let k = Tensor::full(vec![16, 128, 4], 0.2);
+    g.bench_function("bmm_nt_scores_16x128x4", |bch| {
+        bch.iter(|| black_box(bmm_nt(black_box(&q), black_box(&k))))
+    });
+
+    let s = Tensor::full(vec![16, 128, 128], 0.01);
+    let v = Tensor::full(vec![16, 128, 4], 0.2);
+    g.bench_function("bmm_context_16x128x128x4", |bch| {
+        bch.iter(|| black_box(bmm(black_box(&s), black_box(&v))))
+    });
+    g.bench_function("bmm_tn_grad_16x128", |bch| {
+        bch.iter(|| black_box(bmm_tn(black_box(&s), black_box(&v))))
+    });
+
+    g.bench_function("softmax_16x128x128", |bch| {
+        bch.iter(|| black_box(softmax_lastdim(black_box(&s))))
+    });
+
+    let mha = MultiHeadAttention::new(16, 4, &mut InitRng::new(1));
+    let x = Tensor::full(vec![4, 128, 16], 0.1);
+    g.bench_function("attention_forward_b4_s128_d16", |bch| {
+        bch.iter(|| {
+            let mut graph = Graph::new();
+            let mut binder = Binder::new(&mut graph);
+            let xv = binder.g.leaf(x.clone());
+            black_box(mha.forward(&mut binder, xv));
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! The §IV-F comparison as a Criterion benchmark: one full optimisation
+//! decision by DeepBAT (surrogate) vs BATCH (fit + matrix-analytic solve)
+//! on the same bursty-hour data and the same 216-configuration grid.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbat_analytic::optimize_from_interarrivals;
+use dbat_core::{DeepBatOptimizer, Surrogate, SurrogateConfig};
+use dbat_sim::{ConfigGrid, SimParams};
+use dbat_workload::{Mmpp2, Rng};
+use std::hint::black_box;
+
+fn bench_predict(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predict");
+    g.sample_size(10);
+
+    let map = Mmpp2::from_targets(40.0, 60.0, 12.0, 0.3).to_map().unwrap();
+    let mut rng = Rng::new(3);
+    let arrivals = map.simulate(&mut rng, 0.0, 600.0);
+    let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+
+    let grid = ConfigGrid::paper_default();
+    let params = SimParams::default();
+    let slo = 0.1;
+
+    // DeepBAT with the paper-shaped surrogate (dim 16, 2 layers, seq 128).
+    let model = Surrogate::new(SurrogateConfig { seq_len: 128, ..SurrogateConfig::default() }, 7);
+    let window: Vec<f64> = ia[..128].to_vec();
+    let opt = DeepBatOptimizer::new(grid.clone(), slo);
+    g.bench_function("deepbat_decision_216_configs", |b| {
+        b.iter(|| black_box(opt.choose(&model, black_box(&window))))
+    });
+
+    g.bench_function("batch_decision_216_configs", |b| {
+        b.iter(|| {
+            black_box(optimize_from_interarrivals(
+                black_box(&ia),
+                &grid,
+                &params,
+                slo,
+                95.0,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_predict);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Benchmarks of the ground-truth simulator and the grid sweep oracle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbat_sim::{simulate_batching, sweep, ConfigGrid, LambdaConfig, SimParams};
+use dbat_workload::{Map, Rng};
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    g.sample_size(20);
+
+    let map = Map::poisson(50.0);
+    let mut rng = Rng::new(1);
+    let arrivals = map.simulate(&mut rng, 0.0, 200.0); // ~10k arrivals
+    let params = SimParams::default();
+
+    let cfg = LambdaConfig::new(2048, 8, 0.05);
+    g.bench_function("simulate_10k_arrivals", |b| {
+        b.iter(|| black_box(simulate_batching(black_box(&arrivals), &cfg, &params, None)))
+    });
+
+    let short: Vec<f64> = arrivals.iter().take(2_000).copied().collect();
+    let grid = ConfigGrid::paper_default();
+    g.bench_function("sweep_216_configs_2k_arrivals", |b| {
+        b.iter(|| black_box(sweep(black_box(&short), &grid, &params)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

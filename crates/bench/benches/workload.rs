@@ -1,0 +1,40 @@
+//! Benchmarks of the workload substrate: trace generation, MAP simulation,
+//! and the burstiness statistics.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbat_workload::{idc_by_counts, idc_from_interarrivals, Mmpp2, Rng, TraceKind, HOUR};
+use std::hint::black_box;
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.sample_size(10);
+
+    g.bench_function("generate_azure_like_1h", |b| {
+        b.iter(|| black_box(TraceKind::AzureLike.generate_for(black_box(1), HOUR)))
+    });
+    g.bench_function("generate_synthetic_map_1h", |b| {
+        b.iter(|| black_box(TraceKind::SyntheticMap.generate_for(black_box(1), HOUR)))
+    });
+
+    let map = Mmpp2::from_targets(50.0, 60.0, 10.0, 0.3).to_map().unwrap();
+    g.bench_function("map_simulate_1h_at_50rps", |b| {
+        b.iter(|| {
+            let mut rng = Rng::new(9);
+            black_box(map.simulate(&mut rng, 0.0, HOUR))
+        })
+    });
+
+    let trace = TraceKind::TwitterLike.generate_for(5, HOUR);
+    g.bench_function("idc_by_counts_1h", |b| {
+        b.iter(|| black_box(idc_by_counts(black_box(&trace), 30.0)))
+    });
+    let ia = trace.interarrivals();
+    g.bench_function("idc_from_interarrivals_100lags", |b| {
+        b.iter(|| black_box(idc_from_interarrivals(black_box(&ia), 100)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_workload);
+criterion_main!(benches);

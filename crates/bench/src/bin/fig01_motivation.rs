@@ -1,0 +1,67 @@
+//! Fig. 1 — motivation: impact of memory size, batch size, and timeout on
+//! latency and cost (each axis swept with the other two fixed), on a
+//! 10-minute segment of the Azure-like trace.
+//!
+//! Paper shape to reproduce: (a) latency falls steeply with memory while
+//! cost rises beyond the service saturation point; (b)/(c) larger batch
+//! sizes and timeouts cut cost per request but inflate latency.
+
+use dbat_bench::{report, ExpSettings};
+use dbat_sim::{evaluate, LambdaConfig};
+use dbat_workload::{TraceKind, HOUR};
+
+fn main() {
+    let s = ExpSettings::from_env();
+    let trace = TraceKind::AzureLike.generate_for(s.seed_for(TraceKind::AzureLike), HOUR);
+    // A busy 10-minute slice.
+    let slice = trace.slice(20.0 * 60.0, 30.0 * 60.0);
+    let arrivals = slice.timestamps();
+    println!("workload: azure-like 10-min slice, {} requests ({:.1}/s)", slice.len(), slice.mean_rate());
+
+    report::banner("Fig 1a", "memory size sweep (B=8, T=50ms)");
+    let rows: Vec<Vec<String>> = [512u32, 1024, 1536, 2048, 3008, 4096, 6144, 8192, 10240]
+        .iter()
+        .map(|&m| {
+            let e = evaluate(arrivals, &LambdaConfig::new(m, 8, 0.05), &s.params);
+            vec![
+                m.to_string(),
+                report::f(e.summary.mean * 1e3, 1),
+                report::f(e.summary.p95 * 1e3, 1),
+                report::usd_micro(e.cost_per_request),
+            ]
+        })
+        .collect();
+    report::table(&["memory_MB", "mean_ms", "p95_ms", "cost_u$_per_req"], &rows);
+
+    report::banner("Fig 1b", "batch size sweep (M=2048MB, T=100ms)");
+    let rows: Vec<Vec<String>> = [1u32, 2, 4, 8, 16, 32]
+        .iter()
+        .map(|&b| {
+            let e = evaluate(arrivals, &LambdaConfig::new(2048, b, 0.1), &s.params);
+            vec![
+                b.to_string(),
+                report::f(e.summary.mean * 1e3, 1),
+                report::f(e.summary.p95 * 1e3, 1),
+                report::usd_micro(e.cost_per_request),
+                report::f(e.mean_batch_size, 2),
+            ]
+        })
+        .collect();
+    report::table(&["batch_B", "mean_ms", "p95_ms", "cost_u$_per_req", "realized_E[b]"], &rows);
+
+    report::banner("Fig 1c", "timeout sweep (M=2048MB, B=16)");
+    let rows: Vec<Vec<String>> = [0.0, 0.01, 0.025, 0.05, 0.1, 0.2, 0.5]
+        .iter()
+        .map(|&t| {
+            let e = evaluate(arrivals, &LambdaConfig::new(2048, 16, t), &s.params);
+            vec![
+                report::f(t * 1e3, 0),
+                report::f(e.summary.mean * 1e3, 1),
+                report::f(e.summary.p95 * 1e3, 1),
+                report::usd_micro(e.cost_per_request),
+                report::f(e.mean_batch_size, 2),
+            ]
+        })
+        .collect();
+    report::table(&["timeout_ms", "mean_ms", "p95_ms", "cost_u$_per_req", "realized_E[b]"], &rows);
+}

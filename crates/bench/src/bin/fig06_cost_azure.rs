@@ -1,0 +1,85 @@
+//! Fig. 6 + Observation #1 — Azure-like trace, representative 10-minute
+//! snapshot near the evening peak (the paper uses 19:40–19:50): per-interval
+//! cost of BATCH vs DeepBAT (both meet the SLO; BATCH occasionally costs
+//! more because it adapts hourly). Also prints the zero-shot Twitter result
+//! (same model, no retraining) the section's conclusion rests on.
+
+use dbat_bench::{compare, report, ExpSettings};
+use dbat_core::estimate_gamma;
+use dbat_workload::{TraceKind, HOUR};
+
+fn main() {
+    let s = ExpSettings::from_env();
+    let model = s.ensure_base_model();
+    let azure = s.trace(TraceKind::AzureLike);
+
+    // Snapshot window: 19:40–19:50 on the full trace; scaled down in fast mode.
+    let (w0, w1) = if azure.horizon() >= 20.0 * HOUR {
+        (19.0 * HOUR + 40.0 * 60.0, 19.0 * HOUR + 50.0 * 60.0)
+    } else {
+        (azure.horizon() * 0.8, azure.horizon() * 0.8 + 600.0_f64.min(azure.horizon() * 0.1))
+    };
+
+    // γ from the surrogate's own prediction error on held-out Azure data
+    // (§III-D defines γ as the measured p95 MAPE).
+    let held_out = azure.slice(azure.horizon() / 2.0, azure.horizon() / 2.0 + HOUR);
+    let gamma = estimate_gamma(&model, &held_out, &s.grid, &s.params, 24, 76);
+    println!("robustness penalty gamma = {gamma:.3}");
+
+    report::banner("Fig 6", "Azure snapshot: per-interval cost, BATCH vs DeepBAT vs oracle");
+    let db = compare::deepbat_schedule(&model, &azure, &s, w0, w1, gamma);
+    let bt = compare::batch_schedule(&azure, &s, w0, w1);
+    let or = compare::oracle_schedule(&azure, &s, w0, w1);
+    let mdb = compare::measure(&azure, &db, &s);
+    let mbt = compare::measure(&azure, &bt, &s);
+    let mor = compare::measure(&azure, &or, &s);
+
+    let rows: Vec<Vec<String>> = mdb
+        .iter()
+        .zip(&mbt)
+        .zip(&mor)
+        .map(|((d, b), o)| {
+            vec![
+                report::f((d.start - w0) / 60.0, 1),
+                report::f(d.cost_per_request * 1e6, 4),
+                report::f(b.cost_per_request * 1e6, 4),
+                report::f(o.cost_per_request * 1e6, 4),
+                format!("{}", d.config),
+                format!("{}", b.config),
+            ]
+        })
+        .collect();
+    report::table(
+        &["min", "deepbat_u$", "batch_u$", "oracle_u$", "deepbat_cfg", "batch_cfg"],
+        &rows,
+    );
+
+    report::banner("Obs #1", "summary over the snapshot (SLO 0.1 s, p95)");
+    report::table(
+        &compare::SUMMARY_HEADERS,
+        &[
+            compare::summary_row("DeepBAT", &mdb),
+            compare::summary_row("BATCH", &mbt),
+            compare::summary_row("oracle", &mor),
+        ],
+    );
+
+    // Zero-shot generalisation to the Twitter-like trace (§IV-B: the model
+    // trained on Azure is applied directly, no retraining or fine-tuning).
+    let twitter = s.trace(TraceKind::TwitterLike);
+    let t1 = (3.0 * HOUR).min(twitter.horizon());
+    report::banner("Obs #1 (zero-shot)", "Twitter-like trace, same model, no fine-tuning");
+    let db = compare::deepbat_schedule(&model, &twitter, &s, 0.0, t1, gamma);
+    let bt = compare::batch_schedule(&twitter, &s, 0.0, t1);
+    let mdb = compare::measure(&twitter, &db, &s);
+    let mbt = compare::measure(&twitter, &bt, &s);
+    report::table(
+        &compare::SUMMARY_HEADERS,
+        &[
+            compare::summary_row("DeepBAT", &mdb),
+            compare::summary_row("BATCH", &mbt),
+        ],
+    );
+    println!("\npaper shape: both policies meet the SLO (VCR 0) on these mildly bursty");
+    println!("traces; DeepBAT's cost tracks the oracle at least as closely as BATCH.");
+}

@@ -1,0 +1,72 @@
+//! Fig. 7 — Alibaba-like trace, hour 5→6: per-interval p95 latency and cost
+//! under BATCH vs (fine-tuned) DeepBAT.
+//!
+//! Paper shape: BATCH, fitted on the previous hour, frequently violates the
+//! SLO when the workload shifts; DeepBAT stays under it at a somewhat
+//! higher cost.
+
+use dbat_bench::{compare, report, ExpSettings};
+use dbat_core::estimate_gamma;
+use dbat_workload::{TraceKind, HOUR};
+
+fn main() {
+    let s = ExpSettings::from_env();
+    let model = s.ensure_finetuned(TraceKind::AlibabaLike);
+    let trace = s.trace(TraceKind::AlibabaLike);
+    // The paper shows hour 5-6; our regenerated trace's "flat hour followed
+    // by an unpredicted peak" lands at hour 4 (see fig08's VCR table), so
+    // that is the representative hour here.
+    let h0 = if s.fast { 1.0 } else { 4.0 };
+    let (w0, w1) = (h0 * HOUR, (h0 + 1.0) * HOUR.min(trace.horizon() - h0 * HOUR));
+
+    // γ from the fine-tuning hour (§III-D).
+    let first_hour = trace.slice(0.0, HOUR.min(trace.horizon()));
+    let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 77);
+    println!("robustness penalty gamma = {gamma:.3}");
+
+    let db = compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma);
+    let bt = compare::batch_schedule(&trace, &s, w0, w1);
+    let mdb = compare::measure(&trace, &db, &s);
+    let mbt = compare::measure(&trace, &bt, &s);
+
+    report::banner("Fig 7a", format!("hour {h0}-{}: measured p95 latency (ms); SLO = {} ms", h0 + 1.0, s.slo * 1e3).as_str());
+    let rows: Vec<Vec<String>> = mdb
+        .iter()
+        .zip(&mbt)
+        .map(|(d, b)| {
+            vec![
+                report::f((d.start - w0) / 60.0, 0),
+                report::f(d.summary.p95 * 1e3, 1),
+                report::f(b.summary.p95 * 1e3, 1),
+                if d.violation { "!".into() } else { "".into() },
+                if b.violation { "VIOLATION".into() } else { "".into() },
+            ]
+        })
+        .collect();
+    report::table(&["min", "deepbat_p95", "batch_p95", "db_viol", "batch_viol"], &rows);
+
+    report::banner("Fig 7b", "per-interval cost (µ$/request)");
+    let rows: Vec<Vec<String>> = mdb
+        .iter()
+        .zip(&mbt)
+        .map(|(d, b)| {
+            vec![
+                report::f((d.start - w0) / 60.0, 0),
+                report::f(d.cost_per_request * 1e6, 4),
+                report::f(b.cost_per_request * 1e6, 4),
+            ]
+        })
+        .collect();
+    report::table(&["min", "deepbat_u$", "batch_u$"], &rows);
+
+    report::banner("Fig 7 summary", "hour totals");
+    report::table(
+        &compare::SUMMARY_HEADERS,
+        &[
+            compare::summary_row("DeepBAT(ft)", &mdb),
+            compare::summary_row("BATCH", &mbt),
+        ],
+    );
+    println!("\npaper shape: BATCH violates the SLO in many intervals; DeepBAT rarely,");
+    println!("paying a moderate cost premium (its loss penalises SLO violations).");
+}

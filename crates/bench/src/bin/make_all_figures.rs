@@ -1,0 +1,70 @@
+//! Run every figure/table regenerator in sequence, teeing each one's output
+//! into `target/deepbat/figures/<name>.txt`. Convenience wrapper — each
+//! binary also runs standalone.
+
+use std::fs;
+use std::process::Command;
+
+const BINARIES: &[&str] = &[
+    "fig01_motivation",
+    "fig04_arrival_rates",
+    "fig05_idc",
+    "fig06_cost_azure",
+    "fig07_alibaba_hour",
+    "fig08_vcr_alibaba",
+    "fig09_synth_hour",
+    "fig10_vcr_synth",
+    "fig11_configs",
+    "fig12_slo_variation",
+    "fig13_cdf",
+    "fig14_attention",
+    "fig15_sensitivity",
+    "tbl_prediction_time",
+    "abl_gamma",
+    "abl_coldstart",
+    "abl_replicas",
+];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("current exe")
+        .parent()
+        .expect("exe dir")
+        .to_path_buf();
+    let out_dir = std::path::Path::new("target/deepbat/figures");
+    fs::create_dir_all(out_dir).expect("create output dir");
+
+    let mut failed = Vec::new();
+    for name in BINARIES {
+        let bin = exe_dir.join(name);
+        if !bin.exists() {
+            eprintln!("[make_all_figures] SKIP {name}: binary not built (run `cargo build --release -p dbat-bench` first)");
+            failed.push(*name);
+            continue;
+        }
+        eprintln!("[make_all_figures] running {name}…");
+        let t0 = std::time::Instant::now();
+        let output = Command::new(&bin).output().expect("spawn figure binary");
+        let path = out_dir.join(format!("{name}.txt"));
+        fs::write(&path, &output.stdout).expect("write figure output");
+        if output.status.success() {
+            eprintln!(
+                "[make_all_figures] {name} ok in {:.1}s -> {}",
+                t0.elapsed().as_secs_f64(),
+                path.display()
+            );
+        } else {
+            eprintln!(
+                "[make_all_figures] {name} FAILED: {}",
+                String::from_utf8_lossy(&output.stderr)
+            );
+            failed.push(*name);
+        }
+    }
+    if failed.is_empty() {
+        eprintln!("[make_all_figures] all {} regenerators succeeded", BINARIES.len());
+    } else {
+        eprintln!("[make_all_figures] failures: {failed:?}");
+        std::process::exit(1);
+    }
+}

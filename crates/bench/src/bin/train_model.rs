@@ -1,0 +1,26 @@
+//! Train and cache the DeepBAT surrogate models every figure binary uses:
+//! the base model (Azure-like first 12 h) and the fine-tuned variants for
+//! the OOD traces (Alibaba-like, synthetic MAP).
+//!
+//! Run once before the figure binaries (they fall back to training
+//! themselves if the cache is missing): `cargo run --release -p dbat-bench
+//! --bin train_model`. Set `DEEPBAT_FAST=1` for a smoke-scale run.
+
+use dbat_bench::ExpSettings;
+use dbat_workload::TraceKind;
+
+fn main() {
+    let s = ExpSettings::from_env();
+    println!(
+        "training models (fast={}, seq_len={}, dataset={}, epochs={})",
+        s.fast, s.seq_len, s.dataset_size, s.epochs
+    );
+    let t0 = std::time::Instant::now();
+    let base = s.ensure_base_model();
+    println!("base model ready ({} parameters)", dbat_nn::Module::num_parameters(&base));
+    let _ = s.ensure_finetuned(TraceKind::AlibabaLike);
+    println!("alibaba fine-tuned model ready");
+    let _ = s.ensure_finetuned(TraceKind::SyntheticMap);
+    println!("synthetic fine-tuned model ready");
+    println!("total {:.1}s; cache: {}", t0.elapsed().as_secs_f64(), s.cache_dir().display());
+}

@@ -1,0 +1,155 @@
+//! Shared machinery for the head-to-head figures (Figs. 6–12): build
+//! DeepBAT / BATCH / clairvoyant-oracle configuration schedules over a trace
+//! region and measure them on the same decision-interval grid.
+
+use crate::settings::ExpSettings;
+use dbat_analytic::BatchController;
+use dbat_core::{
+    measure_schedule, DeepBatController, IntervalMeasurement, ScheduleEntry, Surrogate,
+};
+use dbat_sim::{ground_truth, LambdaConfig};
+use dbat_workload::Trace;
+
+/// DeepBAT's schedule over `[t0, t1)` (decision every
+/// `settings.decision_interval`, SLO-feasibility tightened by `gamma`).
+pub fn deepbat_schedule(
+    model: &Surrogate,
+    trace: &Trace,
+    s: &ExpSettings,
+    t0: f64,
+    t1: f64,
+    gamma: f64,
+) -> Vec<ScheduleEntry> {
+    let mut ctl = DeepBatController::new(s.grid.clone(), s.slo);
+    ctl.params = s.params;
+    ctl.decision_interval = s.decision_interval;
+    ctl.optimizer.percentile = s.percentile;
+    ctl.optimizer.gamma = gamma;
+    ctl.schedule(model, trace, t0, t1)
+}
+
+/// BATCH's schedule over `[t0, t1)`: the hourly plan (fit on the previous
+/// hour, §IV-B) chopped onto the same decision-interval grid so VCR counts
+/// are comparable.
+pub fn batch_schedule(trace: &Trace, s: &ExpSettings, t0: f64, t1: f64) -> Vec<ScheduleEntry> {
+    let mut ctl = BatchController::new(s.grid.clone(), s.slo);
+    ctl.params = s.params;
+    ctl.percentile = s.percentile;
+    let plan = ctl.plan(trace);
+    chop(t0, t1, s.decision_interval, |t| {
+        BatchController::config_at(&plan, t).unwrap_or_else(|| LambdaConfig::new(2048, 1, 0.0))
+    })
+}
+
+/// The clairvoyant ground-truth schedule: for each decision interval, the
+/// cheapest SLO-feasible configuration found by exhaustively simulating the
+/// interval's *own* arrivals (§IV-A "Ground Truth").
+pub fn oracle_schedule(trace: &Trace, s: &ExpSettings, t0: f64, t1: f64) -> Vec<ScheduleEntry> {
+    chop(t0, t1, s.decision_interval, |t| {
+        let slice = trace.slice(t, (t + s.decision_interval).min(trace.horizon()));
+        if slice.is_empty() {
+            return LambdaConfig::new(512, 1, 0.0);
+        }
+        ground_truth(slice.timestamps(), &s.grid, &s.params, s.slo, s.percentile)
+            .map(|e| e.config)
+            .expect("non-empty grid")
+    })
+}
+
+fn chop(t0: f64, t1: f64, dt: f64, config_at: impl Fn(f64) -> LambdaConfig) -> Vec<ScheduleEntry> {
+    let mut out = Vec::new();
+    let mut t = t0;
+    while t < t1 {
+        let end = (t + dt).min(t1);
+        out.push((t, end, config_at(t)));
+        t = end;
+    }
+    out
+}
+
+/// Measure a schedule with the experiment's SLO/percentile.
+pub fn measure(trace: &Trace, schedule: &[ScheduleEntry], s: &ExpSettings) -> Vec<IntervalMeasurement> {
+    measure_schedule(trace, schedule, &s.params, s.slo, s.percentile)
+}
+
+/// Aggregate a measurement set into a summary row:
+/// [label, intervals, VCR %, mean p95 ms, mean cost µ$/req].
+pub fn summary_row(label: &str, ms: &[IntervalMeasurement]) -> Vec<String> {
+    let n = ms.len().max(1) as f64;
+    let vcr = dbat_core::vcr_of(ms);
+    let mean_p95 = ms.iter().map(|m| m.summary.p95).sum::<f64>() / n;
+    // Cost per request aggregated over all requests (not per-interval mean).
+    let total_cost: f64 = ms.iter().map(|m| m.cost_per_request * m.requests as f64).sum();
+    let total_req: f64 = ms.iter().map(|m| m.requests as f64).sum();
+    vec![
+        label.to_string(),
+        ms.len().to_string(),
+        crate::report::f(vcr, 1),
+        crate::report::f(mean_p95 * 1e3, 1),
+        crate::report::f(total_cost / total_req.max(1.0) * 1e6, 4),
+    ]
+}
+
+/// Headers matching [`summary_row`].
+pub const SUMMARY_HEADERS: [&str; 5] =
+    ["policy", "intervals", "VCR_%", "mean_p95_ms", "cost_u$_per_req"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbat_sim::LatencySummary;
+    use dbat_workload::{Map, Rng};
+
+    fn trace(rate: f64, horizon: f64) -> Trace {
+        let mut rng = Rng::new(55);
+        Trace::new(Map::poisson(rate).simulate(&mut rng, 0.0, horizon), horizon)
+    }
+
+    #[test]
+    fn oracle_schedule_covers_range_and_is_feasible() {
+        let mut s = ExpSettings::from_env();
+        s.grid = dbat_sim::ConfigGrid::tiny();
+        s.decision_interval = 30.0;
+        let tr = trace(40.0, 120.0);
+        let sched = oracle_schedule(&tr, &s, 0.0, 120.0);
+        assert_eq!(sched.len(), 4);
+        assert_eq!(sched[0].0, 0.0);
+        assert_eq!(sched[3].1, 120.0);
+        // Clairvoyant choices must actually meet the SLO when measured.
+        let ms = measure(&tr, &sched, &s);
+        assert!(ms.iter().all(|m| !m.violation), "oracle violated its own SLO");
+    }
+
+    #[test]
+    fn batch_schedule_holds_config_within_refit_interval() {
+        let mut s = ExpSettings::from_env();
+        s.grid = dbat_sim::ConfigGrid::tiny();
+        s.decision_interval = 60.0;
+        let tr = trace(30.0, 2.0 * 3600.0);
+        let sched = batch_schedule(&tr, &s, 0.0, 7200.0);
+        assert_eq!(sched.len(), 120);
+        // Within one BATCH hour, the config must be constant.
+        let first_hour: Vec<_> = sched.iter().take(60).map(|e| e.2).collect();
+        assert!(first_hour.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn summary_row_aggregates_by_requests() {
+        let cfg = dbat_sim::LambdaConfig::new(1024, 1, 0.0);
+        let mk = |requests: usize, cost: f64, violation: bool| IntervalMeasurement {
+            start: 0.0,
+            end: 1.0,
+            config: cfg,
+            summary: LatencySummary::from_latencies(&[0.05]),
+            cost_per_request: cost,
+            requests,
+            violation,
+        };
+        // 100 requests at 1µ$ + 300 at 2µ$ => 1.75 µ$/req weighted.
+        let row = summary_row("x", &[mk(100, 1e-6, true), mk(300, 2e-6, false)]);
+        assert_eq!(row[0], "x");
+        assert_eq!(row[1], "2");
+        assert_eq!(row[2], "50.0");
+        assert_eq!(row[4], "1.7500");
+    }
+}

@@ -1,0 +1,13 @@
+//! # dbat-bench
+//!
+//! The benchmark harness: shared experiment settings / model cache
+//! ([`settings`]), table printers ([`report`]), one regenerator binary per
+//! paper figure or table (`src/bin/fig*.rs`, `src/bin/tbl_*.rs`), and
+//! Criterion micro-benchmarks (`benches/`). See DESIGN.md §4 for the
+//! experiment index and EXPERIMENTS.md for recorded results.
+
+pub mod compare;
+pub mod report;
+pub mod settings;
+
+pub use settings::{ExpSettings, SEED_ALIBABA, SEED_AZURE, SEED_SYNTH, SEED_TWITTER};

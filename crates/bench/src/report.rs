@@ -1,0 +1,79 @@
+//! Plain-text table/series printing for the figure regenerators. Output is
+//! aligned columns (readable in a terminal, trivially machine-parseable).
+
+/// Print a figure/table header banner.
+pub fn banner(id: &str, title: &str) {
+    println!();
+    println!("================================================================");
+    println!("{id}: {title}");
+    println!("================================================================");
+}
+
+/// Print an aligned table: `headers` then one row per entry.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "row width mismatch");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.to_vec());
+    line(widths.iter().map(|_| "--").collect());
+    for row in rows {
+        line(row.iter().map(|s| s.as_str()).collect());
+    }
+}
+
+/// Format a float with a fixed number of decimals.
+pub fn f(v: f64, decimals: usize) -> String {
+    format!("{v:.decimals$}")
+}
+
+/// Format a cost in micro-dollars per request.
+pub fn usd_micro(v: f64) -> String {
+    format!("{:.4}", v * 1e6)
+}
+
+/// A crude inline bar for terminal "plots" (value in [0, 1]).
+pub fn bar(frac: f64, width: usize) -> String {
+    let n = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
+    let mut s = String::with_capacity(width);
+    for i in 0..width {
+        s.push(if i < n { '#' } else { '.' });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_widths() {
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 3), "###"); // clamped
+    }
+
+    #[test]
+    fn format_helpers() {
+        assert_eq!(f(1.23456, 2), "1.23");
+        assert_eq!(usd_micro(2.5e-6), "2.5000");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_rows_panic() {
+        table(&["a", "b"], &[vec!["1".into()]]);
+    }
+}

@@ -1,0 +1,213 @@
+//! The Buffer component (§III-B): accrues incoming requests and releases
+//! them as batches according to the current `(B, T)` policy. This is the
+//! online, reconfigurable counterpart of the simulator's batching logic —
+//! the optimizer pushes new parameters into it at runtime (arrow ③ of
+//! Fig. 2).
+
+use dbat_sim::LambdaConfig;
+
+/// A batch released by the buffer.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ReleasedBatch {
+    /// Request identifiers, in arrival order.
+    pub requests: Vec<u64>,
+    /// Time the batch was released.
+    pub released_at: f64,
+    /// Why it was released.
+    pub reason: ReleaseReason,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReleaseReason {
+    /// The buffer reached the configured batch size.
+    Full,
+    /// The timeout since the window opened expired.
+    Timeout,
+    /// An explicit flush (e.g. reconfiguration or shutdown).
+    Flush,
+}
+
+/// The reconfigurable batching buffer.
+#[derive(Clone, Debug)]
+pub struct Buffer {
+    batch_size: u32,
+    timeout_s: f64,
+    pending: Vec<u64>,
+    opened_at: Option<f64>,
+    last_event: f64,
+}
+
+impl Buffer {
+    pub fn new(batch_size: u32, timeout_s: f64) -> Self {
+        assert!(batch_size >= 1, "batch size must be >= 1 (Eq. 10c)");
+        assert!(timeout_s >= 0.0, "timeout must be >= 0 (Eq. 10d)");
+        Buffer { batch_size, timeout_s, pending: Vec::new(), opened_at: None, last_event: 0.0 }
+    }
+
+    pub fn from_config(cfg: &LambdaConfig) -> Self {
+        Buffer::new(cfg.batch_size, cfg.timeout_s)
+    }
+
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    pub fn batch_size(&self) -> u32 {
+        self.batch_size
+    }
+
+    pub fn timeout_s(&self) -> f64 {
+        self.timeout_s
+    }
+
+    /// Deadline of the currently open window, if any.
+    pub fn deadline(&self) -> Option<f64> {
+        self.opened_at.map(|o| o + self.timeout_s)
+    }
+
+    /// Apply a new `(B, T)` policy (arrow ③ in Fig. 2). The open window, if
+    /// any, keeps its original opening time; the new parameters take effect
+    /// immediately (a now-overfull buffer is released on the next `poll`).
+    pub fn reconfigure(&mut self, cfg: &LambdaConfig) {
+        cfg.validate().expect("invalid configuration");
+        self.batch_size = cfg.batch_size;
+        self.timeout_s = cfg.timeout_s;
+    }
+
+    /// Offer one request at time `t`. Returns a batch if this arrival
+    /// completes one (or the policy is immediate-dispatch).
+    pub fn push(&mut self, request: u64, t: f64) -> Option<ReleasedBatch> {
+        assert!(t >= self.last_event, "time must not go backwards");
+        self.last_event = t;
+        // A timeout that elapsed before this arrival fires first.
+        let timed_out = self.poll(t);
+        debug_assert!(timed_out.is_none() || !self.pending.is_empty() || self.opened_at.is_none());
+        if self.pending.is_empty() {
+            self.opened_at = Some(t);
+        }
+        self.pending.push(request);
+        if timed_out.is_some() {
+            // Rare: the previous window expired exactly at/before this push.
+            // Hand the caller the timed-out batch; this request waits.
+            return timed_out;
+        }
+        if self.pending.len() as u32 >= self.batch_size || self.timeout_s == 0.0 {
+            return Some(self.release(t, ReleaseReason::Full));
+        }
+        None
+    }
+
+    /// Advance the clock to `t`; release the pending batch if its timeout
+    /// has expired. The comparison is strict (`t > deadline`): an arrival
+    /// coinciding exactly with the deadline joins the batch first, matching
+    /// the discrete-event simulator's FIFO tie-break.
+    pub fn poll(&mut self, t: f64) -> Option<ReleasedBatch> {
+        assert!(t >= self.last_event, "time must not go backwards");
+        self.last_event = t;
+        match self.deadline() {
+            Some(d) if t > d && !self.pending.is_empty() => {
+                Some(self.release(d, ReleaseReason::Timeout))
+            }
+            _ => None,
+        }
+    }
+
+    /// Release whatever is pending immediately.
+    pub fn flush(&mut self, t: f64) -> Option<ReleasedBatch> {
+        if self.pending.is_empty() {
+            return None;
+        }
+        Some(self.release(t, ReleaseReason::Flush))
+    }
+
+    fn release(&mut self, t: f64, reason: ReleaseReason) -> ReleasedBatch {
+        self.opened_at = None;
+        ReleasedBatch { requests: std::mem::take(&mut self.pending), released_at: t, reason }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_batch_size() {
+        let mut b = Buffer::new(3, 1.0);
+        assert!(b.push(1, 0.0).is_none());
+        assert!(b.push(2, 0.1).is_none());
+        let batch = b.push(3, 0.2).unwrap();
+        assert_eq!(batch.requests, vec![1, 2, 3]);
+        assert_eq!(batch.reason, ReleaseReason::Full);
+        assert!((batch.released_at - 0.2).abs() < 1e-12);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn timeout_releases_partial_batch() {
+        let mut b = Buffer::new(8, 0.05);
+        b.push(1, 0.0);
+        b.push(2, 0.01);
+        assert!(b.poll(0.04).is_none());
+        let batch = b.poll(0.06).unwrap();
+        assert_eq!(batch.requests, vec![1, 2]);
+        assert_eq!(batch.reason, ReleaseReason::Timeout);
+        // Released at the deadline, not the poll time.
+        assert!((batch.released_at - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_timeout_is_immediate() {
+        let mut b = Buffer::new(8, 0.0);
+        let batch = b.push(7, 1.0).unwrap();
+        assert_eq!(batch.requests, vec![7]);
+    }
+
+    #[test]
+    fn push_after_expired_deadline_releases_old_window_first() {
+        let mut b = Buffer::new(8, 0.05);
+        b.push(1, 0.0);
+        // Next arrival lands after the deadline: old batch comes out, the
+        // new request opens a fresh window.
+        let batch = b.push(2, 0.2).unwrap();
+        assert_eq!(batch.requests, vec![1]);
+        assert_eq!(batch.reason, ReleaseReason::Timeout);
+        assert_eq!(b.len(), 1);
+        assert!((b.deadline().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconfigure_applies_new_policy() {
+        let mut b = Buffer::new(8, 1.0);
+        b.push(1, 0.0);
+        b.push(2, 0.1);
+        b.reconfigure(&LambdaConfig::new(1024, 2, 0.5));
+        // Now over the new size on next push.
+        let batch = b.push(3, 0.2).unwrap();
+        assert_eq!(batch.requests.len(), 3);
+        assert_eq!(b.batch_size(), 2);
+        assert_eq!(b.timeout_s(), 0.5);
+    }
+
+    #[test]
+    fn flush_drains() {
+        let mut b = Buffer::new(8, 10.0);
+        b.push(1, 0.0);
+        b.push(2, 0.5);
+        let batch = b.flush(1.0).unwrap();
+        assert_eq!(batch.reason, ReleaseReason::Flush);
+        assert_eq!(batch.requests, vec![1, 2]);
+        assert!(b.flush(1.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "time must not go backwards")]
+    fn time_travel_rejected() {
+        let mut b = Buffer::new(2, 1.0);
+        b.push(1, 5.0);
+        b.push(2, 4.0);
+    }
+}

@@ -1,0 +1,364 @@
+//! The online DeepBAT control loop (Fig. 2) and the shared measurement
+//! harness the evaluation figures use to score *any* configuration schedule
+//! (DeepBAT's, BATCH's, or the ground truth's) against actual arrivals.
+
+use crate::optimizer::DeepBatOptimizer;
+use crate::surrogate::Surrogate;
+use crate::traindata::{label, window_to_arrivals};
+use dbat_sim::{simulate_batching, ConfigGrid, LambdaConfig, LatencySummary, SimParams};
+use dbat_workload::{sample_windows, window_at_time, Rng, Trace};
+
+/// A configuration active over `[start, end)`.
+pub type ScheduleEntry = (f64, f64, LambdaConfig);
+
+/// Measured outcome of serving one interval of the trace with one config.
+#[derive(Clone, Copy, Debug)]
+pub struct IntervalMeasurement {
+    pub start: f64,
+    pub end: f64,
+    pub config: LambdaConfig,
+    pub summary: LatencySummary,
+    pub cost_per_request: f64,
+    pub requests: usize,
+    /// Measured `percentile(p) > SLO` for this interval (the VCR numerator).
+    pub violation: bool,
+}
+
+/// Replay a schedule against the trace: each interval's arrivals are served
+/// with that interval's configuration by the ground-truth simulator.
+/// Empty intervals are skipped (they can neither cost nor violate).
+pub fn measure_schedule(
+    trace: &Trace,
+    schedule: &[ScheduleEntry],
+    params: &SimParams,
+    slo: f64,
+    percentile: f64,
+) -> Vec<IntervalMeasurement> {
+    let mut out = Vec::with_capacity(schedule.len());
+    for &(start, end, config) in schedule {
+        let slice = trace.slice(start, end.min(trace.horizon()));
+        if slice.is_empty() {
+            continue;
+        }
+        let sim = simulate_batching(slice.timestamps(), &config, params, None);
+        let summary = sim.summary();
+        out.push(IntervalMeasurement {
+            start,
+            end,
+            config,
+            summary,
+            cost_per_request: sim.cost_per_request(),
+            requests: sim.requests.len(),
+            violation: summary.percentile(percentile) > slo,
+        });
+    }
+    out
+}
+
+/// VCR (Eq. 11) over a set of interval measurements.
+pub fn vcr_of(measurements: &[IntervalMeasurement]) -> f64 {
+    let flags: Vec<bool> = measurements.iter().map(|m| m.violation).collect();
+    dbat_sim::vcr(&flags)
+}
+
+/// Per-hour VCR series (Figs. 8 and 10).
+pub fn hourly_vcr(measurements: &[IntervalMeasurement], hours: usize, hour_s: f64) -> Vec<f64> {
+    (0..hours)
+        .map(|h| {
+            let lo = h as f64 * hour_s;
+            let hi = (h + 1) as f64 * hour_s;
+            let flags: Vec<bool> = measurements
+                .iter()
+                .filter(|m| m.start >= lo && m.start < hi)
+                .map(|m| m.violation)
+                .collect();
+            dbat_sim::vcr(&flags)
+        })
+        .collect()
+}
+
+/// The DeepBAT control loop: every `decision_interval` seconds, read the
+/// most recent window from the trace, run the surrogate-driven optimizer,
+/// and apply the chosen configuration until the next decision.
+#[derive(Clone, Debug)]
+pub struct DeepBatController {
+    pub optimizer: DeepBatOptimizer,
+    pub params: SimParams,
+    /// Seconds between re-optimisations.
+    pub decision_interval: f64,
+    /// Configuration used before the parser warms up.
+    pub bootstrap: LambdaConfig,
+}
+
+impl DeepBatController {
+    pub fn new(grid: ConfigGrid, slo: f64) -> Self {
+        DeepBatController {
+            optimizer: DeepBatOptimizer::new(grid, slo),
+            params: SimParams::default(),
+            decision_interval: 60.0,
+            bootstrap: LambdaConfig::new(3008, 1, 0.0),
+        }
+    }
+
+    /// Build the configuration schedule over `[t0, t1)` of the trace.
+    pub fn schedule(
+        &self,
+        model: &Surrogate,
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+    ) -> Vec<ScheduleEntry> {
+        let l = model.cfg.seq_len;
+        let mut out = Vec::new();
+        let mut t = t0;
+        while t < t1 {
+            let end = (t + self.decision_interval).min(t1);
+            let config = match window_at_time(trace, t, l, 1.0) {
+                Some(w) => self.optimizer.choose(model, &w.interarrivals).chosen.config,
+                None => self.bootstrap,
+            };
+            out.push((t, end, config));
+            t = end;
+        }
+        out
+    }
+
+    /// Arrival-count-triggered variant (§III-A: DeepBAT "can work either as
+    /// discrete-time control … or after an accumulation of inference
+    /// requests"): re-optimise after every `every_n` arrivals instead of on
+    /// a wall-clock cadence. Decision boundaries therefore densify exactly
+    /// when traffic intensifies.
+    pub fn schedule_by_arrivals(
+        &self,
+        model: &Surrogate,
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+        every_n: usize,
+    ) -> Vec<ScheduleEntry> {
+        assert!(every_n >= 1);
+        let l = model.cfg.seq_len;
+        let ts = trace.timestamps();
+        let mut out = Vec::new();
+        let mut t = t0;
+        let mut idx = trace.lower_bound(t0);
+        while t < t1 {
+            let config = match window_at_time(trace, t, l, 1.0) {
+                Some(w) => self.optimizer.choose(model, &w.interarrivals).chosen.config,
+                None => self.bootstrap,
+            };
+            // Next decision: after `every_n` further arrivals (or t1).
+            idx = (idx + every_n).min(ts.len());
+            let end = if idx >= ts.len() { t1 } else { ts[idx].min(t1) };
+            let end = if end <= t { t1 } else { end };
+            out.push((t, end, config));
+            t = end;
+        }
+        out
+    }
+
+    /// Schedule then measure in one call.
+    pub fn run(
+        &self,
+        model: &Surrogate,
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+    ) -> (Vec<ScheduleEntry>, Vec<IntervalMeasurement>) {
+        let schedule = self.schedule(model, trace, t0, t1);
+        let measured = measure_schedule(
+            trace,
+            &schedule,
+            &self.params,
+            self.optimizer.slo,
+            self.optimizer.percentile,
+        );
+        (schedule, measured)
+    }
+}
+
+/// Estimate the robustness penalty γ (§III-D): the MAPE between the
+/// surrogate's predicted p95 and the simulated ground-truth p95 over
+/// sampled windows of the (new) workload, each paired with a random grid
+/// configuration.
+pub fn estimate_gamma(
+    model: &Surrogate,
+    trace: &Trace,
+    grid: &ConfigGrid,
+    params: &SimParams,
+    n_windows: usize,
+    seed: u64,
+) -> f64 {
+    let mut rng = Rng::new(seed);
+    let windows = sample_windows(trace, model.cfg.seq_len, n_windows, &mut rng);
+    if windows.is_empty() {
+        return 0.0;
+    }
+    let configs = grid.configs();
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for w in &windows {
+        let cfg = configs[rng.below(configs.len())];
+        let truth = label(&w.interarrivals, &cfg, params, f64::INFINITY);
+        let e1 = model.encode_window(&w.interarrivals);
+        let feats = dbat_nn::Tensor::new(
+            vec![1, 3],
+            vec![cfg.memory_mb as f64, cfg.batch_size as f64, cfg.timeout_s],
+        );
+        let pred = model.predict_encoded(&e1, &feats);
+        let p95_hat = pred.data()[3].max(0.0);
+        let p95 = truth.target[3];
+        if p95 > 0.0 {
+            acc += (p95_hat - p95).abs() / p95;
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64
+    }
+}
+
+/// Convenience: simulate one window's arrivals under one config and report
+/// whether the p-percentile latency violates the SLO (used in tests and the
+/// per-window VCR figures).
+pub fn window_violates(
+    window: &[f64],
+    config: &LambdaConfig,
+    params: &SimParams,
+    slo: f64,
+    percentile: f64,
+) -> bool {
+    let arrivals = window_to_arrivals(window);
+    let sim = simulate_batching(&arrivals, config, params, None);
+    sim.summary().percentile(percentile) > slo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surrogate::{Surrogate, SurrogateConfig};
+    use dbat_workload::Map;
+
+    fn trace() -> Trace {
+        let map = Map::poisson(30.0);
+        let mut rng = Rng::new(4);
+        Trace::new(map.simulate(&mut rng, 0.0, 600.0), 600.0)
+    }
+
+    fn model() -> Surrogate {
+        Surrogate::new(SurrogateConfig::tiny(), 2)
+    }
+
+    #[test]
+    fn measure_schedule_covers_intervals() {
+        let tr = trace();
+        let cfg = LambdaConfig::new(2048, 4, 0.05);
+        let schedule: Vec<ScheduleEntry> =
+            (0..10).map(|i| (i as f64 * 60.0, (i + 1) as f64 * 60.0, cfg)).collect();
+        let m = measure_schedule(&tr, &schedule, &SimParams::default(), 0.1, 95.0);
+        assert_eq!(m.len(), 10);
+        let total_requests: usize = m.iter().map(|x| x.requests).sum();
+        assert_eq!(total_requests, tr.len());
+        for x in &m {
+            assert!(x.cost_per_request > 0.0);
+            assert_eq!(x.violation, x.summary.p95 > 0.1);
+        }
+    }
+
+    #[test]
+    fn controller_schedule_spans_range() {
+        let tr = trace();
+        let ctl = DeepBatController::new(ConfigGrid::tiny(), 0.1);
+        let m = model();
+        let schedule = ctl.schedule(&m, &tr, 0.0, 300.0);
+        assert_eq!(schedule.len(), 5);
+        assert_eq!(schedule[0].0, 0.0);
+        assert_eq!(schedule[4].1, 300.0);
+        // The first decision at t = 0 has no history: bootstrap config.
+        assert_eq!(schedule[0].2, ctl.bootstrap);
+        // Later decisions come from the optimizer over the tiny grid.
+        for &(_, _, c) in &schedule[1..] {
+            assert!(ctl.optimizer.grid.configs().contains(&c));
+        }
+    }
+
+    #[test]
+    fn arrival_triggered_schedule_covers_and_densifies() {
+        let tr = trace();
+        let ctl = DeepBatController::new(ConfigGrid::tiny(), 0.1);
+        let m = model();
+        let sched = ctl.schedule_by_arrivals(&m, &tr, 0.0, 200.0, 500);
+        // Coverage: contiguous, spans [0, 200).
+        assert_eq!(sched.first().unwrap().0, 0.0);
+        assert_eq!(sched.last().unwrap().1, 200.0);
+        for w in sched.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "schedule must be contiguous");
+        }
+        // At ~30 req/s, 500-arrival periods last ~16.7 s each.
+        let n_expected = (tr.count_in(0.0, 200.0) / 500).max(1);
+        assert!(
+            (sched.len() as i64 - n_expected as i64).unsigned_abs() <= 2,
+            "{} entries vs ~{n_expected} expected",
+            sched.len()
+        );
+        // Every interval's requests are measured exactly once.
+        let ms = measure_schedule(&tr, &sched, &SimParams::default(), 0.1, 95.0);
+        let total: usize = ms.iter().map(|x| x.requests).sum();
+        assert_eq!(total, tr.count_in(0.0, 200.0));
+    }
+
+    #[test]
+    fn run_produces_measurements() {
+        let tr = trace();
+        let ctl = DeepBatController::new(ConfigGrid::tiny(), 0.1);
+        let (schedule, measured) = ctl.run(&model(), &tr, 0.0, 240.0);
+        assert_eq!(schedule.len(), measured.len());
+        let v = vcr_of(&measured);
+        assert!((0.0..=100.0).contains(&v));
+    }
+
+    #[test]
+    fn hourly_vcr_buckets() {
+        let cfg = LambdaConfig::new(1024, 1, 0.0);
+        let mk = |start: f64, violation: bool| IntervalMeasurement {
+            start,
+            end: start + 60.0,
+            config: cfg,
+            summary: LatencySummary::from_latencies(&[0.01]),
+            cost_per_request: 1e-6,
+            requests: 1,
+            violation,
+        };
+        let ms = vec![mk(0.0, true), mk(100.0, false), mk(3700.0, false)];
+        let v = hourly_vcr(&ms, 2, 3600.0);
+        assert_eq!(v.len(), 2);
+        assert!((v[0] - 50.0).abs() < 1e-12);
+        assert_eq!(v[1], 0.0);
+    }
+
+    #[test]
+    fn gamma_estimate_nonnegative_finite() {
+        let tr = trace();
+        let g = estimate_gamma(
+            &model(),
+            &tr,
+            &ConfigGrid::tiny(),
+            &SimParams::default(),
+            6,
+            12,
+        );
+        assert!(g.is_finite());
+        assert!(g >= 0.0);
+    }
+
+    #[test]
+    fn window_violates_consistency() {
+        let w = vec![0.01; 32];
+        let fast = LambdaConfig::new(3008, 1, 0.0);
+        assert!(!window_violates(&w, &fast, &SimParams::default(), 0.1, 95.0));
+        let slow = LambdaConfig::new(512, 32, 5.0);
+        assert!(window_violates(&w, &slow, &SimParams::default(), 0.1, 95.0));
+    }
+}

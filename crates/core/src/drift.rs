@@ -1,0 +1,191 @@
+//! Out-of-distribution drift detection (§III-D): the paper fine-tunes the
+//! surrogate "if there is a noticeable performance drop observed due to
+//! differences in data distributions" between the training data and the
+//! incoming arrival process. This module makes that trigger concrete: it
+//! summarises the training distribution of window statistics and scores
+//! incoming windows against it.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a window of interarrival times used for drift scoring.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Mean of log-interarrivals (log-rate proxy).
+    pub log_mean: f64,
+    /// Standard deviation of log-interarrivals (burstiness proxy).
+    pub log_std: f64,
+}
+
+impl WindowStats {
+    pub fn from_window(window: &[f64]) -> Self {
+        assert!(!window.is_empty(), "window must be non-empty");
+        let logs: Vec<f64> = window.iter().map(|&x| (x + 1e-6).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        WindowStats { log_mean: mean, log_std: var.sqrt() }
+    }
+}
+
+/// The training-time reference distribution plus a drift threshold.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DriftDetector {
+    /// Mean of the training windows' statistics.
+    pub center: WindowStats,
+    /// Standard deviations of the training windows' statistics (floor-ed).
+    pub spread: WindowStats,
+    /// Mahalanobis-style distance above which a window counts as drifted.
+    pub threshold: f64,
+    /// Fraction of recent windows that must be drifted to recommend
+    /// fine-tuning.
+    pub trigger_fraction: f64,
+    /// Ring of recent drift flags.
+    recent: Vec<bool>,
+    capacity: usize,
+    cursor: usize,
+    filled: usize,
+}
+
+impl DriftDetector {
+    /// Fit the reference distribution from training windows.
+    pub fn fit(windows: &[Vec<f64>]) -> Self {
+        assert!(!windows.is_empty(), "need at least one training window");
+        let stats: Vec<WindowStats> = windows.iter().map(|w| WindowStats::from_window(w)).collect();
+        let n = stats.len() as f64;
+        let mean_lm = stats.iter().map(|s| s.log_mean).sum::<f64>() / n;
+        let mean_ls = stats.iter().map(|s| s.log_std).sum::<f64>() / n;
+        let var_lm = stats.iter().map(|s| (s.log_mean - mean_lm).powi(2)).sum::<f64>() / n;
+        let var_ls = stats.iter().map(|s| (s.log_std - mean_ls).powi(2)).sum::<f64>() / n;
+        DriftDetector {
+            center: WindowStats { log_mean: mean_lm, log_std: mean_ls },
+            spread: WindowStats {
+                log_mean: var_lm.sqrt().max(0.05),
+                log_std: var_ls.sqrt().max(0.05),
+            },
+            threshold: 3.0,
+            trigger_fraction: 0.5,
+            recent: vec![false; 32],
+            capacity: 32,
+            cursor: 0,
+            filled: 0,
+        }
+    }
+
+    /// Normalised distance of a window from the training distribution.
+    pub fn score(&self, window: &[f64]) -> f64 {
+        let s = WindowStats::from_window(window);
+        let dm = (s.log_mean - self.center.log_mean) / self.spread.log_mean;
+        let ds = (s.log_std - self.center.log_std) / self.spread.log_std;
+        (dm * dm + ds * ds).sqrt()
+    }
+
+    /// Observe a window; returns its drift flag.
+    pub fn observe(&mut self, window: &[f64]) -> bool {
+        let drifted = self.score(window) > self.threshold;
+        self.recent[self.cursor] = drifted;
+        self.cursor = (self.cursor + 1) % self.capacity;
+        self.filled = (self.filled + 1).min(self.capacity);
+        drifted
+    }
+
+    /// Fraction of recently observed windows flagged as drifted.
+    pub fn drift_fraction(&self) -> f64 {
+        if self.filled == 0 {
+            return 0.0;
+        }
+        self.recent[..self.filled].iter().filter(|&&d| d).count() as f64 / self.filled as f64
+    }
+
+    /// Should the deployment fine-tune on recent data? True once a majority
+    /// of the recent windows are out of distribution (and the ring has some
+    /// history).
+    pub fn should_fine_tune(&self) -> bool {
+        self.filled >= self.capacity / 4 && self.drift_fraction() >= self.trigger_fraction
+    }
+
+    /// Forget recent history (call after fine-tuning).
+    pub fn reset(&mut self) {
+        self.recent.iter_mut().for_each(|d| *d = false);
+        self.cursor = 0;
+        self.filled = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbat_workload::{sample_windows, Map, Mmpp2, Rng, Trace};
+
+    fn windows_of(map: &Map, seed: u64, n: usize, l: usize) -> Vec<Vec<f64>> {
+        let mut rng = Rng::new(seed);
+        let trace = Trace::new(map.simulate(&mut rng, 0.0, 2_000.0), 2_000.0);
+        sample_windows(&trace, l, n, &mut rng)
+            .into_iter()
+            .map(|w| w.interarrivals)
+            .collect()
+    }
+
+    #[test]
+    fn in_distribution_windows_score_low() {
+        let map = Map::poisson(30.0);
+        let train = windows_of(&map, 1, 60, 32);
+        let det = DriftDetector::fit(&train);
+        let test = windows_of(&map, 2, 20, 32);
+        let mean_score: f64 =
+            test.iter().map(|w| det.score(w)).sum::<f64>() / test.len() as f64;
+        assert!(mean_score < det.threshold, "in-dist mean score {mean_score}");
+    }
+
+    #[test]
+    fn rate_shift_detected() {
+        let train = windows_of(&Map::poisson(30.0), 1, 60, 32);
+        let mut det = DriftDetector::fit(&train);
+        // 20x slower arrivals: clearly OOD.
+        let ood = windows_of(&Map::poisson(1.5), 3, 20, 32);
+        for w in &ood {
+            det.observe(w);
+        }
+        assert!(det.drift_fraction() > 0.8, "fraction {}", det.drift_fraction());
+        assert!(det.should_fine_tune());
+    }
+
+    #[test]
+    fn burstiness_shift_detected() {
+        // Same mean rate, very different burstiness.
+        let train = windows_of(&Map::poisson(30.0), 1, 60, 32);
+        let mut det = DriftDetector::fit(&train);
+        let bursty = Mmpp2::from_targets(30.0, 150.0, 20.0, 0.2).to_map().unwrap();
+        let ood = windows_of(&bursty, 4, 24, 32);
+        for w in &ood {
+            det.observe(w);
+        }
+        assert!(
+            det.drift_fraction() > 0.5,
+            "burstiness drift fraction {}",
+            det.drift_fraction()
+        );
+    }
+
+    #[test]
+    fn no_false_trigger_on_training_data() {
+        let map = Map::poisson(25.0);
+        let train = windows_of(&map, 1, 80, 32);
+        let mut det = DriftDetector::fit(&train);
+        for w in windows_of(&map, 9, 40, 32) {
+            det.observe(&w);
+        }
+        assert!(!det.should_fine_tune(), "fraction {}", det.drift_fraction());
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let train = windows_of(&Map::poisson(30.0), 1, 40, 16);
+        let mut det = DriftDetector::fit(&train);
+        for w in windows_of(&Map::poisson(1.0), 5, 20, 16) {
+            det.observe(&w);
+        }
+        assert!(det.drift_fraction() > 0.0);
+        det.reset();
+        assert_eq!(det.drift_fraction(), 0.0);
+        assert!(!det.should_fine_tune());
+    }
+}

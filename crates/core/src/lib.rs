@@ -1,0 +1,41 @@
+//! # dbat-core
+//!
+//! DeepBAT: an SLO-aware framework that drives serverless-inference batching
+//! with a Transformer deep surrogate model (Sun et al., IPDPS'25).
+//!
+//! Components mirror the paper's Fig. 2:
+//!
+//! * [`parser`] — the Workload Parser (raw interarrivals, no MAP fitting);
+//! * [`buffer`] — the reconfigurable batching Buffer;
+//! * [`surrogate`] — the deep surrogate model (Fig. 3 architecture);
+//! * [`traindata`] / [`train`] — offline training on simulator-labelled
+//!   windows, plus OOD fine-tuning;
+//! * [`optimizer`] — the 2-step SLO/cost optimizer with the γ penalty;
+//! * [`controller`] — the online control loop and the measurement harness
+//!   shared by every evaluation figure.
+
+pub mod buffer;
+pub mod drift;
+pub mod controller;
+pub mod optimizer;
+pub mod parser;
+pub mod surrogate;
+pub mod train;
+pub mod traindata;
+
+pub use buffer::{Buffer, ReleaseReason, ReleasedBatch};
+pub use drift::{DriftDetector, WindowStats};
+pub use controller::{
+    estimate_gamma, hourly_vcr, measure_schedule, vcr_of, window_violates, DeepBatController,
+    IntervalMeasurement, ScheduleEntry,
+};
+pub use optimizer::{ConfigPrediction, Decision, DeepBatOptimizer};
+pub use parser::WorkloadParser;
+pub use surrogate::{Surrogate, SurrogateConfig};
+pub use train::{
+    fine_tune, fit_standardizers, to_tensors, to_tensors_weighted, train, validation_mape,
+    validation_mape_split, TrainConfig, TrainReport,
+};
+pub use traindata::{
+    generate_dataset, label, label_replicated, window_to_arrivals, TrainSample, LABEL_REPLICAS,
+};

@@ -1,0 +1,191 @@
+//! DeepBAT's Optimizer (§III-E): exhaustive search over the configuration
+//! grid driven by the surrogate's predictions, solving Eq. (10) — minimise
+//! cost subject to the p-th percentile latency SLO — with the robustness
+//! penalty factor γ tightening the constraint (§III-D).
+
+use crate::surrogate::Surrogate;
+use dbat_nn::Tensor;
+use dbat_sim::{ConfigGrid, LambdaConfig};
+
+/// The surrogate's prediction for one configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ConfigPrediction {
+    pub config: LambdaConfig,
+    /// Predicted cost per request (µ$/req).
+    pub cost_micro: f64,
+    /// Predicted latency percentiles [p50, p90, p95, p99] (seconds).
+    pub percentiles: [f64; 4],
+}
+
+impl ConfigPrediction {
+    pub fn percentile(&self, p: f64) -> f64 {
+        match p as u32 {
+            50 => self.percentiles[0],
+            90 => self.percentiles[1],
+            95 => self.percentiles[2],
+            99 => self.percentiles[3],
+            _ => panic!("only percentiles 50/90/95/99 are predicted"),
+        }
+    }
+}
+
+/// Outcome of one optimisation: the chosen configuration plus the full
+/// prediction table (useful for figures and debugging).
+#[derive(Clone, Debug)]
+pub struct Decision {
+    pub chosen: ConfigPrediction,
+    pub all: Vec<ConfigPrediction>,
+    /// True when no configuration satisfied the tightened SLO and the
+    /// lowest-latency fallback was returned.
+    pub fallback: bool,
+}
+
+/// DeepBAT's SLO/cost optimizer.
+#[derive(Clone, Debug)]
+pub struct DeepBatOptimizer {
+    pub grid: ConfigGrid,
+    pub slo: f64,
+    /// Percentile the SLO constrains (paper: 95).
+    pub percentile: f64,
+    /// Robustness penalty γ: feasibility requires `p̂·(1+γ) ≤ SLO`.
+    pub gamma: f64,
+}
+
+impl DeepBatOptimizer {
+    pub fn new(grid: ConfigGrid, slo: f64) -> Self {
+        DeepBatOptimizer { grid, slo, percentile: 95.0, gamma: 0.0 }
+    }
+
+    /// Predict every grid configuration for one window: encode the sequence
+    /// once, sweep the feature branch.
+    pub fn predict_all(&self, model: &Surrogate, window: &[f64]) -> Vec<ConfigPrediction> {
+        let e1 = model.encode_window(window);
+        let configs = self.grid.configs();
+        let mut feats = Vec::with_capacity(configs.len() * 3);
+        for c in &configs {
+            feats.extend_from_slice(&[c.memory_mb as f64, c.batch_size as f64, c.timeout_s]);
+        }
+        let out = model.predict_encoded(&e1, &Tensor::new(vec![configs.len(), 3], feats));
+        configs
+            .iter()
+            .enumerate()
+            .map(|(i, &config)| {
+                let row = &out.data()[i * 5..(i + 1) * 5];
+                ConfigPrediction {
+                    config,
+                    cost_micro: row[0].max(0.0),
+                    percentiles: [
+                        row[1].max(0.0),
+                        row[2].max(0.0),
+                        row[3].max(0.0),
+                        row[4].max(0.0),
+                    ],
+                }
+            })
+            .collect()
+    }
+
+    /// The 2-step optimisation (§III-D "Online Model Inference"): filter by
+    /// the (γ-tightened) SLO constraint, then minimise predicted cost.
+    pub fn choose(&self, model: &Surrogate, window: &[f64]) -> Decision {
+        let all = self.predict_all(model, window);
+        let feasible = all
+            .iter()
+            .filter(|p| p.percentile(self.percentile) * (1.0 + self.gamma) <= self.slo)
+            .min_by(|a, b| a.cost_micro.partial_cmp(&b.cost_micro).unwrap());
+        match feasible {
+            Some(&best) => Decision { chosen: best, all, fallback: false },
+            None => {
+                let best = *all
+                    .iter()
+                    .min_by(|a, b| {
+                        a.percentile(self.percentile)
+                            .partial_cmp(&b.percentile(self.percentile))
+                            .unwrap()
+                    })
+                    .expect("grid is non-empty");
+                Decision { chosen: best, all, fallback: true }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::surrogate::SurrogateConfig;
+
+    fn model() -> Surrogate {
+        Surrogate::new(SurrogateConfig::tiny(), 3)
+    }
+
+    fn window(l: usize) -> Vec<f64> {
+        (0..l).map(|i| 0.02 + 0.005 * (i % 4) as f64).collect()
+    }
+
+    #[test]
+    fn predict_all_covers_grid() {
+        let m = model();
+        let opt = DeepBatOptimizer::new(ConfigGrid::tiny(), 0.1);
+        let preds = opt.predict_all(&m, &window(m.cfg.seq_len));
+        assert_eq!(preds.len(), opt.grid.len());
+        let cfgs: Vec<LambdaConfig> = preds.iter().map(|p| p.config).collect();
+        assert_eq!(cfgs, opt.grid.configs());
+        assert!(preds.iter().all(|p| p.cost_micro >= 0.0));
+    }
+
+    #[test]
+    fn choose_picks_cheapest_feasible() {
+        let m = model();
+        // Huge SLO: everything is feasible, pick the global cheapest.
+        let opt = DeepBatOptimizer::new(ConfigGrid::tiny(), 1e9);
+        let d = opt.choose(&m, &window(m.cfg.seq_len));
+        assert!(!d.fallback);
+        let min_cost = d
+            .all
+            .iter()
+            .map(|p| p.cost_micro)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(d.chosen.cost_micro, min_cost);
+    }
+
+    #[test]
+    fn impossible_slo_falls_back_to_fastest() {
+        let m = model();
+        let opt = DeepBatOptimizer::new(ConfigGrid::tiny(), -1.0);
+        let d = opt.choose(&m, &window(m.cfg.seq_len));
+        assert!(d.fallback);
+        let min_p95 = d
+            .all
+            .iter()
+            .map(|p| p.percentile(95.0))
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(d.chosen.percentile(95.0), min_p95);
+    }
+
+    #[test]
+    fn gamma_tightens_constraint() {
+        let m = model();
+        let w = window(m.cfg.seq_len);
+        let base = DeepBatOptimizer::new(ConfigGrid::tiny(), 0.1);
+        let preds = base.predict_all(&m, &w);
+        let feasible_at = |gamma: f64| {
+            preds
+                .iter()
+                .filter(|p| p.percentile(95.0) * (1.0 + gamma) <= base.slo)
+                .count()
+        };
+        // The feasible set can only shrink as γ grows.
+        let mut prev = usize::MAX;
+        for gamma in [0.0, 0.5, 2.0, 100.0] {
+            let n = feasible_at(gamma);
+            assert!(n <= prev, "feasible set grew at γ = {gamma}");
+            prev = n;
+        }
+        // Decisions are deterministic.
+        let a = base.choose(&m, &w);
+        let b = DeepBatOptimizer::new(ConfigGrid::tiny(), 0.1).choose(&m, &w);
+        assert_eq!(a.chosen.config, b.chosen.config);
+        assert_eq!(a.fallback, b.fallback);
+    }
+}

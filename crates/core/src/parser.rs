@@ -1,0 +1,159 @@
+//! The Workload Parser (§III-C): ingests raw request timestamps, maintains
+//! the recent interarrival history, and produces fixed-length model input
+//! windows — directly from the original arrival process, with no MAP
+//! fitting step.
+
+use std::collections::VecDeque;
+
+/// Streaming interarrival-time collector with bounded memory.
+#[derive(Clone, Debug)]
+pub struct WorkloadParser {
+    /// Window length the surrogate expects.
+    seq_len: usize,
+    /// Padding value when history is short (seconds).
+    pad_default: f64,
+    last_arrival: Option<f64>,
+    /// Most recent interarrivals (capacity = seq_len).
+    history: VecDeque<f64>,
+    total_seen: u64,
+}
+
+impl WorkloadParser {
+    pub fn new(seq_len: usize) -> Self {
+        assert!(seq_len >= 1);
+        WorkloadParser {
+            seq_len,
+            pad_default: 1.0,
+            last_arrival: None,
+            history: VecDeque::with_capacity(seq_len),
+            total_seen: 0,
+        }
+    }
+
+    pub fn seq_len(&self) -> usize {
+        self.seq_len
+    }
+
+    pub fn total_seen(&self) -> u64 {
+        self.total_seen
+    }
+
+    /// Observe one arrival (timestamps must be non-decreasing).
+    pub fn observe(&mut self, t: f64) {
+        if let Some(prev) = self.last_arrival {
+            assert!(t >= prev, "arrivals must be observed in order: {t} < {prev}");
+            if self.history.len() == self.seq_len {
+                self.history.pop_front();
+            }
+            self.history.push_back(t - prev);
+        }
+        self.last_arrival = Some(t);
+        self.total_seen += 1;
+    }
+
+    /// Observe a batch of arrivals.
+    pub fn observe_all(&mut self, ts: &[f64]) {
+        for &t in ts {
+            self.observe(t);
+        }
+    }
+
+    /// How many real (unpadded) interarrivals are available.
+    pub fn available(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Whether a full window of observed data is available.
+    pub fn is_warm(&self) -> bool {
+        self.history.len() == self.seq_len
+    }
+
+    /// Produce the current model input window, left-padding with the mean
+    /// observed interarrival (or `pad_default` with no history) — the
+    /// padding strategy of §III-A. Returns `None` before the first arrival.
+    pub fn window(&self) -> Option<Vec<f64>> {
+        self.last_arrival?;
+        let observed: Vec<f64> = self.history.iter().copied().collect();
+        if observed.len() == self.seq_len {
+            return Some(observed);
+        }
+        let pad = if observed.is_empty() {
+            self.pad_default
+        } else {
+            observed.iter().sum::<f64>() / observed.len() as f64
+        };
+        let mut w = vec![pad; self.seq_len - observed.len()];
+        w.extend(observed);
+        Some(w)
+    }
+
+    /// Reset all state (e.g. when redeploying against a new workload).
+    pub fn reset(&mut self) {
+        self.last_arrival = None;
+        self.history.clear();
+        self.total_seen = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_parser_has_no_window() {
+        let p = WorkloadParser::new(4);
+        assert!(p.window().is_none());
+        assert!(!p.is_warm());
+    }
+
+    #[test]
+    fn padding_before_warm() {
+        let mut p = WorkloadParser::new(4);
+        p.observe(0.0);
+        // One arrival: no interarrivals yet; pads with default.
+        assert_eq!(p.window().unwrap(), vec![1.0; 4]);
+        p.observe(0.5);
+        p.observe(1.5);
+        // Two interarrivals (0.5, 1.0), padded with their mean 0.75.
+        assert_eq!(p.window().unwrap(), vec![0.75, 0.75, 0.5, 1.0]);
+        assert!(!p.is_warm());
+    }
+
+    #[test]
+    fn sliding_window_when_warm() {
+        let mut p = WorkloadParser::new(3);
+        p.observe_all(&[0.0, 1.0, 3.0, 6.0, 10.0]);
+        assert!(p.is_warm());
+        assert_eq!(p.window().unwrap(), vec![2.0, 3.0, 4.0]);
+        p.observe(15.0);
+        assert_eq!(p.window().unwrap(), vec![3.0, 4.0, 5.0]);
+        assert_eq!(p.total_seen(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrivals must be observed in order")]
+    fn out_of_order_rejected() {
+        let mut p = WorkloadParser::new(2);
+        p.observe(5.0);
+        p.observe(4.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = WorkloadParser::new(2);
+        p.observe_all(&[0.0, 1.0, 2.0]);
+        p.reset();
+        assert!(p.window().is_none());
+        assert_eq!(p.total_seen(), 0);
+        // Can observe an "earlier" timestamp after reset.
+        p.observe(0.5);
+        assert_eq!(p.total_seen(), 1);
+    }
+
+    #[test]
+    fn simultaneous_arrivals_allowed() {
+        let mut p = WorkloadParser::new(3);
+        p.observe_all(&[1.0, 1.0, 1.0, 2.0]);
+        assert_eq!(p.window().unwrap(), vec![0.0, 0.0, 1.0]);
+    }
+}

@@ -1,0 +1,497 @@
+//! The DeepBAT deep surrogate model — the architecture of the paper's
+//! Fig. 3 / §III-D, built on `dbat-nn`:
+//!
+//! ```text
+//! seq ──FeedForward──► E_seq ──+PosEnc──► E_pos ──TransformerEncoder×N──►
+//!   E_Trans ──MeanPool──► E_p ──MultiHeadAtt(E_p,E_p,E_p)──► E_1 ─┐
+//! F ──Standardize──FeedForward──► E_2 ───────────────────────────┤
+//!                                              Concat ──FeedForward──► O
+//! ```
+//!
+//! Inputs: a window of `l` interarrival times (log-transformed and
+//! standardised) and the candidate configuration `(M, B, T)` (standardised).
+//! Output `O`: `[cost (µ$/req), p50, p90, p95, p99]` with latencies in
+//! seconds.
+//!
+//! The sequence branch (everything up to `E_1`) is independent of the
+//! candidate configuration, so the optimizer encodes a window **once** and
+//! sweeps all configurations through the cheap feature/head branch — this
+//! is what makes DeepBAT's decision latency milliseconds while BATCH
+//! re-solves matrix exponentials per configuration (§IV-F).
+
+use dbat_nn::{
+    add_positional, Adam, Binder, Checkpoint, Graph, InitRng, Linear, Module,
+    MultiHeadAttention, Standardizer, Tensor, TransformerEncoder, Var,
+};
+use serde::{Deserialize, Serialize};
+
+/// Floor added before the log transform of interarrival times.
+const LOG_EPS: f64 = 1e-6;
+
+/// Architecture hyper-parameters (paper defaults in `Default`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SurrogateConfig {
+    /// Window length `l` (paper: 256, chosen in the Fig. 15a sensitivity).
+    pub seq_len: usize,
+    /// Embedding dimension (paper: 16).
+    pub dim: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward hidden width (paper: 32).
+    pub ff_hidden: usize,
+    /// Number of stacked encoder layers (paper: 2, Fig. 15b).
+    pub n_layers: usize,
+    /// Number of scalar configuration features (M, B, T).
+    pub n_features: usize,
+    /// Output width: cost + four latency percentiles.
+    pub n_outputs: usize,
+}
+
+impl Default for SurrogateConfig {
+    fn default() -> Self {
+        SurrogateConfig {
+            seq_len: 256,
+            dim: 16,
+            heads: 4,
+            ff_hidden: 32,
+            n_layers: 2,
+            n_features: 3,
+            n_outputs: 5,
+        }
+    }
+}
+
+impl SurrogateConfig {
+    /// A tiny configuration for fast tests.
+    pub fn tiny() -> Self {
+        SurrogateConfig {
+            seq_len: 16,
+            dim: 8,
+            heads: 2,
+            ff_hidden: 16,
+            n_layers: 1,
+            n_features: 3,
+            n_outputs: 5,
+        }
+    }
+}
+
+/// The deep surrogate network plus its input standardisers.
+pub struct Surrogate {
+    pub cfg: SurrogateConfig,
+    pub embed: Linear,
+    pub encoder: TransformerEncoder,
+    pub pool_attn: MultiHeadAttention,
+    pub feat_ff: Linear,
+    pub head1: Linear,
+    pub head2: Linear,
+    /// Standardiser for the log-interarrival channel (1 column).
+    pub seq_std: Standardizer,
+    /// Standardiser for the (M, B, T) features.
+    pub feat_std: Standardizer,
+}
+
+impl Surrogate {
+    pub fn new(cfg: SurrogateConfig, seed: u64) -> Self {
+        let mut rng = InitRng::new(seed);
+        Surrogate {
+            cfg,
+            embed: Linear::new(1, cfg.dim, &mut rng),
+            encoder: TransformerEncoder::new(cfg.n_layers, cfg.dim, cfg.heads, cfg.ff_hidden, &mut rng),
+            pool_attn: MultiHeadAttention::new(cfg.dim, cfg.heads, &mut rng),
+            feat_ff: Linear::new(cfg.n_features, cfg.dim, &mut rng),
+            head1: Linear::new(2 * cfg.dim, cfg.ff_hidden, &mut rng),
+            head2: Linear::new(cfg.ff_hidden, cfg.n_outputs, &mut rng),
+            seq_std: Standardizer { mean: vec![0.0], std: vec![1.0] },
+            feat_std: Standardizer {
+                mean: vec![0.0; cfg.n_features],
+                std: vec![1.0; cfg.n_features],
+            },
+        }
+    }
+
+    /// Log-transform raw interarrivals, then standardise. Input `[B, L]`.
+    pub fn preprocess_seq(&self, raw: &Tensor) -> Tensor {
+        let logged = raw.map(|x| (x + LOG_EPS).ln());
+        let n = logged.numel();
+        let flat = logged.reshape(vec![n, 1]);
+        self.seq_std.transform(&flat).reshape(raw.shape().to_vec())
+    }
+
+    /// Standardise raw `(M, B, T)` features. Input `[B, 3]`.
+    pub fn preprocess_feats(&self, raw: &Tensor) -> Tensor {
+        self.feat_std.transform(raw)
+    }
+
+    /// Full differentiable forward on *preprocessed* inputs.
+    /// `seq: [K, L]`, `feats: [K, F]` → `([K, O], encoder attention)`.
+    pub fn forward(&self, b: &mut Binder, seq: Var, feats: Var) -> (Var, Option<Var>) {
+        let shape = b.g.value(seq).shape().to_vec();
+        assert_eq!(shape.len(), 2, "seq must be [K, L]");
+        let (k, l) = (shape[0], shape[1]);
+        assert_eq!(l, self.cfg.seq_len, "window length mismatch");
+
+        // E_seq = FeedForward(S)  (Eq. 1)
+        let s3 = b.g.reshape(seq, vec![k, l, 1]);
+        let e_seq = self.embed.forward(b, s3);
+        // + positional encoding
+        let e_pos = add_positional(b, e_seq);
+        // E_Trans = TransformerEncoder(E_pos)  (Eq. 2)
+        let (e_trans, enc_attn) = self.encoder.forward_with_attention(b, e_pos);
+        // E_p = MeanPool(E_Trans)
+        let e_p = b.g.mean_axis1(e_trans); // [K, D]
+        // E_1 = MultiHeadAtt(E_p, E_p, E_p)  (Eq. 4; mask is a no-op on a
+        // length-1 pooled sequence)
+        let e_p3 = b.g.reshape(e_p, vec![k, 1, self.cfg.dim]);
+        let e1 = self.pool_attn.forward(b, e_p3);
+        let e1 = b.g.reshape(e1, vec![k, self.cfg.dim]);
+        // E_2 = FeedForward(Standardize(F))  (Eq. 5)
+        let e2 = self.feat_ff.forward(b, feats);
+        let e2 = b.g.relu(e2);
+        // O = FeedForward(Concat(E_1, E_2))  (Eq. 6)
+        let cat = b.g.concat_lastdim(e1, e2);
+        let h = self.head1.forward(b, cat);
+        let h = b.g.relu(h);
+        let out = self.head2.forward(b, h);
+        (out, enc_attn)
+    }
+
+    /// Inference on raw inputs: `seq_raw: [K, L]` interarrivals (seconds),
+    /// `feats_raw: [K, F]` configurations. Returns `[K, O]` predictions.
+    pub fn predict(&self, seq_raw: &Tensor, feats_raw: &Tensor) -> Tensor {
+        let seq = self.preprocess_seq(seq_raw);
+        let feats = self.preprocess_feats(feats_raw);
+        let mut g = Graph::new();
+        let mut b = Binder::new(&mut g);
+        let sv = b.g.leaf(seq);
+        let fv = b.g.leaf(feats);
+        let (out, _) = self.forward(&mut b, sv, fv);
+        g.value(out).clone()
+    }
+
+    /// Encode one raw window into its configuration-independent `E_1`
+    /// representation (length `dim`). The expensive branch, run once.
+    pub fn encode_window(&self, window_raw: &[f64]) -> Vec<f64> {
+        assert_eq!(window_raw.len(), self.cfg.seq_len, "window length mismatch");
+        let seq = self.preprocess_seq(&Tensor::new(vec![1, self.cfg.seq_len], window_raw.to_vec()));
+        let mut g = Graph::new();
+        let mut b = Binder::new(&mut g);
+        let sv = b.g.leaf(seq);
+        let s3 = b.g.reshape(sv, vec![1, self.cfg.seq_len, 1]);
+        let e_seq = self.embed.forward(&mut b, s3);
+        let e_pos = add_positional(&mut b, e_seq);
+        let e_trans = self.encoder.forward(&mut b, e_pos);
+        let e_p = b.g.mean_axis1(e_trans);
+        let e_p3 = b.g.reshape(e_p, vec![1, 1, self.cfg.dim]);
+        let e1 = self.pool_attn.forward(&mut b, e_p3);
+        let e1 = b.g.reshape(e1, vec![1, self.cfg.dim]);
+        g.value(e1).data().to_vec()
+    }
+
+    /// Sweep many candidate configurations against one encoded window: the
+    /// cheap branch of the optimizer's exhaustive search.
+    /// `feats_raw: [C, F]` → `[C, O]`.
+    pub fn predict_encoded(&self, e1: &[f64], feats_raw: &Tensor) -> Tensor {
+        assert_eq!(e1.len(), self.cfg.dim);
+        let c = feats_raw.shape()[0];
+        let feats = self.preprocess_feats(feats_raw);
+        let mut g = Graph::new();
+        let mut b = Binder::new(&mut g);
+        // Tile E1 across candidate rows.
+        let mut tiled = Vec::with_capacity(c * self.cfg.dim);
+        for _ in 0..c {
+            tiled.extend_from_slice(e1);
+        }
+        let e1v = b.g.constant(Tensor::new(vec![c, self.cfg.dim], tiled));
+        let fv = b.g.leaf(feats);
+        let e2 = self.feat_ff.forward(&mut b, fv);
+        let e2 = b.g.relu(e2);
+        let cat = b.g.concat_lastdim(e1v, e2);
+        let h = self.head1.forward(&mut b, cat);
+        let h = b.g.relu(h);
+        let out = self.head2.forward(&mut b, h);
+        g.value(out).clone()
+    }
+
+    /// Mean encoder attention received by each sequence position for one raw
+    /// window (aggregated over heads and query positions) — Fig. 14.
+    pub fn attention_profile(&self, window_raw: &[f64]) -> Vec<f64> {
+        let l = self.cfg.seq_len;
+        assert_eq!(window_raw.len(), l);
+        let seq = self.preprocess_seq(&Tensor::new(vec![1, l], window_raw.to_vec()));
+        let feats = Tensor::zeros(vec![1, self.cfg.n_features]);
+        let mut g = Graph::new();
+        let mut b = Binder::new(&mut g);
+        let sv = b.g.leaf(seq);
+        let fv = b.g.leaf(feats);
+        let (_, attn) = self.forward(&mut b, sv, fv);
+        let attn = attn.expect("encoder has at least one layer");
+        let t = g.value(attn); // [H, L, L] (batch 1)
+        let heads_x_rows = t.shape()[0] * t.shape()[1];
+        let mut profile = vec![0.0; l];
+        for row in t.data().chunks(l) {
+            for (p, &a) in profile.iter_mut().zip(row) {
+                *p += a;
+            }
+        }
+        for p in &mut profile {
+            *p /= heads_x_rows as f64;
+        }
+        // Normalise to max 1 for plotting.
+        let max = profile.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
+        profile.iter_mut().for_each(|p| *p /= max);
+        profile
+    }
+
+    /// One Adam training step on a preprocessed mini-batch. Returns the loss.
+    /// `weights` carries the paper's SLO-violation penalty (§IV-D).
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step(
+        &mut self,
+        seq: Tensor,
+        feats: Tensor,
+        targets: &Tensor,
+        weights: &Tensor,
+        alpha: f64,
+        delta: f64,
+        adam: &mut Adam,
+    ) -> f64 {
+        let mut g = Graph::new();
+        let mut b = Binder::new(&mut g);
+        let sv = b.g.leaf(seq);
+        let fv = b.g.leaf(feats);
+        let (pred, _) = self.forward(&mut b, sv, fv);
+        let ml = b.g.mape_loss(pred, targets, weights);
+        let hl = b.g.huber_loss(pred, targets, weights, delta);
+        let ml_s = b.g.scale(ml, alpha);
+        let hl_s = b.g.scale(hl, 1.0 - alpha);
+        let loss = b.g.add(ml_s, hl_s);
+        let vars = b.vars.clone();
+        let loss_val = g.value(loss).item();
+        let grads = g.backward(loss);
+        let grad_tensors: Vec<Tensor> = vars
+            .iter()
+            .map(|v| {
+                grads[v.0]
+                    .clone()
+                    .unwrap_or_else(|| Tensor::zeros(g.value(*v).shape().to_vec()))
+            })
+            .collect();
+        let mut params = self.parameters_mut();
+        adam.step(&mut params, &grad_tensors);
+        loss_val
+    }
+
+    /// Evaluate the combined loss on a preprocessed batch without updating.
+    pub fn eval_loss(
+        &self,
+        seq: Tensor,
+        feats: Tensor,
+        targets: &Tensor,
+        weights: &Tensor,
+        alpha: f64,
+        delta: f64,
+    ) -> f64 {
+        let mut g = Graph::new();
+        let mut b = Binder::new(&mut g);
+        let sv = b.g.leaf(seq);
+        let fv = b.g.leaf(feats);
+        let (pred, _) = self.forward(&mut b, sv, fv);
+        let ml = b.g.mape_loss(pred, targets, weights);
+        let hl = b.g.huber_loss(pred, targets, weights, delta);
+        alpha * g.value(ml).item() + (1.0 - alpha) * g.value(hl).item()
+    }
+
+    /// Save to a JSON checkpoint (weights + config + standardisers).
+    pub fn save(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let meta = serde_json::json!({
+            "config": self.cfg,
+            "seq_std": self.seq_std,
+            "feat_std": self.feat_std,
+        });
+        let params = self.parameters().into_iter().cloned().collect();
+        Checkpoint::new("deepbat-surrogate", params, meta).save(path)
+    }
+
+    /// Load from a JSON checkpoint.
+    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+        let ck = Checkpoint::load(path)?;
+        let cfg: SurrogateConfig = serde_json::from_value(ck.meta["config"].clone())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        let mut model = Surrogate::new(cfg, 0);
+        model.seq_std = serde_json::from_value(ck.meta["seq_std"].clone())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        model.feat_std = serde_json::from_value(ck.meta["feat_std"].clone())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        dbat_nn::load_into(ck.params, model.parameters_mut())
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+        Ok(model)
+    }
+}
+
+impl Module for Surrogate {
+    fn parameters(&self) -> Vec<&Tensor> {
+        let mut p = self.embed.parameters();
+        p.extend(self.encoder.parameters());
+        p.extend(self.pool_attn.parameters());
+        p.extend(self.feat_ff.parameters());
+        p.extend(self.head1.parameters());
+        p.extend(self.head2.parameters());
+        p
+    }
+    fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut p = self.embed.parameters_mut();
+        p.extend(self.encoder.parameters_mut());
+        p.extend(self.pool_attn.parameters_mut());
+        p.extend(self.feat_ff.parameters_mut());
+        p.extend(self.head1.parameters_mut());
+        p.extend(self.head2.parameters_mut());
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Surrogate {
+        Surrogate::new(SurrogateConfig::tiny(), 7)
+    }
+
+    fn raw_window(l: usize) -> Vec<f64> {
+        (0..l).map(|i| 0.01 + 0.002 * (i % 5) as f64).collect()
+    }
+
+    #[test]
+    fn predict_shapes() {
+        let m = tiny();
+        let l = m.cfg.seq_len;
+        let seq = Tensor::new(vec![2, l], [raw_window(l), raw_window(l)].concat());
+        let feats = Tensor::new(vec![2, 3], vec![1024.0, 4.0, 0.05, 2048.0, 8.0, 0.1]);
+        let out = m.predict(&seq, &feats);
+        assert_eq!(out.shape(), &[2, 5]);
+        assert!(out.data().iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn encoded_sweep_matches_full_forward() {
+        let m = tiny();
+        let l = m.cfg.seq_len;
+        let w = raw_window(l);
+        let feats = Tensor::new(
+            vec![3, 3],
+            vec![512.0, 1.0, 0.0, 1024.0, 4.0, 0.05, 3008.0, 16.0, 0.2],
+        );
+        // Full path: tile the window to 3 rows.
+        let seq = Tensor::new(vec![3, l], [w.clone(), w.clone(), w.clone()].concat());
+        let full = m.predict(&seq, &feats);
+        // Split path: encode once, sweep.
+        let e1 = m.encode_window(&w);
+        let swept = m.predict_encoded(&e1, &feats);
+        for (a, b) in full.data().iter().zip(swept.data()) {
+            assert!((a - b).abs() < 1e-9, "full {a} vs swept {b}");
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_toy_mapping() {
+        // Target: [sum of feats scaled, 4 constants]; the model should fit it.
+        let mut m = tiny();
+        let l = m.cfg.seq_len;
+        let k = 16;
+        let mut seqs = Vec::new();
+        let mut feats = Vec::new();
+        let mut targets = Vec::new();
+        for i in 0..k {
+            seqs.extend(raw_window(l).iter().map(|x| x * (1.0 + i as f64 * 0.05)));
+            let f = [512.0 + 100.0 * i as f64, (i % 8 + 1) as f64, 0.01 * i as f64];
+            feats.extend_from_slice(&f);
+            let y = 0.001 * f[0] / 512.0 + 0.05 * f[1];
+            targets.extend_from_slice(&[y, 0.5 * y, 0.8 * y, y, 1.2 * y]);
+        }
+        let seq_t = Tensor::new(vec![k, l], seqs);
+        let feat_t = Tensor::new(vec![k, 3], feats);
+        let tgt = Tensor::new(vec![k, 5], targets);
+        let w = Tensor::full(vec![k, 5], 1.0);
+        // Fit standardisers.
+        m.seq_std = Standardizer::fit(&m.preprocess_seq_fit_helper(&seq_t));
+        m.feat_std = Standardizer::fit(&feat_t);
+
+        let mut adam = Adam::new(5e-3);
+        let first = m.eval_loss(
+            m.preprocess_seq(&seq_t),
+            m.preprocess_feats(&feat_t),
+            &tgt,
+            &w,
+            0.05,
+            1.0,
+        );
+        for _ in 0..60 {
+            m.train_step(
+                m.preprocess_seq(&seq_t),
+                m.preprocess_feats(&feat_t),
+                &tgt,
+                &w,
+                0.05,
+                1.0,
+                &mut adam,
+            );
+        }
+        let last = m.eval_loss(
+            m.preprocess_seq(&seq_t),
+            m.preprocess_feats(&feat_t),
+            &tgt,
+            &w,
+            0.05,
+            1.0,
+        );
+        assert!(
+            last < first * 0.5,
+            "training failed to reduce loss: {first} -> {last}"
+        );
+    }
+
+    #[test]
+    fn attention_profile_normalised() {
+        let m = tiny();
+        let p = m.attention_profile(&raw_window(m.cfg.seq_len));
+        assert_eq!(p.len(), m.cfg.seq_len);
+        let max = p.iter().cloned().fold(f64::MIN, f64::max);
+        assert!((max - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| (0.0..=1.0 + 1e-12).contains(&x)));
+    }
+
+    #[test]
+    fn save_load_roundtrip_preserves_predictions() {
+        let m = tiny();
+        let dir = std::env::temp_dir().join("dbat_surrogate_test");
+        let path = dir.join("s.json");
+        m.save(&path).unwrap();
+        let loaded = Surrogate::load(&path).unwrap();
+        let l = m.cfg.seq_len;
+        let seq = Tensor::new(vec![1, l], raw_window(l));
+        let feats = Tensor::new(vec![1, 3], vec![2048.0, 8.0, 0.05]);
+        let a = m.predict(&seq, &feats);
+        let b = loaded.predict(&seq, &feats);
+        assert_eq!(a, b);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn param_count_matches_paper_scale() {
+        // Paper default: a small model (~2 MB claim includes runtime); just
+        // sanity-check the order of magnitude (thousands, not millions).
+        let m = Surrogate::new(SurrogateConfig::default(), 1);
+        let n = m.num_parameters();
+        assert!(n > 1_000 && n < 100_000, "parameter count {n}");
+    }
+
+    impl Surrogate {
+        /// Test helper: raw log-transform (pre-standardisation) as [N,1].
+        fn preprocess_seq_fit_helper(&self, raw: &Tensor) -> Tensor {
+            let logged = raw.map(|x| (x + LOG_EPS).ln());
+            let n = logged.numel();
+            logged.reshape(vec![n, 1])
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! # dbat-linalg
+//!
+//! Dense linear-algebra substrate for the DeepBAT reproduction.
+//!
+//! The BATCH baseline (Ali et al., SC'20) that DeepBAT is compared against is
+//! a matrix-analytic model: it fits arrivals to a Markovian Arrival Process
+//! and evaluates latency percentiles through transient CTMC analysis, i.e.
+//! repeated matrix exponentials. This crate provides exactly that machinery:
+//!
+//! * [`Mat`] — dense row-major `f64` matrices with rayon-parallel `matmul`;
+//! * [`lu`] — LU factorisation, solves, inverses, determinants;
+//! * [`stationary`] — GTH-based stationary distributions (numerically robust
+//!   for rate matrices spanning many orders of magnitude);
+//! * [`expm`] — Padé scaling-and-squaring `exp(A)` and a [`Uniformizer`] for
+//!   the repeated action `v·exp(Qt)` on time grids;
+//! * [`kron`] — Kronecker products/sums for expanded (phase × level)
+//!   generators.
+
+pub mod expm;
+pub mod kron;
+pub mod lu;
+pub mod matrix;
+pub mod stationary;
+
+pub use expm::{expm, Uniformizer};
+pub use kron::{kron, kron_sum};
+pub use lu::{inverse, solve, LinalgError, Lu};
+pub use matrix::Mat;
+pub use stationary::{ctmc_stationary, dtmc_stationary, StationaryError};

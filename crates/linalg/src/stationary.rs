@@ -1,0 +1,151 @@
+//! Stationary distributions of Markov chains via the GTH algorithm.
+//!
+//! GTH (Grassmann–Taksar–Heyman) is a pivot-free Gaussian elimination that
+//! uses only additions of non-negative quantities, making it numerically
+//! robust for ill-conditioned generator matrices — exactly the situation in
+//! MAP models whose rates span several orders of magnitude.
+
+use crate::matrix::Mat;
+
+/// Errors when computing stationary distributions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StationaryError {
+    /// The chain is reducible (a state has no outflow), so the stationary
+    /// distribution is not unique.
+    Reducible { state: usize },
+    /// Input is not square.
+    NotSquare,
+}
+
+impl std::fmt::Display for StationaryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StationaryError::Reducible { state } => {
+                write!(f, "chain reducible: state {state} has no outgoing transitions")
+            }
+            StationaryError::NotSquare => write!(f, "matrix must be square"),
+        }
+    }
+}
+
+impl std::error::Error for StationaryError {}
+
+/// Stationary distribution of a CTMC with generator `Q` (rows sum to zero,
+/// off-diagonals non-negative). Returns `π` with `π Q = 0`, `Σπ = 1`.
+pub fn ctmc_stationary(q: &Mat) -> Result<Vec<f64>, StationaryError> {
+    if !q.is_square() {
+        return Err(StationaryError::NotSquare);
+    }
+    // GTH works on the off-diagonal rates directly; copy them.
+    let n = q.rows();
+    if n == 1 {
+        return Ok(vec![1.0]);
+    }
+    let mut a = q.clone();
+    // Censoring: eliminate states n-1, n-2, ..., 1.
+    for k in (1..n).rev() {
+        let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
+        if s <= 0.0 {
+            return Err(StationaryError::Reducible { state: k });
+        }
+        for i in 0..k {
+            let f = a[(i, k)] / s;
+            for j in 0..k {
+                let add = f * a[(k, j)];
+                a[(i, j)] += add;
+            }
+        }
+    }
+    // Back-substitute the censored probabilities.
+    let mut pi = vec![0.0; n];
+    pi[0] = 1.0;
+    for k in 1..n {
+        let s: f64 = (0..k).map(|j| a[(k, j)]).sum();
+        let num: f64 = (0..k).map(|i| pi[i] * a[(i, k)]).sum();
+        pi[k] = num / s;
+    }
+    let total: f64 = pi.iter().sum();
+    for p in &mut pi {
+        *p /= total;
+    }
+    Ok(pi)
+}
+
+/// Stationary distribution of a DTMC with (row-)stochastic matrix `P`.
+/// Internally converts to the generator `P - I` and reuses GTH.
+pub fn dtmc_stationary(p: &Mat) -> Result<Vec<f64>, StationaryError> {
+    if !p.is_square() {
+        return Err(StationaryError::NotSquare);
+    }
+    let n = p.rows();
+    let mut q = p.clone();
+    for i in 0..n {
+        q[(i, i)] -= 1.0;
+    }
+    ctmc_stationary(&q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_state_ctmc() {
+        // Q = [[-a, a], [b, -b]] => pi = (b, a)/(a+b)
+        let (a, b) = (2.0, 3.0);
+        let q = Mat::from_rows(&[&[-a, a], &[b, -b]]);
+        let pi = ctmc_stationary(&q).unwrap();
+        assert!((pi[0] - b / (a + b)).abs() < 1e-14);
+        assert!((pi[1] - a / (a + b)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn three_state_ctmc_balance() {
+        let q = Mat::from_rows(&[
+            &[-3.0, 2.0, 1.0],
+            &[4.0, -5.0, 1.0],
+            &[0.5, 0.5, -1.0],
+        ]);
+        let pi = ctmc_stationary(&q).unwrap();
+        // pi Q = 0
+        let r = q.vecmat(&pi);
+        assert!(r.iter().all(|x| x.abs() < 1e-13), "residual {r:?}");
+        assert!((pi.iter().sum::<f64>() - 1.0).abs() < 1e-14);
+        assert!(pi.iter().all(|&p| p > 0.0));
+    }
+
+    #[test]
+    fn dtmc_two_state() {
+        let p = Mat::from_rows(&[&[0.9, 0.1], &[0.4, 0.6]]);
+        let pi = dtmc_stationary(&p).unwrap();
+        // pi = (0.8, 0.2)
+        assert!((pi[0] - 0.8).abs() < 1e-14);
+        assert!((pi[1] - 0.2).abs() < 1e-14);
+    }
+
+    #[test]
+    fn reducible_detected() {
+        // State 1 is absorbing => reducible for the purposes of GTH.
+        let q = Mat::from_rows(&[&[-1.0, 1.0], &[0.0, 0.0]]);
+        assert!(matches!(
+            ctmc_stationary(&q),
+            Err(StationaryError::Reducible { .. })
+        ));
+    }
+
+    #[test]
+    fn single_state() {
+        let q = Mat::from_rows(&[&[0.0]]);
+        assert_eq!(ctmc_stationary(&q).unwrap(), vec![1.0]);
+    }
+
+    #[test]
+    fn ill_conditioned_rates() {
+        // Rates spanning 8 orders of magnitude; GTH must stay accurate.
+        let (a, b) = (1e-5, 1e3);
+        let q = Mat::from_rows(&[&[-a, a], &[b, -b]]);
+        let pi = ctmc_stationary(&q).unwrap();
+        let expect0 = b / (a + b);
+        assert!((pi[0] - expect0).abs() / expect0 < 1e-12);
+    }
+}

@@ -1,0 +1,172 @@
+//! Training-data utilities: feature standardisation and shuffled
+//! mini-batch index generation.
+
+use crate::init::InitRng;
+use crate::tensor::Tensor;
+use serde::{Deserialize, Serialize};
+
+/// Per-column standardiser for `[N, F]` tensors: `x ← (x − μ)/σ`.
+/// The paper standardises the additional features `F = (M, B, T)` (Eq. 5)
+/// and we apply the same to the log-interarrival sequence channel.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Standardizer {
+    pub mean: Vec<f64>,
+    pub std: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Fit to a `[N, F]` tensor; zero-variance columns get σ = 1 so they
+    /// pass through centred.
+    pub fn fit(data: &Tensor) -> Self {
+        assert_eq!(data.shape().len(), 2, "standardizer expects [N, F]");
+        let (n, f) = (data.shape()[0], data.shape()[1]);
+        assert!(n > 0, "cannot fit on an empty tensor");
+        let mut mean = vec![0.0; f];
+        for row in data.data().chunks(f) {
+            for (m, &x) in mean.iter_mut().zip(row) {
+                *m += x;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut var = vec![0.0; f];
+        for row in data.data().chunks(f) {
+            for ((v, &m), &x) in var.iter_mut().zip(&mean).zip(row) {
+                *v += (x - m) * (x - m);
+            }
+        }
+        let std = var
+            .into_iter()
+            .map(|v| {
+                let s = (v / n as f64).sqrt();
+                if s > 1e-12 {
+                    s
+                } else {
+                    1.0
+                }
+            })
+            .collect();
+        Standardizer { mean, std }
+    }
+
+    /// Transform `[N, F]` (or any tensor whose last dim is F).
+    pub fn transform(&self, data: &Tensor) -> Tensor {
+        let f = self.mean.len();
+        assert_eq!(
+            *data.shape().last().unwrap(),
+            f,
+            "standardizer fitted on {f} features"
+        );
+        let mut out = data.data().to_vec();
+        for row in out.chunks_mut(f) {
+            for ((x, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *x = (*x - m) / s;
+            }
+        }
+        Tensor::new(data.shape().to_vec(), out)
+    }
+
+    /// Inverse transform.
+    pub fn inverse(&self, data: &Tensor) -> Tensor {
+        let f = self.mean.len();
+        let mut out = data.data().to_vec();
+        for row in out.chunks_mut(f) {
+            for ((x, &m), &s) in row.iter_mut().zip(&self.mean).zip(&self.std) {
+                *x = *x * s + m;
+            }
+        }
+        Tensor::new(data.shape().to_vec(), out)
+    }
+}
+
+/// Shuffled mini-batch indices for one epoch. The final short batch is kept.
+pub fn shuffled_batches(n: usize, batch: usize, rng: &mut InitRng) -> Vec<Vec<usize>> {
+    assert!(batch > 0);
+    let mut idx: Vec<usize> = (0..n).collect();
+    // Fisher–Yates on the init RNG.
+    for i in (1..idx.len()).rev() {
+        let j = (rng.uniform() * (i + 1) as f64) as usize;
+        idx.swap(i, j.min(i));
+    }
+    idx.chunks(batch).map(|c| c.to_vec()).collect()
+}
+
+/// Gather rows of a `[N, F]` tensor into a `[K, F]` batch.
+pub fn gather_rows(data: &Tensor, rows: &[usize]) -> Tensor {
+    let f: usize = data.shape()[1..].iter().product();
+    let mut out = Vec::with_capacity(rows.len() * f);
+    for &r in rows {
+        out.extend_from_slice(&data.data()[r * f..(r + 1) * f]);
+    }
+    let mut shape = data.shape().to_vec();
+    shape[0] = rows.len();
+    Tensor::new(shape, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardizer_roundtrip() {
+        let t = Tensor::new(vec![4, 2], vec![1.0, 10.0, 2.0, 20.0, 3.0, 30.0, 4.0, 40.0]);
+        let s = Standardizer::fit(&t);
+        let z = s.transform(&t);
+        // Each column: mean 0, unit variance.
+        for col in 0..2 {
+            let vals: Vec<f64> = (0..4).map(|r| z.data()[r * 2 + col]).collect();
+            let mean: f64 = vals.iter().sum::<f64>() / 4.0;
+            let var: f64 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / 4.0;
+            assert!(mean.abs() < 1e-12);
+            assert!((var - 1.0).abs() < 1e-9);
+        }
+        let back = s.inverse(&z);
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_variance_column_passes_through() {
+        let t = Tensor::new(vec![3, 1], vec![5.0, 5.0, 5.0]);
+        let s = Standardizer::fit(&t);
+        let z = s.transform(&t);
+        assert!(z.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn batches_cover_all_indices() {
+        let mut rng = InitRng::new(3);
+        let batches = shuffled_batches(23, 8, &mut rng);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[2].len(), 7);
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..23).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batches_shuffled_differently_across_epochs() {
+        let mut rng = InitRng::new(3);
+        let a = shuffled_batches(100, 10, &mut rng);
+        let b = shuffled_batches(100, 10, &mut rng);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn gather_rows_picks_correct_rows() {
+        let t = Tensor::new(vec![3, 2], vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        let g = gather_rows(&t, &[2, 0]);
+        assert_eq!(g.shape(), &[2, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn gather_rows_multidim() {
+        let t = Tensor::new(vec![2, 2, 2], (0..8).map(|i| i as f64).collect());
+        let g = gather_rows(&t, &[1]);
+        assert_eq!(g.shape(), &[1, 2, 2]);
+        assert_eq!(g.data(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+}

@@ -1,0 +1,749 @@
+//! Reverse-mode automatic differentiation on a flat tape.
+//!
+//! A [`Graph`] records every forward operation as a node holding its value,
+//! its parent indices, and a boxed backward closure mapping the output
+//! gradient to parent gradients. [`Graph::backward`] walks the tape in
+//! reverse creation order (a valid topological order by construction) and
+//! accumulates gradients, including into leaves — which is how parameters
+//! receive their updates.
+
+use crate::tensor::{
+    bmm as bmm_kernel, bmm_nt as bmm_nt_kernel, bmm_tn as bmm_tn_kernel, matmul2d,
+    permute_0213 as permute_kernel, softmax_lastdim, transpose_last2 as transpose_kernel, Tensor,
+};
+
+/// Handle to a node in the graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Var(pub usize);
+
+type BackFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor>>;
+
+/// The autograd tape.
+#[derive(Default)]
+pub struct Graph {
+    values: Vec<Tensor>,
+    parents: Vec<Vec<usize>>,
+    back: Vec<Option<BackFn>>,
+}
+
+impl Graph {
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Tensor {
+        &self.values[v.0]
+    }
+
+    fn push(&mut self, value: Tensor, parents: Vec<usize>, back: Option<BackFn>) -> Var {
+        self.values.push(value);
+        self.parents.push(parents);
+        self.back.push(back);
+        Var(self.values.len() - 1)
+    }
+
+    /// Insert a leaf (parameter or input). Gradients accumulate into leaves.
+    pub fn leaf(&mut self, t: Tensor) -> Var {
+        self.push(t, vec![], None)
+    }
+
+    /// Alias for [`Graph::leaf`] used for non-trainable constants.
+    pub fn constant(&mut self, t: Tensor) -> Var {
+        self.leaf(t)
+    }
+
+    /// Elementwise addition (exact shape match).
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x + y);
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
+        )
+    }
+
+    /// Elementwise subtraction.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x - y);
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(|g, _, _| vec![g.clone(), g.map(|x| -x)])),
+        )
+    }
+
+    /// Elementwise product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x * y);
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(|g, ps, _| {
+                vec![g.zip(ps[1], |gi, bi| gi * bi), g.zip(ps[0], |gi, ai| gi * ai)]
+            })),
+        )
+    }
+
+    /// Multiply by a compile-time constant.
+    pub fn scale(&mut self, a: Var, c: f64) -> Var {
+        let v = self.values[a.0].map(|x| x * c);
+        self.push(
+            v,
+            vec![a.0],
+            Some(Box::new(move |g, _, _| vec![g.map(|x| x * c)])),
+        )
+    }
+
+    /// Broadcast-add a bias vector `[D]` to the last axis of `x` `[..., D]`.
+    pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let xv = &self.values[x.0];
+        let bv = &self.values[b.0];
+        let d = *xv.shape().last().expect("add_bias needs >=1-D x");
+        assert_eq!(bv.shape(), &[d], "bias must be [last_dim]");
+        let mut out = xv.data().to_vec();
+        for row in out.chunks_mut(d) {
+            for (o, &bb) in row.iter_mut().zip(bv.data()) {
+                *o += bb;
+            }
+        }
+        let v = Tensor::new(xv.shape().to_vec(), out);
+        self.push(
+            v,
+            vec![x.0, b.0],
+            Some(Box::new(move |g, _, _| {
+                let mut db = vec![0.0; d];
+                for row in g.data().chunks(d) {
+                    for (acc, &gg) in db.iter_mut().zip(row) {
+                        *acc += gg;
+                    }
+                }
+                vec![g.clone(), Tensor::new(vec![d], db)]
+            })),
+        )
+    }
+
+    /// 2-D matrix multiply.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let v = matmul2d(&self.values[a.0], &self.values[b.0]);
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(|g, ps, _| {
+                let da = matmul2d(g, &transpose_kernel(ps[1]));
+                let db = matmul2d(&transpose_kernel(ps[0]), g);
+                vec![da, db]
+            })),
+        )
+    }
+
+    /// Batched matrix multiply `[N,a,b] @ [N,b,c]`.
+    pub fn bmm(&mut self, a: Var, b: Var) -> Var {
+        let v = bmm_kernel(&self.values[a.0], &self.values[b.0]);
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(|g, ps, _| {
+                // dA = G Bᵀ, dB = Aᵀ G — fused kernels, no transposes.
+                vec![bmm_nt_kernel(g, ps[1]), bmm_tn_kernel(ps[0], g)]
+            })),
+        )
+    }
+
+    /// Batched matmul against a transposed right operand:
+    /// `[N,r,k] @ [N,c,k]ᵀ -> [N,r,c]` (attention scores `Q Kᵀ`).
+    pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
+        let v = bmm_nt_kernel(&self.values[a.0], &self.values[b.0]);
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(|g, ps, _| {
+                // S = A Bᵀ ⇒ dA = G B, dB = Gᵀ A.
+                vec![bmm_kernel(g, ps[1]), bmm_tn_kernel(g, ps[0])]
+            })),
+        )
+    }
+
+    /// Transpose the last two axes.
+    pub fn transpose_last2(&mut self, a: Var) -> Var {
+        let v = transpose_kernel(&self.values[a.0]);
+        self.push(
+            v,
+            vec![a.0],
+            Some(Box::new(|g, _, _| vec![transpose_kernel(g)])),
+        )
+    }
+
+    /// Permute `[a,b,c,d] -> [a,c,b,d]` (involution).
+    pub fn permute_0213(&mut self, a: Var) -> Var {
+        let v = permute_kernel(&self.values[a.0]);
+        self.push(
+            v,
+            vec![a.0],
+            Some(Box::new(|g, _, _| vec![permute_kernel(g)])),
+        )
+    }
+
+    /// Reshape (free).
+    pub fn reshape(&mut self, a: Var, shape: Vec<usize>) -> Var {
+        let old_shape = self.values[a.0].shape().to_vec();
+        let v = self.values[a.0].reshape(shape);
+        self.push(
+            v,
+            vec![a.0],
+            Some(Box::new(move |g, _, _| vec![g.reshape(old_shape.clone())])),
+        )
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let v = self.values[a.0].map(|x| x.max(0.0));
+        self.push(
+            v,
+            vec![a.0],
+            Some(Box::new(|g, ps, _| {
+                vec![g.zip(ps[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })]
+            })),
+        )
+    }
+
+    /// Softmax over the last axis.
+    pub fn softmax(&mut self, a: Var) -> Var {
+        let v = softmax_lastdim(&self.values[a.0]);
+        self.push(
+            v,
+            vec![a.0],
+            Some(Box::new(|g, _, out| {
+                let d = *out.shape().last().unwrap();
+                let mut dx = vec![0.0; out.numel()];
+                for (i, (grow, yrow)) in
+                    g.data().chunks(d).zip(out.data().chunks(d)).enumerate()
+                {
+                    let dot: f64 = grow.iter().zip(yrow).map(|(&gi, &yi)| gi * yi).sum();
+                    for j in 0..d {
+                        dx[i * d + j] = yrow[j] * (grow[j] - dot);
+                    }
+                }
+                vec![Tensor::new(out.shape().to_vec(), dx)]
+            })),
+        )
+    }
+
+    /// Layer normalisation over the last axis with affine parameters.
+    pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f64) -> Var {
+        let xv = &self.values[x.0];
+        let d = *xv.shape().last().expect("layer_norm needs >=1-D");
+        assert_eq!(self.values[gamma.0].shape(), &[d]);
+        assert_eq!(self.values[beta.0].shape(), &[d]);
+        let gv = self.values[gamma.0].data().to_vec();
+        let bv = self.values[beta.0].data().to_vec();
+        let mut out = vec![0.0; xv.numel()];
+        for (row_idx, row) in xv.data().chunks(d).enumerate() {
+            let mu: f64 = row.iter().sum::<f64>() / d as f64;
+            let var: f64 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / d as f64;
+            let sigma = (var + eps).sqrt();
+            for j in 0..d {
+                let xhat = (row[j] - mu) / sigma;
+                out[row_idx * d + j] = gv[j] * xhat + bv[j];
+            }
+        }
+        let v = Tensor::new(xv.shape().to_vec(), out);
+        self.push(
+            v,
+            vec![x.0, gamma.0, beta.0],
+            Some(Box::new(move |g, ps, _| {
+                let xv = ps[0];
+                let gv = ps[1].data();
+                let d = *xv.shape().last().unwrap();
+                let n = d as f64;
+                let mut dx = vec![0.0; xv.numel()];
+                let mut dgamma = vec![0.0; d];
+                let mut dbeta = vec![0.0; d];
+                for (row_idx, (row, grow)) in
+                    xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
+                {
+                    let mu: f64 = row.iter().sum::<f64>() / n;
+                    let var: f64 =
+                        row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / n;
+                    let sigma = (var + eps).sqrt();
+                    let xhat: Vec<f64> = row.iter().map(|&v| (v - mu) / sigma).collect();
+                    // Parameter grads.
+                    for j in 0..d {
+                        dgamma[j] += grow[j] * xhat[j];
+                        dbeta[j] += grow[j];
+                    }
+                    // dxhat = g * gamma
+                    let dxhat: Vec<f64> = (0..d).map(|j| grow[j] * gv[j]).collect();
+                    let mean_dxhat: f64 = dxhat.iter().sum::<f64>() / n;
+                    let mean_dxhat_xhat: f64 =
+                        dxhat.iter().zip(&xhat).map(|(&a, &b)| a * b).sum::<f64>() / n;
+                    for j in 0..d {
+                        dx[row_idx * d + j] =
+                            (dxhat[j] - mean_dxhat - xhat[j] * mean_dxhat_xhat) / sigma;
+                    }
+                }
+                vec![
+                    Tensor::new(xv.shape().to_vec(), dx),
+                    Tensor::new(vec![d], dgamma),
+                    Tensor::new(vec![d], dbeta),
+                ]
+            })),
+        )
+    }
+
+    /// Mean over axis 1 of a 3-D tensor: `[B, S, D] -> [B, D]`.
+    pub fn mean_axis1(&mut self, x: Var) -> Var {
+        let xv = &self.values[x.0];
+        let s = xv.shape();
+        assert_eq!(s.len(), 3, "mean_axis1 expects [B, S, D]");
+        let (b, seq, d) = (s[0], s[1], s[2]);
+        let mut out = vec![0.0; b * d];
+        for bi in 0..b {
+            for si in 0..seq {
+                let base = (bi * seq + si) * d;
+                for j in 0..d {
+                    out[bi * d + j] += xv.data()[base + j];
+                }
+            }
+        }
+        for o in &mut out {
+            *o /= seq as f64;
+        }
+        let v = Tensor::new(vec![b, d], out);
+        self.push(
+            v,
+            vec![x.0],
+            Some(Box::new(move |g, _, _| {
+                let mut dx = vec![0.0; b * seq * d];
+                for bi in 0..b {
+                    for si in 0..seq {
+                        let base = (bi * seq + si) * d;
+                        for j in 0..d {
+                            dx[base + j] = g.data()[bi * d + j] / seq as f64;
+                        }
+                    }
+                }
+                vec![Tensor::new(vec![b, seq, d], dx)]
+            })),
+        )
+    }
+
+    /// Concatenate two 2-D tensors along the last axis: `[R,A] ++ [R,B]`.
+    pub fn concat_lastdim(&mut self, a: Var, b: Var) -> Var {
+        let av = &self.values[a.0];
+        let bv = &self.values[b.0];
+        assert_eq!(av.shape().len(), 2);
+        assert_eq!(bv.shape().len(), 2);
+        assert_eq!(av.shape()[0], bv.shape()[0], "row counts must match");
+        let (r, ca, cb) = (av.shape()[0], av.shape()[1], bv.shape()[1]);
+        let mut out = Vec::with_capacity(r * (ca + cb));
+        for i in 0..r {
+            out.extend_from_slice(&av.data()[i * ca..(i + 1) * ca]);
+            out.extend_from_slice(&bv.data()[i * cb..(i + 1) * cb]);
+        }
+        let v = Tensor::new(vec![r, ca + cb], out);
+        self.push(
+            v,
+            vec![a.0, b.0],
+            Some(Box::new(move |g, _, _| {
+                let mut da = Vec::with_capacity(r * ca);
+                let mut db = Vec::with_capacity(r * cb);
+                for i in 0..r {
+                    let row = &g.data()[i * (ca + cb)..(i + 1) * (ca + cb)];
+                    da.extend_from_slice(&row[..ca]);
+                    db.extend_from_slice(&row[ca..]);
+                }
+                vec![Tensor::new(vec![r, ca], da), Tensor::new(vec![r, cb], db)]
+            })),
+        )
+    }
+
+    /// Sum of every element (scalar output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let s: f64 = self.values[a.0].data().iter().sum();
+        let shape = self.values[a.0].shape().to_vec();
+        self.push(
+            Tensor::scalar(s),
+            vec![a.0],
+            Some(Box::new(move |g, _, _| {
+                vec![Tensor::full(shape.clone(), g.item())]
+            })),
+        )
+    }
+
+    /// Weighted Huber loss (scalar): `Σ w_i·h_δ(p_i − t_i) / Σ w_i`.
+    /// `target` and `weights` are plain tensors (non-differentiable).
+    pub fn huber_loss(&mut self, pred: Var, target: &Tensor, weights: &Tensor, delta: f64) -> Var {
+        let pv = &self.values[pred.0];
+        assert_eq!(pv.numel(), target.numel(), "huber target size mismatch");
+        assert_eq!(pv.numel(), weights.numel(), "huber weight size mismatch");
+        let wsum: f64 = weights.data().iter().sum::<f64>().max(f64::MIN_POSITIVE);
+        let mut loss = 0.0;
+        for ((&p, &t), &w) in pv.data().iter().zip(target.data()).zip(weights.data()) {
+            let e = p - t;
+            loss += w * if e.abs() <= delta {
+                0.5 * e * e
+            } else {
+                delta * (e.abs() - 0.5 * delta)
+            };
+        }
+        let target = target.clone();
+        let weights = weights.clone();
+        self.push(
+            Tensor::scalar(loss / wsum),
+            vec![pred.0],
+            Some(Box::new(move |g, ps, _| {
+                let scale = g.item() / wsum;
+                let dp: Vec<f64> = ps[0]
+                    .data()
+                    .iter()
+                    .zip(target.data())
+                    .zip(weights.data())
+                    .map(|((&p, &t), &w)| w * scale * (p - t).clamp(-delta, delta))
+                    .collect();
+                vec![Tensor::new(ps[0].shape().to_vec(), dp)]
+            })),
+        )
+    }
+
+    /// Weighted MAPE loss in percent (scalar):
+    /// `100 · Σ w_i·|p_i − t_i|/|t_i| / Σ w_i`, skipping `t_i = 0`.
+    pub fn mape_loss(&mut self, pred: Var, target: &Tensor, weights: &Tensor) -> Var {
+        let pv = &self.values[pred.0];
+        assert_eq!(pv.numel(), target.numel(), "mape target size mismatch");
+        assert_eq!(pv.numel(), weights.numel(), "mape weight size mismatch");
+        let mut wsum = 0.0;
+        let mut loss = 0.0;
+        for ((&p, &t), &w) in pv.data().iter().zip(target.data()).zip(weights.data()) {
+            if t != 0.0 {
+                wsum += w;
+                loss += w * ((p - t) / t).abs();
+            }
+        }
+        let wsum = wsum.max(f64::MIN_POSITIVE);
+        let target = target.clone();
+        let weights = weights.clone();
+        self.push(
+            Tensor::scalar(100.0 * loss / wsum),
+            vec![pred.0],
+            Some(Box::new(move |g, ps, _| {
+                let scale = 100.0 * g.item() / wsum;
+                let dp: Vec<f64> = ps[0]
+                    .data()
+                    .iter()
+                    .zip(target.data())
+                    .zip(weights.data())
+                    .map(|((&p, &t), &w)| {
+                        if t == 0.0 {
+                            0.0
+                        } else {
+                            w * scale * (p - t).signum() / t.abs()
+                        }
+                    })
+                    .collect();
+                vec![Tensor::new(ps[0].shape().to_vec(), dp)]
+            })),
+        )
+    }
+
+    /// Run reverse-mode accumulation from `root` (which must be scalar) and
+    /// return per-node gradients (None where no gradient flowed).
+    pub fn backward(&self, root: Var) -> Vec<Option<Tensor>> {
+        assert_eq!(
+            self.values[root.0].numel(),
+            1,
+            "backward root must be a scalar loss"
+        );
+        let mut grads: Vec<Option<Tensor>> = vec![None; self.values.len()];
+        grads[root.0] = Some(Tensor::scalar(1.0));
+        for idx in (0..=root.0).rev() {
+            let Some(ref g) = grads[idx] else { continue };
+            let Some(ref f) = self.back[idx] else { continue };
+            let parent_vals: Vec<&Tensor> =
+                self.parents[idx].iter().map(|&p| &self.values[p]).collect();
+            let parent_grads = f(g, &parent_vals, &self.values[idx]);
+            debug_assert_eq!(parent_grads.len(), self.parents[idx].len());
+            for (p, pg) in self.parents[idx].clone().into_iter().zip(parent_grads) {
+                match &mut grads[p] {
+                    Some(acc) => acc.add_assign(&pg),
+                    slot @ None => *slot = Some(pg),
+                }
+            }
+        }
+        grads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Central-difference gradient check of an arbitrary scalar function of
+    /// one leaf tensor.
+    fn grad_check(build: impl Fn(&mut Graph, Var) -> Var, x0: Tensor, tol: f64) {
+        let mut g = Graph::new();
+        let x = g.leaf(x0.clone());
+        let y = build(&mut g, x);
+        let grads = g.backward(y);
+        let analytic = grads[x.0].clone().expect("gradient must flow to leaf");
+
+        let h = 1e-6;
+        for i in 0..x0.numel() {
+            let mut plus = x0.clone();
+            plus.data_mut()[i] += h;
+            let mut minus = x0.clone();
+            minus.data_mut()[i] -= h;
+            let fp = {
+                let mut g = Graph::new();
+                let x = g.leaf(plus);
+                let y = build(&mut g, x);
+                g.value(y).item()
+            };
+            let fm = {
+                let mut g = Graph::new();
+                let x = g.leaf(minus);
+                let y = build(&mut g, x);
+                g.value(y).item()
+            };
+            let numeric = (fp - fm) / (2.0 * h);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol * (1.0 + numeric.abs()),
+                "element {i}: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    fn t(shape: &[usize], data: &[f64]) -> Tensor {
+        Tensor::new(shape.to_vec(), data.to_vec())
+    }
+
+    #[test]
+    fn grad_add_mul_scale() {
+        grad_check(
+            |g, x| {
+                let y = g.mul(x, x); // x^2
+                let z = g.scale(y, 3.0);
+                g.sum_all(z)
+            },
+            t(&[3], &[1.0, -2.0, 0.5]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_matmul() {
+        grad_check(
+            |g, x| {
+                let w = g.leaf(t(&[2, 3], &[0.3, -0.1, 0.5, 0.2, 0.7, -0.4]));
+                let y = g.matmul(x, w);
+                let y2 = g.mul(y, y);
+                g.sum_all(y2)
+            },
+            t(&[2, 2], &[1.0, 2.0, -0.5, 0.3]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_bmm_and_transpose() {
+        grad_check(
+            |g, x| {
+                let xt = g.transpose_last2(x);
+                let y = g.bmm(x, xt);
+                g.sum_all(y)
+            },
+            t(&[2, 2, 3], &[0.1, 0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 0.8, -0.9, 1.0, -1.1, 1.2]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_bmm_nt() {
+        grad_check(
+            |g, x| {
+                let w = g.leaf(t(&[2, 2, 3], &[0.2, -0.1, 0.4, 0.3, 0.6, -0.5, 0.1, 0.9, -0.2, 0.7, -0.3, 0.8]));
+                let s = g.bmm_nt(x, w);
+                let s2 = g.mul(s, s);
+                g.sum_all(s2)
+            },
+            t(&[2, 2, 3], &[0.1, 0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 0.8, -0.9, 1.0, -1.1, 1.2]),
+            1e-5,
+        );
+        // And gradient w.r.t. the transposed (right) operand.
+        let a0 = t(&[1, 2, 3], &[0.3, -0.2, 0.5, 0.1, 0.4, -0.6]);
+        grad_check(
+            move |g, w| {
+                let a = g.constant(a0.clone());
+                let s = g.bmm_nt(a, w);
+                let s2 = g.mul(s, s);
+                g.sum_all(s2)
+            },
+            t(&[1, 2, 3], &[0.9, 0.2, -0.4, -0.1, 0.8, 0.3]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_relu() {
+        grad_check(
+            |g, x| {
+                let y = g.relu(x);
+                let y2 = g.mul(y, y);
+                g.sum_all(y2)
+            },
+            t(&[4], &[1.0, -1.0, 0.5, -0.2]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_softmax() {
+        grad_check(
+            |g, x| {
+                let y = g.softmax(x);
+                let w = g.constant(t(&[2, 3], &[1.0, 2.0, 3.0, -1.0, 0.5, 2.0]));
+                let yw = g.mul(y, w);
+                g.sum_all(yw)
+            },
+            t(&[2, 3], &[0.2, -0.3, 0.5, 1.0, 0.0, -1.0]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm() {
+        grad_check(
+            |g, x| {
+                let gamma = g.leaf(t(&[3], &[1.2, 0.8, 1.0]));
+                let beta = g.leaf(t(&[3], &[0.1, -0.1, 0.0]));
+                let y = g.layer_norm(x, gamma, beta, 1e-5);
+                let y2 = g.mul(y, y);
+                g.sum_all(y2)
+            },
+            t(&[2, 3], &[0.5, -1.0, 2.0, 0.3, 0.7, -0.2]),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn grad_layer_norm_params() {
+        // Check gamma/beta gradients via the same machinery: make them the leaf.
+        let x0 = t(&[2, 2], &[0.5, -1.0, 2.0, 0.3]);
+        grad_check(
+            |g, gamma| {
+                let x = g.constant(x0.clone());
+                let beta = g.constant(t(&[2], &[0.0, 0.1]));
+                let y = g.layer_norm(x, gamma, beta, 1e-5);
+                let y2 = g.mul(y, y);
+                g.sum_all(y2)
+            },
+            t(&[2], &[1.0, 0.9]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_mean_axis1_and_concat() {
+        grad_check(
+            |g, x| {
+                let m = g.mean_axis1(x); // [2,2]
+                let c = g.concat_lastdim(m, m); // [2,4]
+                let c2 = g.mul(c, c);
+                g.sum_all(c2)
+            },
+            t(&[2, 3, 2], &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, -0.1, -0.2, -0.3, -0.4, -0.5, -0.6]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_add_bias_permute_reshape() {
+        grad_check(
+            |g, x| {
+                let b = g.leaf(t(&[2], &[0.3, -0.2]));
+                let xb = g.add_bias(x, b);
+                let r = g.reshape(xb, vec![1, 2, 2, 2]);
+                let p = g.permute_0213(r);
+                let f = g.reshape(p, vec![4, 2]);
+                let f2 = g.mul(f, f);
+                g.sum_all(f2)
+            },
+            t(&[2, 2, 2], &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_huber_loss() {
+        let target = t(&[4], &[1.0, 2.0, 3.0, 4.0]);
+        let weights = t(&[4], &[1.0, 2.0, 1.0, 0.5]);
+        grad_check(
+            move |g, x| g.huber_loss(x, &target, &weights, 1.0),
+            // Mix of small (quadratic) and large (linear) errors.
+            t(&[4], &[1.2, 1.5, 6.0, -1.0]),
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn grad_mape_loss() {
+        let target = t(&[3], &[2.0, 4.0, 5.0]);
+        let weights = t(&[3], &[1.0, 1.0, 2.0]);
+        grad_check(
+            move |g, x| g.mape_loss(x, &target, &weights),
+            t(&[3], &[2.5, 3.0, 7.0]),
+            1e-4,
+        );
+    }
+
+    #[test]
+    fn huber_known_value() {
+        let mut g = Graph::new();
+        let p = g.leaf(t(&[2], &[1.5, 5.0]));
+        let target = t(&[2], &[1.0, 2.0]);
+        let w = t(&[2], &[1.0, 1.0]);
+        let l = g.huber_loss(p, &target, &w, 1.0);
+        // h(0.5) = 0.125; h(3.0) = 1*(3 - 0.5) = 2.5; mean = 1.3125
+        assert!((g.value(l).item() - 1.3125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_known_value() {
+        let mut g = Graph::new();
+        let p = g.leaf(t(&[2], &[1.1, 4.0]));
+        let target = t(&[2], &[1.0, 5.0]);
+        let w = t(&[2], &[1.0, 1.0]);
+        let l = g.mape_loss(p, &target, &w);
+        // (10% + 20%) / 2 = 15%
+        assert!((g.value(l).item() - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gradient_accumulates_across_uses() {
+        // y = x + x => dy/dx = 2
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(3.0));
+        let y = g.add(x, x);
+        let grads = g.backward(y);
+        assert_eq!(grads[x.0].as_ref().unwrap().item(), 2.0);
+    }
+
+    #[test]
+    fn no_grad_to_unrelated_nodes() {
+        let mut g = Graph::new();
+        let x = g.leaf(Tensor::scalar(1.0));
+        let unrelated = g.leaf(Tensor::scalar(5.0));
+        let y = g.mul(x, x);
+        let grads = g.backward(y);
+        assert!(grads[unrelated.0].is_none());
+    }
+}

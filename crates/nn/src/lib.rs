@@ -1,0 +1,34 @@
+//! # dbat-nn
+//!
+//! From-scratch deep-learning substrate for the DeepBAT reproduction: the
+//! paper trains its surrogate in PyTorch; the repro band notes "ML training
+//! tooling thin" for Rust, so this crate builds the tooling itself.
+//!
+//! * [`tensor`] — dense `f64` tensors and rayon-parallel compute kernels;
+//! * [`graph`] — tape-based reverse-mode autograd (every op gradient-checked
+//!   against central finite differences in the test suite);
+//! * [`layers`] — Linear, LayerNorm, multi-head attention, Transformer
+//!   encoder, sinusoidal positional encoding;
+//! * [`optim`] — Adam with global-norm clipping;
+//! * [`init`] — deterministic Xavier/normal initialisation;
+//! * [`data`] — standardisation and shuffled mini-batching;
+//! * [`serialize`] — JSON checkpoints.
+
+pub mod data;
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use data::{gather_rows, shuffled_batches, Standardizer};
+pub use graph::{Graph, Var};
+pub use init::{normal_init, xavier_uniform, InitRng};
+pub use layers::{
+    add_positional, positional_encoding, Binder, EncoderLayer, LayerNorm, Linear, Module,
+    MultiHeadAttention, TransformerEncoder,
+};
+pub use optim::Adam;
+pub use serialize::{load_into, Checkpoint};
+pub use tensor::{bmm, bmm_nt, bmm_tn, matmul2d, permute_0213, softmax_lastdim, transpose_last2, Tensor};

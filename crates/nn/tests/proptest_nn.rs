@@ -1,0 +1,133 @@
+//! Property-based tests for tensors, kernels, and autograd invariants.
+
+use dbat_nn::{
+    bmm, bmm_nt, bmm_tn, matmul2d, softmax_lastdim, transpose_last2, Binder, Graph, InitRng,
+    LayerNorm, Linear, Module, Standardizer, Tensor,
+};
+use proptest::prelude::*;
+
+fn tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
+    let n: usize = shape.iter().product();
+    prop::collection::vec(-3.0f64..3.0, n).prop_map(move |v| Tensor::new(shape.clone(), v))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_identity_neutral(a in tensor(vec![5, 7])) {
+        let id = {
+            let mut d = vec![0.0; 49];
+            for i in 0..7 { d[i * 7 + i] = 1.0; }
+            Tensor::new(vec![7, 7], d)
+        };
+        let out = matmul2d(&a, &id);
+        for (x, y) in out.data().iter().zip(a.data()) {
+            prop_assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fused_bmm_variants_agree(a in tensor(vec![3, 4, 5]), b in tensor(vec![3, 6, 5])) {
+        let fused = bmm_nt(&a, &b);
+        let explicit = bmm(&a, &transpose_last2(&b));
+        prop_assert_eq!(fused.shape(), explicit.shape());
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn bmm_tn_agrees_with_transpose(a in tensor(vec![2, 5, 3]), b in tensor(vec![2, 5, 4])) {
+        let fused = bmm_tn(&a, &b);
+        let explicit = bmm(&transpose_last2(&a), &b);
+        for (x, y) in fused.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor(vec![4, 6])) {
+        let s = softmax_lastdim(&t);
+        for row in s.data().chunks(6) {
+            let sum: f64 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-10);
+            prop_assert!(row.iter().all(|&x| x >= 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(t in tensor(vec![2, 5]), c in -10.0f64..10.0) {
+        let shifted = t.map(|x| x + c);
+        let a = softmax_lastdim(&t);
+        let b = softmax_lastdim(&shifted);
+        for (x, y) in a.data().iter().zip(b.data()) {
+            prop_assert!((x - y).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn standardizer_roundtrips(t in tensor(vec![8, 3])) {
+        let s = Standardizer::fit(&t);
+        let back = s.inverse(&s.transform(&t));
+        for (x, y) in back.data().iter().zip(t.data()) {
+            prop_assert!((x - y).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn layernorm_output_row_stats(t in tensor(vec![3, 8])) {
+        let ln = LayerNorm::new(8);
+        let mut g = Graph::new();
+        let mut b = Binder::new(&mut g);
+        let x = b.g.leaf(t);
+        let y = ln.forward(&mut b, x);
+        for row in g.value(y).data().chunks(8) {
+            let mean: f64 = row.iter().sum::<f64>() / 8.0;
+            prop_assert!(mean.abs() < 1e-9, "row mean {mean}");
+        }
+    }
+
+    #[test]
+    fn linear_is_affine(x1 in tensor(vec![1, 4]), x2 in tensor(vec![1, 4]), alpha in -2.0f64..2.0) {
+        // f(a·x1 + (1-a)·x2) = a·f(x1) + (1-a)·f(x2) for affine f.
+        let lin = Linear::new(4, 3, &mut InitRng::new(5));
+        let apply = |x: &Tensor| {
+            let mut g = Graph::new();
+            let mut b = Binder::new(&mut g);
+            let xv = b.g.leaf(x.clone());
+            let y = lin.forward(&mut b, xv);
+            g.value(y).clone()
+        };
+        let mix = x1.zip(&x2, |a, b| alpha * a + (1.0 - alpha) * b);
+        let lhs = apply(&mix);
+        let y1 = apply(&x1);
+        let y2 = apply(&x2);
+        for ((l, a), b) in lhs.data().iter().zip(y1.data()).zip(y2.data()) {
+            let rhs = alpha * a + (1.0 - alpha) * b;
+            prop_assert!((l - rhs).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn gradients_zero_for_constant_loss(t in tensor(vec![3])) {
+        // loss = sum(x) - sum(x) == 0 => gradient must be exactly 0.
+        let mut g = Graph::new();
+        let x = g.leaf(t);
+        let s1 = g.sum_all(x);
+        let s2 = g.sum_all(x);
+        let l = g.sub(s1, s2);
+        let grads = g.backward(l);
+        let gx = grads[x.0].as_ref().unwrap();
+        prop_assert!(gx.data().iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn module_param_order_stable(seed in 0u64..1000) {
+        let lin = Linear::new(3, 2, &mut InitRng::new(seed));
+        let params = lin.parameters();
+        prop_assert_eq!(params[0].shape(), &[3, 2]);
+        prop_assert_eq!(params[1].shape(), &[2]);
+        prop_assert_eq!(lin.num_parameters(), 8);
+    }
+}

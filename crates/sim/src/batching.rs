@@ -1,0 +1,398 @@
+//! The serverless batching simulation — the paper's ground-truth oracle.
+//!
+//! Semantics (identical to BATCH and to DeepBAT's Buffer, §III-B):
+//! a batch window opens when a request enters an *empty* buffer; the batch
+//! dispatches at `min(arrival of the B-th request, open_time + T)`. Each
+//! dispatch is one serverless invocation with deterministic service time
+//! `s(M, b)` for realised batch size `b`. Autoscaling gives every batch its
+//! own function instance, so batches never queue behind each other.
+//! A request's latency is `dispatch − arrival + cold_start? + s(M, b)`.
+
+use crate::config::LambdaConfig;
+use crate::engine::{run, Scheduler};
+use crate::metrics::LatencySummary;
+use crate::pricing::Pricing;
+use crate::service::ServiceProfile;
+use dbat_workload::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Optional cold-start model (an extension over the paper, default off):
+/// each invocation independently pays `delay_s` with `probability`.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ColdStart {
+    pub probability: f64,
+    pub delay_s: f64,
+}
+
+/// Environment parameters shared across simulations.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct SimParams {
+    pub profile: ServiceProfile,
+    pub pricing: Pricing,
+    pub cold_start: Option<ColdStart>,
+}
+
+impl Default for SimParams {
+    fn default() -> Self {
+        SimParams {
+            profile: ServiceProfile::ted_lium_like(),
+            pricing: Pricing::aws_lambda(),
+            cold_start: None,
+        }
+    }
+}
+
+/// One dispatched invocation.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct BatchRecord {
+    /// Time the batch window opened (first arrival into the empty buffer).
+    pub opened_at: f64,
+    /// Dispatch time (buffer full or timeout).
+    pub dispatched_at: f64,
+    /// Realised batch size (1 ..= B).
+    pub size: u32,
+    /// Service time of the invocation.
+    pub service_s: f64,
+    /// Cold-start delay paid by this invocation (0 when warm).
+    pub cold_start_s: f64,
+    /// Invocation cost in USD.
+    pub cost: f64,
+}
+
+/// One served request.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct RequestRecord {
+    pub arrival: f64,
+    pub dispatch: f64,
+    pub completion: f64,
+    /// Index into [`SimOutcome::batches`].
+    pub batch: usize,
+}
+
+impl RequestRecord {
+    /// End-to-end latency (completion − arrival).
+    pub fn latency(&self) -> f64 {
+        self.completion - self.arrival
+    }
+
+    /// Buffer wait (dispatch − arrival).
+    pub fn wait(&self) -> f64 {
+        self.dispatch - self.arrival
+    }
+}
+
+/// Full simulation output.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SimOutcome {
+    pub requests: Vec<RequestRecord>,
+    pub batches: Vec<BatchRecord>,
+    pub total_cost: f64,
+}
+
+impl SimOutcome {
+    pub fn latencies(&self) -> Vec<f64> {
+        self.requests.iter().map(|r| r.latency()).collect()
+    }
+
+    pub fn cost_per_request(&self) -> f64 {
+        if self.requests.is_empty() {
+            0.0
+        } else {
+            self.total_cost / self.requests.len() as f64
+        }
+    }
+
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches.is_empty() {
+            0.0
+        } else {
+            self.requests.len() as f64 / self.batches.len() as f64
+        }
+    }
+
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::from_latencies(&self.latencies())
+    }
+}
+
+enum Event {
+    Arrival(usize),
+    /// Buffer timeout for the window opened in the given epoch.
+    Timeout(u64),
+}
+
+/// Simulate the batching buffer over a finite arrival sequence.
+///
+/// `rng` is only consulted when `params.cold_start` is set. Timestamps must
+/// be sorted ascending (the usual output of the workload generators).
+pub fn simulate_batching(
+    arrivals: &[f64],
+    cfg: &LambdaConfig,
+    params: &SimParams,
+    mut rng: Option<&mut Rng>,
+) -> SimOutcome {
+    cfg.validate().expect("invalid configuration");
+    debug_assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    if params.cold_start.is_some() {
+        assert!(rng.is_some(), "cold-start model requires an RNG");
+    }
+
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    // Rebase so the engine's t >= 0 invariant holds for arbitrary windows.
+    let t0 = arrivals.first().copied().unwrap_or(0.0).min(0.0);
+    for (i, &a) in arrivals.iter().enumerate() {
+        sched.schedule(a - t0, Event::Arrival(i));
+    }
+
+    let mut buffer: Vec<usize> = Vec::with_capacity(cfg.batch_size as usize);
+    let mut opened_at = 0.0f64;
+    let mut epoch = 0u64;
+    let mut requests: Vec<RequestRecord> =
+        arrivals.iter().map(|&a| RequestRecord { arrival: a, dispatch: 0.0, completion: 0.0, batch: 0 }).collect();
+    let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut total_cost = 0.0;
+
+    // Dispatch closure state is threaded manually since `run` borrows sched.
+    let immediate = cfg.batch_size == 1 || cfg.timeout_s == 0.0;
+
+    run(&mut sched, |t, ev, sch| match ev {
+        Event::Arrival(i) => {
+            if buffer.is_empty() {
+                opened_at = t;
+                if !immediate && cfg.timeout_s.is_finite() {
+                    sch.schedule(t + cfg.timeout_s, Event::Timeout(epoch));
+                }
+            }
+            buffer.push(i);
+            if immediate || buffer.len() as u32 >= cfg.batch_size {
+                dispatch(
+                    &mut buffer,
+                    t,
+                    opened_at,
+                    cfg,
+                    params,
+                    &mut rng,
+                    &mut requests,
+                    &mut batches,
+                    &mut total_cost,
+                    t0,
+                );
+                epoch += 1;
+            }
+        }
+        Event::Timeout(e) => {
+            if e == epoch && !buffer.is_empty() {
+                dispatch(
+                    &mut buffer,
+                    t,
+                    opened_at,
+                    cfg,
+                    params,
+                    &mut rng,
+                    &mut requests,
+                    &mut batches,
+                    &mut total_cost,
+                    t0,
+                );
+                epoch += 1;
+            }
+        }
+    });
+
+    debug_assert!(buffer.is_empty(), "all requests must be dispatched");
+    SimOutcome { requests, batches, total_cost }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dispatch(
+    buffer: &mut Vec<usize>,
+    t: f64,
+    opened_at: f64,
+    cfg: &LambdaConfig,
+    params: &SimParams,
+    rng: &mut Option<&mut Rng>,
+    requests: &mut [RequestRecord],
+    batches: &mut Vec<BatchRecord>,
+    total_cost: &mut f64,
+    t0: f64,
+) {
+    let size = buffer.len() as u32;
+    let service = params.profile.service_time(cfg.memory_mb, size);
+    let cold = match (params.cold_start, rng.as_deref_mut()) {
+        (Some(cs), Some(r)) => {
+            if r.bernoulli(cs.probability) {
+                cs.delay_s
+            } else {
+                0.0
+            }
+        }
+        _ => 0.0,
+    };
+    let cost = params.pricing.invocation_cost(cfg.memory_mb, service);
+    let batch_idx = batches.len();
+    batches.push(BatchRecord {
+        opened_at: opened_at + t0,
+        dispatched_at: t + t0,
+        size,
+        service_s: service,
+        cold_start_s: cold,
+        cost,
+    });
+    *total_cost += cost;
+    for &i in buffer.iter() {
+        requests[i].dispatch = t + t0;
+        requests[i].completion = t + t0 + cold + service;
+        requests[i].batch = batch_idx;
+    }
+    buffer.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SimParams {
+        SimParams::default()
+    }
+
+    #[test]
+    fn batch_of_one_when_b1() {
+        let cfg = LambdaConfig::new(2048, 1, 0.5);
+        let out = simulate_batching(&[0.0, 0.1, 0.2], &cfg, &params(), None);
+        assert_eq!(out.batches.len(), 3);
+        assert!(out.batches.iter().all(|b| b.size == 1));
+        // Latency == service time exactly (no wait).
+        let s = params().profile.service_time(2048, 1);
+        for r in &out.requests {
+            assert!((r.latency() - s).abs() < 1e-12);
+            assert_eq!(r.wait(), 0.0);
+        }
+    }
+
+    #[test]
+    fn full_batch_dispatches_at_bth_arrival() {
+        let cfg = LambdaConfig::new(2048, 3, 10.0);
+        let out = simulate_batching(&[0.0, 0.1, 0.2, 0.3], &cfg, &params(), None);
+        assert_eq!(out.batches.len(), 2);
+        assert_eq!(out.batches[0].size, 3);
+        assert!((out.batches[0].dispatched_at - 0.2).abs() < 1e-12);
+        // Last request waits for the timeout.
+        assert_eq!(out.batches[1].size, 1);
+        assert!((out.batches[1].dispatched_at - (0.3 + 10.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_fires_for_partial_batch() {
+        let cfg = LambdaConfig::new(2048, 8, 0.05);
+        let out = simulate_batching(&[0.0, 0.01], &cfg, &params(), None);
+        assert_eq!(out.batches.len(), 1);
+        assert_eq!(out.batches[0].size, 2);
+        assert!((out.batches[0].dispatched_at - 0.05).abs() < 1e-12);
+        // First request waited the full timeout.
+        assert!((out.requests[0].wait() - 0.05).abs() < 1e-12);
+        assert!((out.requests[1].wait() - 0.04).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timeout_zero_means_no_batching() {
+        let cfg = LambdaConfig::new(2048, 8, 0.0);
+        let out = simulate_batching(&[0.0, 0.5, 1.0], &cfg, &params(), None);
+        assert_eq!(out.batches.len(), 3);
+        assert!(out.batches.iter().all(|b| b.size == 1));
+    }
+
+    #[test]
+    fn stale_timeout_ignored_after_full_dispatch() {
+        // Batch fills before its timeout; the next window must not be cut
+        // short by the stale timer.
+        let cfg = LambdaConfig::new(2048, 2, 1.0);
+        let out = simulate_batching(&[0.0, 0.1, 0.2], &cfg, &params(), None);
+        assert_eq!(out.batches.len(), 2);
+        assert_eq!(out.batches[0].size, 2);
+        // Third request dispatches at its own timeout (0.2 + 1.0), not at 1.0.
+        assert!((out.batches[1].dispatched_at - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn every_request_served_once() {
+        let cfg = LambdaConfig::new(1024, 4, 0.03);
+        let arrivals: Vec<f64> = (0..137).map(|i| i as f64 * 0.013).collect();
+        let out = simulate_batching(&arrivals, &cfg, &params(), None);
+        assert_eq!(out.requests.len(), 137);
+        let sizes: u32 = out.batches.iter().map(|b| b.size).sum();
+        assert_eq!(sizes, 137);
+        for r in &out.requests {
+            assert!(r.dispatch >= r.arrival);
+            assert!(r.completion > r.dispatch);
+        }
+    }
+
+    #[test]
+    fn cost_accumulates_per_invocation() {
+        let cfg = LambdaConfig::new(1024, 2, 0.1);
+        let out = simulate_batching(&[0.0, 0.01, 5.0], &cfg, &params(), None);
+        assert_eq!(out.batches.len(), 2);
+        let expect: f64 = out.batches.iter().map(|b| b.cost).sum();
+        assert!((out.total_cost - expect).abs() < 1e-15);
+        assert!(out.cost_per_request() > 0.0);
+    }
+
+    #[test]
+    fn batching_cheaper_than_singles_on_dense_arrivals() {
+        let arrivals: Vec<f64> = (0..512).map(|i| i as f64 * 0.002).collect();
+        let single = simulate_batching(
+            &arrivals,
+            &LambdaConfig::new(2048, 1, 0.0),
+            &params(),
+            None,
+        );
+        let batched = simulate_batching(
+            &arrivals,
+            &LambdaConfig::new(2048, 16, 0.1),
+            &params(),
+            None,
+        );
+        assert!(
+            batched.cost_per_request() < 0.5 * single.cost_per_request(),
+            "batched {} vs single {}",
+            batched.cost_per_request(),
+            single.cost_per_request()
+        );
+        // ... but latency is worse (Fig. 1 trade-off).
+        assert!(batched.summary().p95 > single.summary().p95);
+    }
+
+    #[test]
+    fn cold_start_adds_latency() {
+        let cs = ColdStart { probability: 1.0, delay_s: 0.4 };
+        let p = SimParams { cold_start: Some(cs), ..SimParams::default() };
+        let mut rng = Rng::new(1);
+        let cfg = LambdaConfig::new(2048, 1, 0.0);
+        let out = simulate_batching(&[0.0], &cfg, &p, Some(&mut rng));
+        assert!((out.requests[0].latency() - (0.4 + p.profile.service_time(2048, 1))).abs() < 1e-12);
+        assert_eq!(out.batches[0].cold_start_s, 0.4);
+    }
+
+    #[test]
+    fn empty_arrivals_empty_outcome() {
+        let cfg = LambdaConfig::new(1024, 4, 0.1);
+        let out = simulate_batching(&[], &cfg, &params(), None);
+        assert!(out.requests.is_empty());
+        assert!(out.batches.is_empty());
+        assert_eq!(out.total_cost, 0.0);
+        assert_eq!(out.cost_per_request(), 0.0);
+    }
+
+    #[test]
+    fn negative_window_timestamps_supported() {
+        // Sliced windows can start at negative offsets after rebasing.
+        let cfg = LambdaConfig::new(1024, 2, 0.05);
+        let out = simulate_batching(&[-1.0, -0.99], &cfg, &params(), None);
+        assert_eq!(out.batches.len(), 1);
+        assert!((out.requests[0].arrival - (-1.0)).abs() < 1e-12);
+        assert!(out.requests[0].dispatch >= -1.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Extension: account-level concurrency limits.
+//!
+//! The paper (like BATCH) assumes serverless autoscaling gives every batch
+//! its own function instance immediately. Real AWS accounts have a
+//! concurrency quota; when all permitted instances are busy, dispatched
+//! batches queue. This module extends the DES with that behaviour so the
+//! reproduction can also explore the regime where the
+//! unlimited-concurrency assumption breaks (documented in DESIGN.md as an
+//! extension, default off — none of the paper figures use it).
+
+use crate::batching::{BatchRecord, RequestRecord, SimOutcome, SimParams};
+use crate::config::LambdaConfig;
+use crate::engine::{run, Scheduler};
+use std::collections::VecDeque;
+
+/// Simulate batching with at most `max_concurrency` simultaneously running
+/// invocations; further batches wait in a FIFO dispatch queue. With
+/// `max_concurrency = usize::MAX` this reduces exactly to
+/// [`crate::batching::simulate_batching`] (asserted by tests).
+pub fn simulate_with_concurrency(
+    arrivals: &[f64],
+    cfg: &LambdaConfig,
+    params: &SimParams,
+    max_concurrency: usize,
+) -> SimOutcome {
+    cfg.validate().expect("invalid configuration");
+    assert!(max_concurrency >= 1, "need at least one concurrent instance");
+    debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+
+    enum Event {
+        Arrival(usize),
+        Timeout(u64),
+        Completion,
+    }
+
+    let t0 = arrivals.first().copied().unwrap_or(0.0).min(0.0);
+    let mut sched: Scheduler<Event> = Scheduler::new();
+    for (i, &a) in arrivals.iter().enumerate() {
+        sched.schedule(a - t0, Event::Arrival(i));
+    }
+
+    let mut buffer: Vec<usize> = Vec::new();
+    let mut opened_at = 0.0f64;
+    let mut epoch = 0u64;
+    let immediate = cfg.batch_size == 1 || cfg.timeout_s == 0.0;
+    let mut requests: Vec<RequestRecord> = arrivals
+        .iter()
+        .map(|&a| RequestRecord { arrival: a, dispatch: 0.0, completion: 0.0, batch: 0 })
+        .collect();
+    let mut batches: Vec<BatchRecord> = Vec::new();
+    let mut total_cost = 0.0;
+    // Batches formed but waiting for a free instance: (members, formed_at, opened_at).
+    let mut dispatch_queue: VecDeque<(Vec<usize>, f64, f64)> = VecDeque::new();
+    let mut running = 0usize;
+
+    run(&mut sched, |t, ev, sch| {
+        let start_if_possible =
+            |members: Vec<usize>,
+             formed_at: f64,
+             win_opened: f64,
+             running: &mut usize,
+             dispatch_queue: &mut VecDeque<(Vec<usize>, f64, f64)>,
+             sch: &mut Scheduler<Event>,
+             requests: &mut Vec<RequestRecord>,
+             batches: &mut Vec<BatchRecord>,
+             total_cost: &mut f64| {
+                if *running < max_concurrency {
+                    *running += 1;
+                    let size = members.len() as u32;
+                    let service = params.profile.service_time(cfg.memory_mb, size);
+                    let cost = params.pricing.invocation_cost(cfg.memory_mb, service);
+                    *total_cost += cost;
+                    let idx = batches.len();
+                    batches.push(BatchRecord {
+                        opened_at: win_opened + t0,
+                        dispatched_at: formed_at + t0,
+                        size,
+                        service_s: service,
+                        cold_start_s: 0.0,
+                        cost,
+                    });
+                    for &i in &members {
+                        requests[i].dispatch = formed_at + t0;
+                        requests[i].completion = formed_at + t0 + service;
+                        requests[i].batch = idx;
+                    }
+                    sch.schedule(formed_at + service, Event::Completion);
+                } else {
+                    dispatch_queue.push_back((members, formed_at, win_opened));
+                }
+            };
+
+        match ev {
+            Event::Arrival(i) => {
+                if buffer.is_empty() {
+                    opened_at = t;
+                    if !immediate {
+                        sch.schedule(t + cfg.timeout_s, Event::Timeout(epoch));
+                    }
+                }
+                buffer.push(i);
+                if immediate || buffer.len() as u32 >= cfg.batch_size {
+                    let members = std::mem::take(&mut buffer);
+                    epoch += 1;
+                    start_if_possible(
+                        members, t, opened_at, &mut running, &mut dispatch_queue, sch,
+                        &mut requests, &mut batches, &mut total_cost,
+                    );
+                }
+            }
+            Event::Timeout(e) => {
+                if e == epoch && !buffer.is_empty() {
+                    let members = std::mem::take(&mut buffer);
+                    epoch += 1;
+                    start_if_possible(
+                        members, t, opened_at, &mut running, &mut dispatch_queue, sch,
+                        &mut requests, &mut batches, &mut total_cost,
+                    );
+                }
+            }
+            Event::Completion => {
+                running -= 1;
+                if let Some((members, _formed, win_opened)) = dispatch_queue.pop_front() {
+                    // Starts now (t), having queued since formation.
+                    start_if_possible(
+                        members, t, win_opened, &mut running, &mut dispatch_queue, sch,
+                        &mut requests, &mut batches, &mut total_cost,
+                    );
+                }
+            }
+        }
+    });
+
+    debug_assert!(buffer.is_empty() && dispatch_queue.is_empty());
+    SimOutcome { requests, batches, total_cost }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batching::simulate_batching;
+
+    fn params() -> SimParams {
+        SimParams::default()
+    }
+
+    #[test]
+    fn unlimited_concurrency_matches_base_simulator() {
+        let arrivals: Vec<f64> = (0..300).map(|i| i as f64 * 0.007).collect();
+        for cfg in [
+            LambdaConfig::new(2048, 8, 0.05),
+            LambdaConfig::new(1024, 1, 0.0),
+            LambdaConfig::new(3008, 4, 0.02),
+        ] {
+            let base = simulate_batching(&arrivals, &cfg, &params(), None);
+            let ext = simulate_with_concurrency(&arrivals, &cfg, &params(), usize::MAX);
+            assert_eq!(base.batches.len(), ext.batches.len(), "{cfg}");
+            assert!((base.total_cost - ext.total_cost).abs() < 1e-12);
+            for (a, b) in base.requests.iter().zip(&ext.requests) {
+                assert!((a.latency() - b.latency()).abs() < 1e-9, "{cfg}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_instance_serialises_batches() {
+        // Two batches formed back-to-back; with concurrency 1 the second
+        // must wait for the first to finish.
+        let cfg = LambdaConfig::new(2048, 2, 1.0);
+        let arrivals = [0.0, 0.001, 0.002, 0.003];
+        let out = simulate_with_concurrency(&arrivals, &cfg, &params(), 1);
+        assert_eq!(out.batches.len(), 2);
+        let service = params().profile.service_time(2048, 2);
+        // Second batch completes after ~2 service times.
+        let c2 = out.requests[3].completion;
+        assert!(
+            c2 >= 2.0 * service - 1e-9,
+            "completion {c2} vs 2x service {}",
+            2.0 * service
+        );
+        // With unlimited concurrency it completes after ~1 service time.
+        let unl = simulate_with_concurrency(&arrivals, &cfg, &params(), usize::MAX);
+        assert!(unl.requests[3].completion < c2);
+    }
+
+    #[test]
+    fn conservation_under_pressure() {
+        let arrivals: Vec<f64> = (0..500).map(|i| i as f64 * 0.002).collect();
+        let cfg = LambdaConfig::new(1024, 4, 0.01);
+        let out = simulate_with_concurrency(&arrivals, &cfg, &params(), 2);
+        assert_eq!(out.requests.len(), 500);
+        let total: u32 = out.batches.iter().map(|b| b.size).sum();
+        assert_eq!(total, 500);
+        for r in &out.requests {
+            assert!(r.completion > r.arrival);
+        }
+    }
+
+    #[test]
+    fn tighter_limit_never_reduces_latency() {
+        let arrivals: Vec<f64> = (0..400).map(|i| i as f64 * 0.003).collect();
+        let cfg = LambdaConfig::new(2048, 8, 0.02);
+        let mut prev_p95 = f64::INFINITY;
+        for limit in [1usize, 2, 8, usize::MAX] {
+            let out = simulate_with_concurrency(&arrivals, &cfg, &params(), limit);
+            let p95 = out.summary().p95;
+            assert!(
+                p95 <= prev_p95 + 1e-9,
+                "p95 {p95} at limit {limit} worse than looser limit {prev_p95}"
+            );
+            prev_p95 = p95;
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # dbat-sim
+//!
+//! Discrete-event serverless-batching simulator — the reproduction's
+//! ground-truth oracle, mirroring how the paper obtains its ground truth
+//! ("by simulation as in [10], [18]", §IV-A).
+//!
+//! * [`engine`] — generic future-event-list DES core;
+//! * [`config`] — `(M, B, T)` configurations and the shared search grid;
+//! * [`service`] — deterministic profiled service-time surface `s(M, B)`;
+//! * [`pricing`] — AWS Lambda pay-as-you-go cost model;
+//! * [`batching`] — the buffer/batch/dispatch simulation;
+//! * [`metrics`] — latency summaries and the VCR metric (Eq. 11);
+//! * [`sweep`] — rayon-parallel exhaustive grid search (Eq. 10 optimum).
+
+pub mod batching;
+pub mod concurrency;
+pub mod config;
+pub mod engine;
+pub mod metrics;
+pub mod pricing;
+pub mod service;
+pub mod sweep;
+
+pub use batching::{simulate_batching, BatchRecord, ColdStart, RequestRecord, SimOutcome, SimParams};
+pub use concurrency::simulate_with_concurrency;
+pub use config::{ConfigGrid, LambdaConfig, MEMORY_MAX_MB, MEMORY_MIN_MB};
+pub use metrics::{vcr, LatencySummary, PERCENTILE_KEYS};
+pub use pricing::Pricing;
+pub use service::ServiceProfile;
+pub use sweep::{best_feasible, evaluate, ground_truth, sweep, Evaluation};

@@ -1,0 +1,98 @@
+//! Property-based tests: conservation laws of the batching simulator.
+
+use dbat_sim::{simulate_batching, ConfigGrid, LambdaConfig, SimParams};
+use proptest::prelude::*;
+
+/// Strategy: a sorted arrival sequence of 1..200 points over ~[0, 20] s.
+fn arrivals() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..0.2, 1..200).prop_map(|gaps| {
+        let mut t = 0.0;
+        gaps.iter()
+            .map(|g| {
+                t += g;
+                t
+            })
+            .collect()
+    })
+}
+
+fn config() -> impl Strategy<Value = LambdaConfig> {
+    (
+        prop::sample::select(vec![512u32, 1024, 2048, 3008, 8192]),
+        1u32..=32,
+        prop::sample::select(vec![0.0f64, 0.01, 0.05, 0.1, 0.5]),
+    )
+        .prop_map(|(m, b, t)| LambdaConfig::new(m, b, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn every_request_served_exactly_once(arr in arrivals(), cfg in config()) {
+        let out = simulate_batching(&arr, &cfg, &SimParams::default(), None);
+        prop_assert_eq!(out.requests.len(), arr.len());
+        let total: u32 = out.batches.iter().map(|b| b.size).sum();
+        prop_assert_eq!(total as usize, arr.len());
+    }
+
+    #[test]
+    fn batch_sizes_within_limit(arr in arrivals(), cfg in config()) {
+        let out = simulate_batching(&arr, &cfg, &SimParams::default(), None);
+        for b in &out.batches {
+            prop_assert!(b.size >= 1 && b.size <= cfg.batch_size);
+        }
+    }
+
+    #[test]
+    fn latency_at_least_service_and_wait_bounded(arr in arrivals(), cfg in config()) {
+        let params = SimParams::default();
+        let out = simulate_batching(&arr, &cfg, &params, None);
+        for r in &out.requests {
+            let batch = out.batches[r.batch];
+            prop_assert!(r.latency() >= batch.service_s - 1e-12);
+            // Wait is bounded by the timeout (first request of a window
+            // waits at most T; later ones strictly less).
+            if cfg.batch_size > 1 && cfg.timeout_s > 0.0 {
+                prop_assert!(r.wait() <= cfg.timeout_s + 1e-9,
+                    "wait {} exceeds timeout {}", r.wait(), cfg.timeout_s);
+            } else {
+                prop_assert!(r.wait() <= 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn dispatch_order_and_cost_consistency(arr in arrivals(), cfg in config()) {
+        let out = simulate_batching(&arr, &cfg, &SimParams::default(), None);
+        // Batches are recorded in dispatch order.
+        for w in out.batches.windows(2) {
+            prop_assert!(w[0].dispatched_at <= w[1].dispatched_at + 1e-12);
+        }
+        let sum: f64 = out.batches.iter().map(|b| b.cost).sum();
+        prop_assert!((out.total_cost - sum).abs() < 1e-12);
+        prop_assert!(out.total_cost > 0.0);
+    }
+
+    #[test]
+    fn more_memory_never_hurts_latency(arr in arrivals()) {
+        // With B/T fixed, raising memory weakly decreases p95 latency.
+        let params = SimParams::default();
+        let mut prev = f64::INFINITY;
+        for m in [512u32, 1024, 2048, 3008] {
+            let cfg = LambdaConfig::new(m, 8, 0.05);
+            let out = simulate_batching(&arr, &cfg, &params, None);
+            let p95 = out.summary().p95;
+            prop_assert!(p95 <= prev + 1e-9, "p95 {p95} rose at memory {m}");
+            prev = p95;
+        }
+    }
+
+    #[test]
+    fn grid_configs_all_valid(idx in 0usize..216) {
+        let grid = ConfigGrid::paper_default();
+        let cfgs = grid.configs();
+        let cfg = cfgs[idx % cfgs.len()];
+        prop_assert!(cfg.validate().is_ok());
+    }
+}

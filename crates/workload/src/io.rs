@@ -1,0 +1,154 @@
+//! Trace file I/O: plain one-timestamp-per-line text (the common export
+//! format of the Azure/Twitter/Alibaba datasets) and CSV with a header.
+//! Lets downstream users run the whole pipeline on their own traces.
+
+use crate::trace::Trace;
+use std::fs;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Errors from trace file parsing.
+#[derive(Debug)]
+pub enum TraceIoError {
+    Io(std::io::Error),
+    Parse { line: usize, content: String },
+    Empty,
+}
+
+impl std::fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "io error: {e}"),
+            TraceIoError::Parse { line, content } => {
+                write!(f, "unparsable timestamp at line {line}: {content:?}")
+            }
+            TraceIoError::Empty => write!(f, "trace file contains no timestamps"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Read a trace from a text file: one timestamp (seconds, f64) per line.
+/// Lines starting with `#` and a leading `timestamp` CSV header are
+/// skipped. The horizon is `max(timestamp) + mean interarrival` unless
+/// `horizon` is given.
+pub fn read_trace(path: impl AsRef<Path>, horizon: Option<f64>) -> Result<Trace, TraceIoError> {
+    let file = fs::File::open(path)?;
+    let mut ts = Vec::new();
+    for (i, line) in BufReader::new(file).lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        if i == 0 && t.chars().next().is_some_and(|c| c.is_alphabetic()) {
+            continue; // header row
+        }
+        // Accept "ts" or "ts,anything" rows.
+        let field = t.split(',').next().unwrap_or(t).trim();
+        match field.parse::<f64>() {
+            Ok(v) if v.is_finite() => ts.push(v),
+            _ => return Err(TraceIoError::Parse { line: i + 1, content: t.to_string() }),
+        }
+    }
+    if ts.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let h = horizon.unwrap_or_else(|| {
+        let last = *ts.last().unwrap();
+        let mean_ia = if ts.len() > 1 { (last - ts[0]) / (ts.len() - 1) as f64 } else { 1.0 };
+        last + mean_ia.max(1e-9)
+    });
+    Ok(Trace::new(ts, h))
+}
+
+/// Write a trace as one timestamp per line with a `# horizon=` comment.
+pub fn write_trace(trace: &Trace, path: impl AsRef<Path>) -> std::io::Result<()> {
+    if let Some(dir) = path.as_ref().parent() {
+        fs::create_dir_all(dir)?;
+    }
+    let mut f = fs::File::create(path)?;
+    writeln!(f, "# deepbat trace, horizon={}", trace.horizon())?;
+    for t in trace.timestamps() {
+        writeln!(f, "{t}")?;
+    }
+    Ok(())
+}
+
+/// Read a trace written by [`write_trace`], recovering the exact horizon.
+pub fn read_trace_auto(path: impl AsRef<Path>) -> Result<Trace, TraceIoError> {
+    // Peek the first line for the horizon comment.
+    let content = fs::read_to_string(&path)?;
+    let horizon = content
+        .lines()
+        .next()
+        .and_then(|l| l.strip_prefix("# deepbat trace, horizon="))
+        .and_then(|h| h.trim().parse::<f64>().ok());
+    read_trace(path, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join("dbat_io_tests").join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_trace() {
+        let tr = Trace::new(vec![0.5, 1.25, 7.0], 10.0);
+        let p = tmp("roundtrip.txt");
+        write_trace(&tr, &p).unwrap();
+        let back = read_trace_auto(&p).unwrap();
+        assert_eq!(back.timestamps(), tr.timestamps());
+        assert_eq!(back.horizon(), 10.0);
+    }
+
+    #[test]
+    fn reads_csv_with_header_and_comments() {
+        let p = tmp("csv.txt");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, "timestamp,extra\n# comment\n1.0,a\n0.5,b\n\n2.5,c\n").unwrap();
+        let tr = read_trace(&p, Some(5.0)).unwrap();
+        assert_eq!(tr.timestamps(), &[0.5, 1.0, 2.5]);
+        assert_eq!(tr.horizon(), 5.0);
+    }
+
+    #[test]
+    fn default_horizon_extends_past_last_arrival() {
+        let p = tmp("h.txt");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, "0.0\n1.0\n2.0\n").unwrap();
+        let tr = read_trace(&p, None).unwrap();
+        assert!(tr.horizon() > 2.0);
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn parse_error_reports_line() {
+        let p = tmp("bad.txt");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, "1.0\nnot-a-number\n").unwrap();
+        match read_trace(&p, None) {
+            Err(TraceIoError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_file_rejected() {
+        let p = tmp("empty.txt");
+        std::fs::create_dir_all(p.parent().unwrap()).unwrap();
+        std::fs::write(&p, "# nothing\n").unwrap();
+        assert!(matches!(read_trace(&p, None), Err(TraceIoError::Empty)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # dbat-workload
+//!
+//! Workload substrate for the DeepBAT reproduction: arrival-process models,
+//! synthetic equivalents of the paper's four evaluation traces, and the
+//! burstiness statistics (SCV, autocorrelation, index of dispersion) the
+//! evaluation is framed around.
+//!
+//! * [`rng`] — deterministic xoshiro256++ randomness (seed ⇒ bit-identical
+//!   experiments);
+//! * [`map`] / [`mmpp`] — Markovian Arrival Processes and the MMPP(2)
+//!   special case, with exact moment/correlation/IDC formulas and simulation;
+//! * [`trace`] — sorted timestamp sequences with slicing/binning;
+//! * [`nhpp`] — non-homogeneous Poisson generation by thinning;
+//! * [`traces`] — the Azure/Twitter/Alibaba-like and MAP-synthetic
+//!   generators (Fig. 4/5 workloads);
+//! * [`stats`] — empirical moments, ACF, IDC, percentiles, MAPE;
+//! * [`window`] — fixed-length interarrival windows (the surrogate's input).
+
+pub mod io;
+pub mod map;
+pub mod mmpp;
+pub mod nhpp;
+pub mod rng;
+pub mod stats;
+pub mod trace;
+pub mod traces;
+pub mod window;
+
+pub use io::{read_trace, read_trace_auto, write_trace, TraceIoError};
+pub use map::{Map, MapError};
+pub use mmpp::Mmpp2;
+pub use nhpp::nhpp;
+pub use rng::Rng;
+pub use stats::{
+    autocorrelation, idc_by_counts, idc_from_interarrivals, idc_series, mape, mean, percentile,
+    percentile_sorted, scv, variance,
+};
+pub use trace::Trace;
+pub use traces::{synthetic_segments, SyntheticSegment, TraceKind, DAY, HOUR};
+pub use window::{sample_windows, window_at_time, window_ending_at, windows, Window};

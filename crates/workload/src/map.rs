@@ -1,0 +1,406 @@
+//! Markovian Arrival Processes (MAPs).
+//!
+//! A MAP of order `n` is given by two `n×n` matrices `(D0, D1)`: `D0` holds
+//! the rates of *hidden* phase transitions (non-negative off-diagonal,
+//! negative diagonal), `D1` the rates of transitions that *emit an arrival*
+//! (non-negative). `D0 + D1` is the generator of the underlying phase CTMC.
+//! MAPs capture autocorrelated, bursty arrival streams and are the workload
+//! model both BATCH and the paper's synthetic trace rely on.
+
+use crate::rng::Rng;
+use dbat_linalg::{ctmc_stationary, dtmc_stationary, inverse, Mat};
+
+/// Validation errors for MAP construction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum MapError {
+    ShapeMismatch,
+    NegativeOffDiagonal { mat: &'static str, i: usize, j: usize },
+    NonNegativeDiagonal { i: usize },
+    RowSumNotZero { i: usize, sum: f64 },
+    Reducible,
+}
+
+impl std::fmt::Display for MapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapError::ShapeMismatch => write!(f, "D0 and D1 must be square with equal order"),
+            MapError::NegativeOffDiagonal { mat, i, j } => {
+                write!(f, "{mat}[{i}][{j}] must be non-negative")
+            }
+            MapError::NonNegativeDiagonal { i } => {
+                write!(f, "D0[{i}][{i}] must be negative")
+            }
+            MapError::RowSumNotZero { i, sum } => {
+                write!(f, "row {i} of D0+D1 sums to {sum}, expected 0")
+            }
+            MapError::Reducible => write!(f, "phase process is reducible"),
+        }
+    }
+}
+
+impl std::error::Error for MapError {}
+
+/// A validated Markovian Arrival Process.
+#[derive(Clone, Debug)]
+pub struct Map {
+    d0: Mat,
+    d1: Mat,
+    /// Stationary distribution of the phase CTMC (π(D0+D1) = 0).
+    phase_stationary: Vec<f64>,
+    /// Stationary phase distribution embedded at arrival instants.
+    embedded_stationary: Vec<f64>,
+}
+
+impl Map {
+    /// Construct and validate a MAP from its defining matrices.
+    pub fn new(d0: Mat, d1: Mat) -> Result<Self, MapError> {
+        if !d0.is_square() || d0.rows() != d1.rows() || !d1.is_square() {
+            return Err(MapError::ShapeMismatch);
+        }
+        let n = d0.rows();
+        for i in 0..n {
+            if d0[(i, i)] >= 0.0 {
+                return Err(MapError::NonNegativeDiagonal { i });
+            }
+            for j in 0..n {
+                if i != j && d0[(i, j)] < 0.0 {
+                    return Err(MapError::NegativeOffDiagonal { mat: "D0", i, j });
+                }
+                if d1[(i, j)] < 0.0 {
+                    return Err(MapError::NegativeOffDiagonal { mat: "D1", i, j });
+                }
+            }
+            let sum: f64 = (0..n).map(|j| d0[(i, j)] + d1[(i, j)]).sum();
+            if sum.abs() > 1e-9 * d0[(i, i)].abs().max(1.0) {
+                return Err(MapError::RowSumNotZero { i, sum });
+            }
+        }
+        let q = &d0 + &d1;
+        let phase_stationary = ctmc_stationary(&q).map_err(|_| MapError::Reducible)?;
+        // Embedded chain at arrivals: P = (-D0)^{-1} D1 (row-stochastic).
+        let p = Self::embedded_matrix(&d0, &d1);
+        let embedded_stationary = dtmc_stationary(&p).map_err(|_| MapError::Reducible)?;
+        Ok(Map { d0, d1, phase_stationary, embedded_stationary })
+    }
+
+    fn embedded_matrix(d0: &Mat, d1: &Mat) -> Mat {
+        let neg_d0_inv = inverse(&d0.scale(-1.0)).expect("D0 of a valid MAP is invertible");
+        neg_d0_inv.matmul(d1)
+    }
+
+    /// A Poisson process as the order-1 MAP.
+    pub fn poisson(rate: f64) -> Self {
+        assert!(rate > 0.0);
+        Map::new(
+            Mat::from_rows(&[&[-rate]]),
+            Mat::from_rows(&[&[rate]]),
+        )
+        .expect("Poisson MAP is always valid")
+    }
+
+    pub fn order(&self) -> usize {
+        self.d0.rows()
+    }
+
+    pub fn d0(&self) -> &Mat {
+        &self.d0
+    }
+
+    pub fn d1(&self) -> &Mat {
+        &self.d1
+    }
+
+    /// Stationary phase distribution of the CTMC (time-stationary).
+    pub fn phase_stationary(&self) -> &[f64] {
+        &self.phase_stationary
+    }
+
+    /// Stationary phase distribution just after an arrival.
+    pub fn embedded_stationary(&self) -> &[f64] {
+        &self.embedded_stationary
+    }
+
+    /// Long-run arrival rate `λ = π D1 1`.
+    pub fn rate(&self) -> f64 {
+        let ones = vec![1.0; self.order()];
+        let d1_one = self.d1.matvec(&ones);
+        self.phase_stationary.iter().zip(&d1_one).map(|(p, r)| p * r).sum()
+    }
+
+    /// k-th raw moment of the stationary interarrival time:
+    /// `E[X^k] = k! · φ (-D0)^{-k} 1`.
+    pub fn interarrival_moment(&self, k: u32) -> f64 {
+        let n = self.order();
+        let neg_d0_inv = inverse(&self.d0.scale(-1.0)).expect("valid MAP");
+        let mut v = self.embedded_stationary.clone();
+        let mut fact = 1.0;
+        for i in 1..=k {
+            v = neg_d0_inv.vecmat(&v);
+            fact *= i as f64;
+        }
+        fact * v.iter().take(n).sum::<f64>()
+    }
+
+    /// Mean stationary interarrival time.
+    pub fn mean_interarrival(&self) -> f64 {
+        self.interarrival_moment(1)
+    }
+
+    /// Squared coefficient of variation of interarrival times.
+    pub fn scv(&self) -> f64 {
+        let m1 = self.interarrival_moment(1);
+        let m2 = self.interarrival_moment(2);
+        (m2 - m1 * m1) / (m1 * m1)
+    }
+
+    /// Lag-k autocorrelation of stationary interarrival times:
+    /// `ρ_k = (φ M P^k M 1 − m1²) / (m2 − m1²)` with `M = (-D0)^{-1}`.
+    pub fn lag_correlation(&self, k: u32) -> f64 {
+        assert!(k >= 1);
+        let m = inverse(&self.d0.scale(-1.0)).expect("valid MAP");
+        let p = Self::embedded_matrix(&self.d0, &self.d1);
+        let m1 = self.interarrival_moment(1);
+        let m2 = self.interarrival_moment(2);
+        let var = m2 - m1 * m1;
+        if var <= 0.0 {
+            return 0.0;
+        }
+        // v = φ M
+        let mut v = m.vecmat(&self.embedded_stationary);
+        for _ in 0..k {
+            v = p.vecmat(&v);
+        }
+        let v = m.vecmat(&v);
+        let joint: f64 = v.iter().sum();
+        (joint - m1 * m1) / var
+    }
+
+    /// Asymptotic index of dispersion for counts:
+    /// `IDC(∞) = scv · (1 + 2 Σ_{k≥1} ρ_k)`, with the tail summed until it
+    /// becomes negligible.
+    pub fn idc(&self) -> f64 {
+        let scv = self.scv();
+        let mut acc = 0.0;
+        let mut k = 1u32;
+        loop {
+            let rho = self.lag_correlation(k);
+            acc += rho;
+            if rho.abs() < 1e-10 || k >= 10_000 {
+                break;
+            }
+            k += 1;
+        }
+        scv * (1.0 + 2.0 * acc)
+    }
+
+    /// Superposition of two independent MAPs: the combined stream of both
+    /// processes, as a MAP of order `n·m` (Kronecker-sum construction).
+    /// Rates are additive: `rate(a ⊕ b) = rate(a) + rate(b)`.
+    pub fn superpose(&self, other: &Map) -> Map {
+        let d0 = dbat_linalg::kron_sum(&self.d0, &other.d0);
+        let d1 = dbat_linalg::kron_sum(&self.d1, &other.d1);
+        // kron_sum(D1a, D1b) = D1a⊗I + I⊗D1b: exactly "either component
+        // emits", which is the superposed arrival matrix.
+        Map::new(d0, d1).expect("superposition of valid MAPs is valid")
+    }
+
+    /// Bernoulli thinning: keep each arrival independently with probability
+    /// `p`. Dropped arrivals become hidden transitions, so
+    /// `rate(thin(p)) = p · rate(self)` while the phase process is
+    /// unchanged.
+    pub fn thin(&self, p: f64) -> Map {
+        assert!((0.0..=1.0).contains(&p), "thinning probability must be in [0,1]");
+        assert!(p > 0.0, "thinning to zero rate yields no arrival process");
+        let d1 = self.d1.scale(p);
+        let d0 = &self.d0 + &self.d1.scale(1.0 - p);
+        Map::new(d0, d1).expect("thinned MAP is valid")
+    }
+
+    /// Simulate arrival timestamps on `[t0, t0 + horizon)`, starting from the
+    /// time-stationary phase distribution. Returns absolute timestamps.
+    pub fn simulate(&self, rng: &mut Rng, t0: f64, horizon: f64) -> Vec<f64> {
+        let n = self.order();
+        let mut phase = rng.categorical(&self.phase_stationary);
+        let mut t = t0;
+        let end = t0 + horizon;
+        let mut out = Vec::new();
+        // Precompute per-phase exit rates and transition weights.
+        let exit: Vec<f64> = (0..n).map(|i| -self.d0[(i, i)]).collect();
+        loop {
+            let r = exit[phase];
+            t += rng.exp(r);
+            if t >= end {
+                break;
+            }
+            // Choose destination among D0 off-diagonal and D1 entries.
+            let mut weights = Vec::with_capacity(2 * n);
+            for j in 0..n {
+                weights.push(if j == phase { 0.0 } else { self.d0[(phase, j)] });
+            }
+            for j in 0..n {
+                weights.push(self.d1[(phase, j)]);
+            }
+            let pick = rng.categorical(&weights);
+            if pick >= n {
+                out.push(t);
+                phase = pick - n;
+            } else {
+                phase = pick;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mmpp2_example() -> Map {
+        // Bursty two-phase MMPP: fast phase rate 20, slow phase rate 1.
+        let d0 = Mat::from_rows(&[&[-20.5, 0.5], &[0.1, -1.1]]);
+        let d1 = Mat::from_rows(&[&[20.0, 0.0], &[0.0, 1.0]]);
+        Map::new(d0, d1).unwrap()
+    }
+
+    #[test]
+    fn poisson_properties() {
+        let m = Map::poisson(5.0);
+        assert!((m.rate() - 5.0).abs() < 1e-12);
+        assert!((m.mean_interarrival() - 0.2).abs() < 1e-12);
+        assert!((m.scv() - 1.0).abs() < 1e-10);
+        assert!(m.lag_correlation(1).abs() < 1e-10);
+        assert!((m.idc() - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn rejects_invalid_matrices() {
+        let d0 = Mat::from_rows(&[&[-1.0, 2.0], &[0.0, -1.0]]);
+        let d1 = Mat::from_rows(&[&[-1.0, 0.0], &[0.0, 1.0]]);
+        assert!(Map::new(d0, d1).is_err());
+        // Row sums not zero.
+        let d0 = Mat::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        let d1 = Mat::from_rows(&[&[0.5, 0.0], &[0.0, 1.0]]);
+        assert!(matches!(Map::new(d0, d1), Err(MapError::RowSumNotZero { .. })));
+    }
+
+    #[test]
+    fn mmpp_rate_formula() {
+        let m = mmpp2_example();
+        // pi of Q = [[-0.5,0.5],[0.1,-0.1]] is (1/6, 5/6).
+        let pi = m.phase_stationary();
+        assert!((pi[0] - 1.0 / 6.0).abs() < 1e-10);
+        let expect = (1.0 / 6.0) * 20.0 + (5.0 / 6.0) * 1.0;
+        assert!((m.rate() - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn mmpp_is_bursty() {
+        let m = mmpp2_example();
+        assert!(m.scv() > 1.0, "scv = {}", m.scv());
+        assert!(m.lag_correlation(1) > 0.0);
+        assert!(m.idc() > m.scv(), "positive correlation should inflate IDC");
+    }
+
+    #[test]
+    fn embedded_stationary_is_distribution() {
+        let m = mmpp2_example();
+        let phi = m.embedded_stationary();
+        assert!((phi.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(phi.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn simulation_rate_matches_analytic() {
+        let m = mmpp2_example();
+        let mut rng = Rng::new(1234);
+        let horizon = 5_000.0;
+        let arrivals = m.simulate(&mut rng, 0.0, horizon);
+        let empirical = arrivals.len() as f64 / horizon;
+        let analytic = m.rate();
+        assert!(
+            (empirical - analytic).abs() / analytic < 0.05,
+            "empirical {empirical} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn simulation_timestamps_sorted_within_horizon() {
+        let m = mmpp2_example();
+        let mut rng = Rng::new(99);
+        let arrivals = m.simulate(&mut rng, 10.0, 50.0);
+        assert!(arrivals.windows(2).all(|w| w[0] <= w[1]));
+        assert!(arrivals.iter().all(|&t| (10.0..60.0).contains(&t)));
+    }
+
+    #[test]
+    fn simulation_scv_matches_analytic() {
+        let m = mmpp2_example();
+        let mut rng = Rng::new(7);
+        let arrivals = m.simulate(&mut rng, 0.0, 20_000.0);
+        let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        let mean = ia.iter().sum::<f64>() / ia.len() as f64;
+        let var = ia.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / ia.len() as f64;
+        let scv = var / (mean * mean);
+        let analytic = m.scv();
+        assert!(
+            (scv - analytic).abs() / analytic < 0.1,
+            "empirical {scv} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn superpose_rates_add() {
+        let a = mmpp2_example();
+        let b = Map::poisson(7.0);
+        let s = a.superpose(&b);
+        assert_eq!(s.order(), 2);
+        assert!((s.rate() - (a.rate() + 7.0)).abs() / s.rate() < 1e-9);
+        // Superposing two Poissons is Poisson: scv 1, no correlation.
+        let pp = Map::poisson(3.0).superpose(&Map::poisson(5.0));
+        assert!((pp.rate() - 8.0).abs() < 1e-10);
+        assert!((pp.scv() - 1.0).abs() < 1e-8);
+        assert!(pp.lag_correlation(1).abs() < 1e-8);
+    }
+
+    #[test]
+    fn superpose_preserves_burstiness_direction() {
+        let bursty = mmpp2_example();
+        let s = bursty.superpose(&Map::poisson(1.0));
+        // Mixing in a small Poisson stream keeps overdispersion.
+        assert!(s.idc() > 1.5, "idc {}", s.idc());
+    }
+
+    #[test]
+    fn thinning_scales_rate_keeps_validity() {
+        let m = mmpp2_example();
+        let t = m.thin(0.3);
+        assert!((t.rate() - 0.3 * m.rate()).abs() / m.rate() < 1e-9);
+        // Thinning a Poisson stays Poisson.
+        let tp = Map::poisson(10.0).thin(0.5);
+        assert!((tp.scv() - 1.0).abs() < 1e-10);
+        assert!((tp.rate() - 5.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn thinned_simulation_matches_rate() {
+        let m = mmpp2_example().thin(0.4);
+        let mut rng = Rng::new(55);
+        let arr = m.simulate(&mut rng, 0.0, 4_000.0);
+        let emp = arr.len() as f64 / 4_000.0;
+        assert!((emp - m.rate()).abs() / m.rate() < 0.07, "{emp} vs {}", m.rate());
+    }
+
+    #[test]
+    #[should_panic(expected = "thinning probability")]
+    fn thin_rejects_bad_probability() {
+        mmpp2_example().thin(1.5);
+    }
+
+    #[test]
+    fn poisson_interarrival_second_moment() {
+        let m = Map::poisson(2.0);
+        // E[X^2] = 2/rate^2 = 0.5
+        assert!((m.interarrival_moment(2) - 0.5).abs() < 1e-10);
+    }
+}

@@ -1,0 +1,242 @@
+//! Descriptive statistics for arrival processes: moments, autocorrelation,
+//! and the index of dispersion for counts (IDC) used in the paper's Fig. 5.
+
+use crate::trace::Trace;
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population variance; 0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64
+}
+
+/// Squared coefficient of variation `var / mean²`; 0 on degenerate input.
+pub fn scv(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m == 0.0 {
+        return 0.0;
+    }
+    variance(xs) / (m * m)
+}
+
+/// Lag-`k` autocorrelation; 0 when undefined.
+pub fn autocorrelation(xs: &[f64], k: usize) -> f64 {
+    if k == 0 {
+        return 1.0;
+    }
+    if xs.len() <= k + 1 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    let var = variance(xs);
+    if var <= 0.0 {
+        return 0.0;
+    }
+    let n = xs.len() - k;
+    let cov: f64 = (0..n).map(|i| (xs[i] - m) * (xs[i + k] - m)).sum::<f64>() / n as f64;
+    cov / var
+}
+
+/// Empirical IDC of a trace from its interarrival times:
+/// `IDC = SCV · (1 + 2 Σ_{k=1}^{K} ρ_k)`, truncating the autocorrelation sum
+/// at `max_lag` (empirical ACFs vanish at high lags, §IV-A of the paper).
+pub fn idc_from_interarrivals(ia: &[f64], max_lag: usize) -> f64 {
+    if ia.len() < 4 {
+        return 1.0;
+    }
+    let s = scv(ia);
+    let mut acc = 0.0;
+    for k in 1..=max_lag.min(ia.len() / 4) {
+        let rho = autocorrelation(ia, k);
+        acc += rho;
+    }
+    (s * (1.0 + 2.0 * acc)).max(0.0)
+}
+
+/// Empirical IDC by the counting method: split the trace into bins of width
+/// `bin` and return `Var(N)/E[N]` of the per-bin counts.
+pub fn idc_by_counts(trace: &Trace, bin: f64) -> f64 {
+    let counts: Vec<f64> = trace.counts(bin).into_iter().map(|c| c as f64).collect();
+    let m = mean(&counts);
+    if m == 0.0 {
+        return 1.0;
+    }
+    variance(&counts) / m
+}
+
+/// Per-segment IDC series: cut the trace into consecutive segments of
+/// `segment` seconds (the paper uses one hour) and compute the counting-IDC
+/// with bins of width `bin` inside each. This regenerates Fig. 5.
+pub fn idc_series(trace: &Trace, segment: f64, bin: f64) -> Vec<f64> {
+    assert!(segment > bin, "segment must exceed bin width");
+    let nseg = (trace.horizon() / segment).floor() as usize;
+    (0..nseg)
+        .map(|i| {
+            let s = trace.slice(i as f64 * segment, (i + 1) as f64 * segment);
+            idc_by_counts(&s, bin)
+        })
+        .collect()
+}
+
+/// Percentile of a sample by linear interpolation (p in [0, 100]).
+/// Returns 0 on empty input.
+pub fn percentile(xs: &[f64], p: f64) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    assert!((0.0..=100.0).contains(&p), "percentile must be in [0,100]");
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    percentile_sorted(&sorted, p)
+}
+
+/// Percentile of an already-sorted sample (ascending).
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (n - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = rank - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Mean absolute percentage error between predictions and ground truth,
+/// in percent. Pairs with `truth == 0` are skipped.
+pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
+    assert_eq!(pred.len(), truth.len(), "mape length mismatch");
+    let mut acc = 0.0;
+    let mut n = 0usize;
+    for (p, t) in pred.iter().zip(truth) {
+        if *t != 0.0 {
+            acc += ((p - t) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        acc / n as f64 * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::Map;
+    use crate::mmpp::Mmpp2;
+    use crate::rng::Rng;
+
+    #[test]
+    fn mean_variance_scv() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert!((mean(&xs) - 5.0).abs() < 1e-12);
+        assert!((variance(&xs) - 4.0).abs() < 1e-12);
+        assert!((scv(&xs) - 4.0 / 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn autocorrelation_of_alternating_sequence() {
+        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        assert!(autocorrelation(&xs, 1) < -0.9);
+        assert!(autocorrelation(&xs, 2) > 0.9);
+        assert_eq!(autocorrelation(&xs, 0), 1.0);
+    }
+
+    #[test]
+    fn autocorrelation_degenerate() {
+        assert_eq!(autocorrelation(&[1.0, 1.0, 1.0], 1), 0.0); // zero variance
+        assert_eq!(autocorrelation(&[1.0], 1), 0.0); // too short
+    }
+
+    #[test]
+    fn poisson_idc_near_one() {
+        let m = Map::poisson(20.0);
+        let mut rng = Rng::new(5);
+        let arr = m.simulate(&mut rng, 0.0, 2_000.0);
+        let tr = Trace::new(arr, 2_000.0);
+        let idc = idc_by_counts(&tr, 10.0);
+        assert!((idc - 1.0).abs() < 0.3, "idc {idc}");
+        let idc_ia = idc_from_interarrivals(&tr.interarrivals(), 100);
+        assert!((idc_ia - 1.0).abs() < 0.35, "idc_ia {idc_ia}");
+    }
+
+    #[test]
+    fn bursty_idc_large() {
+        let m = Mmpp2::from_targets(20.0, 50.0, 15.0, 0.3).to_map().unwrap();
+        let mut rng = Rng::new(6);
+        let tr = Trace::new(m.simulate(&mut rng, 0.0, 8_000.0), 8_000.0);
+        let idc = idc_by_counts(&tr, 20.0);
+        assert!(idc > 10.0, "idc {idc} should reflect strong burstiness");
+    }
+
+    #[test]
+    fn idc_series_segments() {
+        let m = Map::poisson(10.0);
+        let mut rng = Rng::new(7);
+        let tr = Trace::new(m.simulate(&mut rng, 0.0, 3_600.0), 3_600.0);
+        let series = idc_series(&tr, 600.0, 5.0);
+        assert_eq!(series.len(), 6);
+        for v in series {
+            assert!((v - 1.0).abs() < 0.5, "{v}");
+        }
+    }
+
+    #[test]
+    fn percentile_interpolation() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 100.0), 4.0);
+        assert!((percentile(&xs, 50.0) - 2.5).abs() < 1e-12);
+        assert!((percentile(&xs, 75.0) - 3.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn percentile_edge_cases() {
+        assert_eq!(percentile(&[], 50.0), 0.0);
+        assert_eq!(percentile(&[7.0], 95.0), 7.0);
+    }
+
+    #[test]
+    fn percentile_monotone_in_p() {
+        let xs = [5.0, 1.0, 9.0, 3.0, 7.0];
+        let mut prev = f64::NEG_INFINITY;
+        for p in [0.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0] {
+            let v = percentile(&xs, p);
+            assert!(v >= prev);
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn mape_basic() {
+        let pred = [1.1, 1.9, 3.0];
+        let truth = [1.0, 2.0, 3.0];
+        let m = mape(&pred, &truth);
+        assert!((m - (10.0 + 5.0 + 0.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mape_skips_zero_truth() {
+        assert_eq!(mape(&[1.0, 5.0], &[0.0, 5.0]), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! The Fig. 2 request/control flow, end to end and online: requests stream
+//! through the Workload Parser into the Buffer; every decision interval the
+//! surrogate-driven Optimizer re-parameterises the Buffer and the function
+//! memory; released batches are "executed" with the profiled service time
+//! and billed with the Lambda pricing model.
+//!
+//! This example drives the *components* (Parser, Buffer, Optimizer)
+//! directly rather than the batch `DeepBatController` harness, which is
+//! what a real deployment would embed.
+//!
+//! ```sh
+//! cargo run --release --example online_controller
+//! ```
+
+use deepbat::prelude::*;
+
+fn main() {
+    let slo = 0.1;
+    let seq_len = 64;
+    let grid = ConfigGrid::paper_default();
+    let params = SimParams::default();
+
+    // A workload that shifts intensity mid-stream (quiet -> burst).
+    let quiet = Map::poisson(15.0);
+    let bursty = Mmpp2::from_targets(80.0, 60.0, 10.0, 0.3).to_map().unwrap();
+    let mut rng = Rng::new(3);
+    let mut ts = quiet.simulate(&mut rng, 0.0, 300.0);
+    ts.extend(bursty.simulate(&mut rng, 300.0, 300.0));
+    let trace = Trace::new(ts, 600.0);
+    println!("workload: {} requests, rate shift at t=300s", trace.len());
+
+    // Train a small surrogate on the first 2 minutes (warm-up history).
+    let warmup = trace.slice(0.0, 120.0);
+    let data = generate_dataset(&warmup, &grid, &params, 300, seq_len, slo, 9);
+    let mut model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 5);
+    train(&mut model, &data, &TrainConfig { epochs: 10, ..TrainConfig::default() });
+    let optimizer = DeepBatOptimizer::new(grid, slo);
+
+    // --- the online loop -----------------------------------------------------
+    let mut parser = WorkloadParser::new(seq_len);
+    let mut buffer = Buffer::new(1, 0.0); // bootstrap: serve singly
+    let mut memory_mb = 3008u32; // bootstrap memory
+    let decision_interval = 30.0;
+    let mut next_decision = 120.0; // start controlling after warm-up
+
+    let mut batches = 0usize;
+    let mut served = 0usize;
+    let mut violations = 0usize;
+    let mut windows = 0usize;
+    let mut cost = 0.0;
+    let mut max_p95_interval: (f64, f64) = (0.0, 0.0);
+    let mut interval_lat: Vec<f64> = Vec::new();
+
+    let mut serve = |batch: &deepbat::core::ReleasedBatch,
+                     memory_mb: u32,
+                     interval_lat: &mut Vec<f64>,
+                     arrivals: &std::collections::HashMap<u64, f64>| {
+        let b = batch.requests.len() as u32;
+        let service = params.profile.service_time(memory_mb, b);
+        let invocation = params.pricing.invocation_cost(memory_mb, service);
+        for id in &batch.requests {
+            let latency = batch.released_at - arrivals[id] + service;
+            interval_lat.push(latency);
+        }
+        (invocation, b as usize)
+    };
+
+    let mut arrival_times = std::collections::HashMap::new();
+    for (id, &t) in trace.timestamps().iter().enumerate() {
+        let id = id as u64;
+        // Control step(s) due before this arrival.
+        while t >= next_decision {
+            // Score the finishing interval.
+            if !interval_lat.is_empty() {
+                windows += 1;
+                let p95 = deepbat::workload::percentile(&interval_lat, 95.0);
+                if p95 > slo {
+                    violations += 1;
+                }
+                if p95 > max_p95_interval.1 {
+                    max_p95_interval = (next_decision - decision_interval, p95);
+                }
+                interval_lat.clear();
+            }
+            if let Some(window) = parser.window() {
+                let decision = optimizer.choose(&model, &window);
+                let cfg = decision.chosen.config;
+                buffer.reconfigure(&cfg);
+                memory_mb = cfg.memory_mb;
+                println!(
+                    "t={:>5.0}s  rate~{:>5.1}/s  ->  {}",
+                    next_decision,
+                    1.0 / deepbat::workload::mean(&window).max(1e-9),
+                    cfg
+                );
+            }
+            next_decision += decision_interval;
+        }
+        // Request flow: parser -> buffer (-> serverless function).
+        parser.observe(t);
+        arrival_times.insert(id, t);
+        if let Some(batch) = buffer.poll(t) {
+            let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
+            cost += c;
+            served += n;
+            batches += 1;
+        }
+        if let Some(batch) = buffer.push(id, t) {
+            let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
+            cost += c;
+            served += n;
+            batches += 1;
+        }
+    }
+    if let Some(batch) = buffer.flush(trace.horizon()) {
+        let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
+        cost += c;
+        served += n;
+        batches += 1;
+    }
+
+    println!("\n--- outcome -------------------------------------------------");
+    println!("served {served} requests in {batches} invocations");
+    println!("cost {:.4} u$/request", cost / served as f64 * 1e6);
+    println!(
+        "controlled intervals: {windows}, SLO violations: {violations} (VCR {:.1}%)",
+        violations as f64 / windows.max(1) as f64 * 100.0
+    );
+    println!(
+        "worst interval p95: {:.1} ms at t={:.0}s (SLO {:.0} ms)",
+        max_p95_interval.1 * 1e3,
+        max_p95_interval.0,
+        slo * 1e3
+    );
+}

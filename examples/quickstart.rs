@@ -1,0 +1,81 @@
+//! Quickstart: train a small DeepBAT surrogate on a bursty workload and ask
+//! it for the cheapest serverless configuration that meets a latency SLO.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use deepbat::prelude::*;
+
+fn main() {
+    // --- 1. Workload ------------------------------------------------------
+    // One hour of an Azure-Functions-like arrival stream (diurnal rate with
+    // Markov-modulated burstiness). Seeded: every run is identical.
+    let trace = TraceKind::AzureLike.generate_for(7, HOUR);
+    println!(
+        "workload: {} requests over 1h (mean {:.1} req/s)",
+        trace.len(),
+        trace.mean_rate()
+    );
+
+    // --- 2. The optimisation problem ---------------------------------------
+    // Minimise $/request subject to p95 latency <= 100 ms, searching memory
+    // sizes x batch sizes x batch timeouts (the grid of the paper's Eq. 10).
+    let slo = 0.1;
+    let grid = ConfigGrid::paper_default();
+    let params = SimParams::default(); // profiled service times + AWS pricing
+
+    // --- 3. Label training data with the ground-truth simulator ------------
+    let seq_len = 64;
+    let data = generate_dataset(&trace, &grid, &params, 400, seq_len, slo, 1);
+    println!("labelled {} (window, config) training samples", data.len());
+
+    // --- 4. Train the Transformer surrogate --------------------------------
+    let mut model = Surrogate::new(
+        SurrogateConfig { seq_len, ..SurrogateConfig::default() },
+        42,
+    );
+    let tc = TrainConfig { epochs: 20, lr: 3e-3, ..TrainConfig::default() };
+    let report = train(&mut model, &data, &tc);
+    println!(
+        "trained {} parameters for {} epochs ({:.1}s/epoch), val MAPE {:.1}%",
+        model.num_parameters(),
+        tc.epochs,
+        report.secs_per_epoch,
+        report.final_val_mape
+    );
+
+    // --- 5. Decide ----------------------------------------------------------
+    // Estimate the robustness penalty gamma from the model's own prediction
+    // error (the paper's §III-D), then pick a configuration for the latest
+    // window of interarrivals.
+    let gamma = estimate_gamma(&model, &trace, &grid, &params, 16, 99);
+    println!("robustness penalty gamma = {gamma:.3}");
+    let mut optimizer = DeepBatOptimizer::new(grid.clone(), slo);
+    optimizer.gamma = gamma;
+    let window = &data[0].window;
+    let t0 = std::time::Instant::now();
+    let decision = optimizer.choose(&model, window);
+    println!(
+        "\nDeepBAT decision in {:.1} ms over {} configurations:",
+        t0.elapsed().as_secs_f64() * 1e3,
+        grid.len()
+    );
+    println!(
+        "  -> {}   predicted p95 {:.1} ms, predicted cost {:.3} u$/req",
+        decision.chosen.config,
+        decision.chosen.percentiles[2] * 1e3,
+        decision.chosen.cost_micro
+    );
+
+    // --- 6. Verify against the simulator ------------------------------------
+    let arrivals = deepbat::core::window_to_arrivals(window);
+    let sim = simulate_batching(&arrivals, &decision.chosen.config, &params, None);
+    let s = sim.summary();
+    println!(
+        "  simulator check: p95 {:.1} ms ({}), cost {:.3} u$/req",
+        s.p95 * 1e3,
+        if s.p95 <= slo { "meets SLO" } else { "VIOLATES SLO" },
+        sim.cost_per_request() * 1e6
+    );
+}

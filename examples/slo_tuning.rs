@@ -1,0 +1,70 @@
+//! SLO/cost frontier with the BATCH analytic model: fit a MAP to observed
+//! arrivals, then sweep the SLO and watch the optimal configuration and its
+//! cost move along the trade-off curve — entirely analytically, no
+//! simulation in the loop (then cross-check the endpoints by simulation).
+//!
+//! ```sh
+//! cargo run --release --example slo_tuning
+//! ```
+
+use deepbat::prelude::*;
+
+fn main() {
+    // Observed workload: a moderately bursty MMPP at 50 req/s.
+    let truth = Mmpp2::from_targets(50.0, 20.0, 8.0, 0.3).to_map().unwrap();
+    let mut rng = Rng::new(11);
+    let arrivals = truth.simulate(&mut rng, 0.0, 600.0);
+    let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+    println!("observed {} arrivals; fitting a MAP (the BATCH front half)…", arrivals.len());
+
+    let fit = fit_map(&ia).expect("enough data");
+    println!(
+        "fitted {} — rate {:.1}/s, SCV {:.2}, lag-1 acf {:.3} (residual {:.3})\n",
+        if fit.is_poisson { "Poisson" } else { "MMPP(2)" },
+        fit.map.rate(),
+        fit.map.scv(),
+        fit.map.lag_correlation(1),
+        fit.residual,
+    );
+
+    let grid = ConfigGrid::paper_default();
+    let params = SimParams::default();
+    let model = BatchModel::from_fit(&fit, params);
+    let evals = model.evaluate_grid(&grid);
+
+    println!(
+        "{:>8}  {:>26}  {:>10}  {:>10}  {:>9}",
+        "SLO_ms", "optimal_config", "p95_ms", "cost_u$", "E[batch]"
+    );
+    for slo_ms in [40.0, 60.0, 80.0, 100.0, 150.0, 200.0, 300.0, 500.0] {
+        let slo = slo_ms / 1e3;
+        let best = deepbat::analytic::select_best(&evals, slo, 95.0).expect("non-empty grid");
+        println!(
+            "{:>8.0}  {:>26}  {:>10.1}  {:>10.4}  {:>9.2}",
+            slo_ms,
+            format!("{}", best.config),
+            best.percentile(95.0) * 1e3,
+            best.cost_per_request * 1e6,
+            best.mean_batch_size
+        );
+    }
+
+    // Cross-check the loosest and tightest choices by simulation.
+    println!("\nsimulation cross-check:");
+    for slo in [0.04, 0.5] {
+        let best = deepbat::analytic::select_best(&evals, slo, 95.0).unwrap();
+        let sim = simulate_batching(&arrivals, &best.config, &params, None);
+        println!(
+            "  SLO {:>5.0} ms -> {}: analytic p95 {:.1} ms vs simulated {:.1} ms, \
+             analytic cost {:.4} vs simulated {:.4} u$/req",
+            slo * 1e3,
+            best.config,
+            best.percentile(95.0) * 1e3,
+            sim.summary().p95 * 1e3,
+            best.cost_per_request * 1e6,
+            sim.cost_per_request() * 1e6
+        );
+    }
+    println!("\nshape: tighter SLOs force smaller batches / shorter timeouts / more");
+    println!("memory — monotonically increasing cost per request.");
+}

@@ -1,0 +1,248 @@
+//! `deepbat` — command-line front-end for the library.
+//!
+//! ```text
+//! deepbat generate --kind azure --hours 2 --seed 7 --out trace.txt
+//! deepbat stats    --trace trace.txt
+//! deepbat simulate --trace trace.txt --memory 2048 --batch 8 --timeout-ms 50
+//! deepbat batch-opt --trace trace.txt --slo-ms 100
+//! deepbat train    --trace trace.txt --out model.json [--seq-len 64] [--epochs 20] [--samples 600]
+//! deepbat decide   --trace trace.txt --model model.json --slo-ms 100
+//! ```
+//!
+//! Argument parsing is hand-rolled (`--key value` pairs) to keep the
+//! dependency set to the substrate crates.
+
+use deepbat::prelude::*;
+use std::collections::HashMap;
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        usage();
+        exit(2);
+    };
+    let opts = parse_opts(&args[1..]);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&opts),
+        "stats" => cmd_stats(&opts),
+        "simulate" => cmd_simulate(&opts),
+        "batch-opt" => cmd_batch_opt(&opts),
+        "train" => cmd_train(&opts),
+        "decide" => cmd_decide(&opts),
+        "help" | "--help" | "-h" => {
+            usage();
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}")),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1);
+    }
+}
+
+fn usage() {
+    eprintln!(
+        "deepbat <command> [--key value ...]\n\
+         commands:\n\
+         \x20 generate   --kind azure|twitter|alibaba|synthetic [--hours H] [--seed S] --out FILE\n\
+         \x20 stats      --trace FILE [--bin SECONDS]\n\
+         \x20 simulate   --trace FILE --memory MB --batch B --timeout-ms T\n\
+         \x20 batch-opt  --trace FILE [--slo-ms MS] [--percentile P]\n\
+         \x20 train      --trace FILE --out MODEL [--seq-len L] [--epochs E] [--samples N] [--slo-ms MS]\n\
+         \x20 decide     --trace FILE --model MODEL [--slo-ms MS] [--gamma G]"
+    );
+}
+
+fn parse_opts(args: &[String]) -> HashMap<String, String> {
+    let mut map = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                map.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+            } else {
+                map.insert(key.to_string(), String::new());
+                i += 1;
+            }
+        } else {
+            i += 1;
+        }
+    }
+    map
+}
+
+fn get<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
+    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+}
+
+fn get_f64(opts: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+    }
+}
+
+fn get_usize(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
+    match opts.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+    }
+}
+
+fn load_trace(opts: &HashMap<String, String>) -> Result<Trace, String> {
+    let path = get(opts, "trace")?;
+    deepbat::workload::read_trace_auto(path).map_err(|e| format!("reading {path}: {e}"))
+}
+
+fn cmd_generate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let kind = match get(opts, "kind")? {
+        "azure" => TraceKind::AzureLike,
+        "twitter" => TraceKind::TwitterLike,
+        "alibaba" => TraceKind::AlibabaLike,
+        "synthetic" => TraceKind::SyntheticMap,
+        other => return Err(format!("unknown kind {other:?}")),
+    };
+    let hours = get_f64(opts, "hours", 1.0)?;
+    let seed = get_usize(opts, "seed", 7)? as u64;
+    let out = get(opts, "out")?;
+    let trace = kind.generate_for(seed, hours * HOUR);
+    deepbat::workload::write_trace(&trace, out).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} arrivals ({:.1}/s over {hours}h) to {out}",
+        trace.len(),
+        trace.mean_rate()
+    );
+    Ok(())
+}
+
+fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let bin = get_f64(opts, "bin", 60.0)?;
+    let ia = trace.interarrivals();
+    println!("requests:        {}", trace.len());
+    println!("horizon:         {:.1} s", trace.horizon());
+    println!("mean rate:       {:.2} req/s", trace.mean_rate());
+    println!("interarrival scv: {:.3}", deepbat::workload::scv(&ia));
+    println!("lag-1 acf:       {:.4}", deepbat::workload::autocorrelation(&ia, 1));
+    println!(
+        "IDC (bin {bin}s):  {:.2}",
+        deepbat::workload::idc_by_counts(&trace, bin)
+    );
+    Ok(())
+}
+
+fn parse_config(opts: &HashMap<String, String>) -> Result<LambdaConfig, String> {
+    let m = get_usize(opts, "memory", 2048)? as u32;
+    let b = get_usize(opts, "batch", 1)? as u32;
+    let t = get_f64(opts, "timeout-ms", 0.0)? / 1e3;
+    let cfg = LambdaConfig { memory_mb: m, batch_size: b, timeout_s: t };
+    cfg.validate()?;
+    Ok(cfg)
+}
+
+fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let cfg = parse_config(opts)?;
+    let out = simulate_batching(trace.timestamps(), &cfg, &SimParams::default(), None);
+    let s = out.summary();
+    println!("config:          {cfg}");
+    println!("invocations:     {} (mean batch {:.2})", out.batches.len(), out.mean_batch_size());
+    println!("latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms", s.p50 * 1e3, s.p95 * 1e3, s.p99 * 1e3);
+    println!("cost:            {:.4} u$/request", out.cost_per_request() * 1e6);
+    Ok(())
+}
+
+fn cmd_batch_opt(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let slo = get_f64(opts, "slo-ms", 100.0)? / 1e3;
+    let pct = get_f64(opts, "percentile", 95.0)?;
+    let ia = trace.interarrivals();
+    let t0 = std::time::Instant::now();
+    let (best, fit) = deepbat::analytic::optimize_from_interarrivals(
+        &ia,
+        &ConfigGrid::paper_default(),
+        &SimParams::default(),
+        slo,
+        pct,
+    )
+    .ok_or("not enough arrivals to fit a MAP")?;
+    println!(
+        "fitted {} (rate {:.1}/s, scv {:.2}); solved in {:.2}s",
+        if fit.is_poisson { "Poisson" } else { "MMPP(2)" },
+        fit.map.rate(),
+        fit.map.scv(),
+        t0.elapsed().as_secs_f64()
+    );
+    println!(
+        "BATCH optimum:   {} (predicted p{pct:.0} {:.1} ms, {:.4} u$/req)",
+        best.config,
+        best.percentile(pct) * 1e3,
+        best.cost_per_request * 1e6
+    );
+    Ok(())
+}
+
+fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let out = get(opts, "out")?;
+    let seq_len = get_usize(opts, "seq-len", 64)?;
+    let epochs = get_usize(opts, "epochs", 20)?;
+    let samples = get_usize(opts, "samples", 600)?;
+    let slo = get_f64(opts, "slo-ms", 100.0)? / 1e3;
+    let grid = ConfigGrid::paper_default();
+    let data = deepbat::core::generate_dataset(
+        &trace,
+        &grid,
+        &SimParams::default(),
+        samples,
+        seq_len,
+        slo,
+        13,
+    );
+    if data.is_empty() {
+        return Err("trace too short for the requested window length".into());
+    }
+    let mut model =
+        Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 2024);
+    let report = deepbat::core::train(
+        &mut model,
+        &data,
+        &TrainConfig { epochs, lr: 3e-3, ..TrainConfig::default() },
+    );
+    model.save(out).map_err(|e| e.to_string())?;
+    println!(
+        "trained on {} samples for {epochs} epochs ({:.1}s/epoch), val MAPE {:.2}% -> {out}",
+        data.len(),
+        report.secs_per_epoch,
+        report.final_val_mape
+    );
+    Ok(())
+}
+
+fn cmd_decide(opts: &HashMap<String, String>) -> Result<(), String> {
+    let trace = load_trace(opts)?;
+    let model = Surrogate::load(get(opts, "model")?).map_err(|e| e.to_string())?;
+    let slo = get_f64(opts, "slo-ms", 100.0)? / 1e3;
+    let gamma = get_f64(opts, "gamma", 0.0)?;
+    let window = deepbat::workload::window_at_time(&trace, trace.horizon(), model.cfg.seq_len, 1.0)
+        .ok_or("trace has too few arrivals for a window")?;
+    let mut optimizer = DeepBatOptimizer::new(ConfigGrid::paper_default(), slo);
+    optimizer.gamma = gamma;
+    let t0 = std::time::Instant::now();
+    let decision = optimizer.choose(&model, &window.interarrivals);
+    println!(
+        "DeepBAT decision in {:.1} ms{}:",
+        t0.elapsed().as_secs_f64() * 1e3,
+        if decision.fallback { " (SLO infeasible — lowest-latency fallback)" } else { "" }
+    );
+    println!(
+        "  {} (predicted p95 {:.1} ms, {:.4} u$/req)",
+        decision.chosen.config,
+        decision.chosen.percentiles[2] * 1e3,
+        decision.chosen.cost_micro
+    );
+    Ok(())
+}

@@ -1,0 +1,73 @@
+//! # deepbat
+//!
+//! A complete Rust reproduction of **DeepBAT: Performance and Cost
+//! Optimization of Serverless Inference Using Transformers** (Sun,
+//! Pinciroli, Casale, Smirni — IPDPS 2025).
+//!
+//! DeepBAT replaces the matrix-analytic optimizer of BATCH (SC'20) with a
+//! Transformer **deep surrogate model**: given a short window of request
+//! inter-arrival times and a candidate serverless configuration
+//! `(memory M, batch size B, timeout T)`, the surrogate predicts the
+//! latency-percentile vector and monetary cost, and an exhaustive grid
+//! search returns the cheapest SLO-feasible configuration — in
+//! milliseconds instead of tens of seconds.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`workload`] | MAP/MMPP arrival processes, the four synthetic evaluation traces, burstiness statistics (IDC/SCV/ACF) |
+//! | [`sim`] | discrete-event serverless batching simulator + AWS Lambda cost model (the ground-truth oracle) |
+//! | [`linalg`] | dense matrices, LU, GTH, matrix exponentials (uniformization) |
+//! | [`analytic`] | the BATCH baseline: MAP fitting + matrix-analytic latency model + grid optimizer |
+//! | [`nn`] | tensors, reverse-mode autograd, Transformer layers, Adam |
+//! | [`core`] | DeepBAT itself: Workload Parser, Buffer, surrogate, training/fine-tuning, optimizer, online controller |
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use deepbat::prelude::*;
+//!
+//! // 1. A bursty workload and the shared configuration grid.
+//! let trace = TraceKind::AzureLike.generate_for(7, 3_600.0);
+//! let grid = ConfigGrid::paper_default();
+//! let params = SimParams::default();
+//!
+//! // 2. Label random windows with the ground-truth simulator and train.
+//! let data = generate_dataset(&trace, &grid, &params, 200, 64, 0.1, 1);
+//! let mut model = Surrogate::new(
+//!     SurrogateConfig { seq_len: 64, ..SurrogateConfig::default() }, 42);
+//! train(&mut model, &data, &TrainConfig::fast());
+//!
+//! // 3. Ask DeepBAT for the cheapest configuration meeting a 100 ms p95 SLO.
+//! let optimizer = DeepBatOptimizer::new(grid, 0.1);
+//! let window = &data[0].window;
+//! let decision = optimizer.choose(&model, window);
+//! println!("serve with {}", decision.chosen.config);
+//! ```
+//!
+//! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
+//! the regenerators of every figure and table in the paper's evaluation.
+
+pub use dbat_analytic as analytic;
+pub use dbat_core as core;
+pub use dbat_linalg as linalg;
+pub use dbat_nn as nn;
+pub use dbat_sim as sim;
+pub use dbat_workload as workload;
+
+/// The commonly used names in one import.
+pub mod prelude {
+    pub use dbat_analytic::{fit_map, optimize_from_interarrivals, BatchController, BatchModel};
+    pub use dbat_core::{
+        estimate_gamma, fine_tune, generate_dataset, measure_schedule, train, Buffer,
+        DeepBatController, DeepBatOptimizer, Surrogate, SurrogateConfig, TrainConfig,
+        WorkloadParser,
+    };
+    pub use dbat_nn::{Module, Tensor};
+    pub use dbat_sim::{
+        simulate_batching, ConfigGrid, LambdaConfig, LatencySummary, Pricing, ServiceProfile,
+        SimParams,
+    };
+    pub use dbat_workload::{Map, Mmpp2, Rng, Trace, TraceKind, Window, DAY, HOUR};
+}

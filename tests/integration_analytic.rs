@@ -1,0 +1,91 @@
+//! Cross-crate validation of the BATCH baseline: trace → MAP fit → analytic
+//! model, checked against the discrete-event simulator.
+
+use deepbat::analytic::{fit_map, optimize_from_interarrivals, BatchModel};
+use deepbat::prelude::*;
+
+#[test]
+fn fitted_model_predictions_match_simulation() {
+    // Generate from a known MMPP, fit blindly from the interarrivals, and
+    // require the fitted analytic model to predict simulated latency and
+    // cost within loose-but-meaningful tolerances.
+    let truth = Mmpp2::from_targets(35.0, 25.0, 8.0, 0.35).to_map().unwrap();
+    let mut rng = Rng::new(7);
+    let arrivals = truth.simulate(&mut rng, 0.0, 2_000.0);
+    let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+    let fit = fit_map(&ia).expect("plenty of data");
+    assert!(!fit.is_poisson, "bursty stream must not fit Poisson");
+
+    let params = SimParams::default();
+    let model = BatchModel::from_fit(&fit, params);
+    for cfg in [LambdaConfig::new(2048, 8, 0.05), LambdaConfig::new(1024, 4, 0.1)] {
+        let analytic = model.evaluate(&cfg);
+        let sim = simulate_batching(&arrivals, &cfg, &params, None);
+        let p95_sim = sim.summary().p95;
+        let p95_ana = analytic.percentile(95.0);
+        assert!(
+            (p95_ana - p95_sim).abs() / p95_sim < 0.25,
+            "{cfg}: analytic p95 {p95_ana} vs simulated {p95_sim}"
+        );
+        let c_sim = sim.cost_per_request();
+        let c_ana = analytic.cost_per_request;
+        assert!(
+            (c_ana - c_sim).abs() / c_sim < 0.25,
+            "{cfg}: analytic cost {c_ana} vs simulated {c_sim}"
+        );
+    }
+}
+
+#[test]
+fn batch_optimizer_decision_is_feasible_in_simulation() {
+    let truth = Map::poisson(45.0);
+    let mut rng = Rng::new(8);
+    let arrivals = truth.simulate(&mut rng, 0.0, 600.0);
+    let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+    let grid = ConfigGrid::paper_default();
+    let params = SimParams::default();
+    let slo = 0.1;
+    let (best, _) = optimize_from_interarrivals(&ia, &grid, &params, slo, 95.0).unwrap();
+
+    // Validate the analytic optimum on held-out traffic from the same process.
+    let mut rng = Rng::new(9);
+    let fresh = truth.simulate(&mut rng, 0.0, 600.0);
+    let sim = simulate_batching(&fresh, &best.config, &params, None);
+    assert!(
+        sim.summary().p95 <= slo * 1.1,
+        "BATCH optimum {} violates SLO on fresh traffic: p95 {}",
+        best.config,
+        sim.summary().p95
+    );
+    // And it should exploit batching at 45 req/s under a 100 ms budget.
+    assert!(best.config.batch_size >= 2, "{}", best.config);
+}
+
+#[test]
+fn stale_fit_misses_workload_shift() {
+    // The paper's central criticism of BATCH: a configuration fitted on a
+    // quiet hour violates the SLO when intensity jumps. Reproduce that in
+    // miniature.
+    let quiet = Map::poisson(8.0);
+    let burst = Mmpp2::from_targets(120.0, 80.0, 10.0, 0.4).to_map().unwrap();
+    let params = SimParams::default();
+    let grid = ConfigGrid::paper_default();
+    let slo = 0.1;
+
+    let mut rng = Rng::new(10);
+    let quiet_arrivals = quiet.simulate(&mut rng, 0.0, 900.0);
+    let ia: Vec<f64> = quiet_arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+    let (fitted_on_quiet, _) = optimize_from_interarrivals(&ia, &grid, &params, slo, 95.0).unwrap();
+
+    let burst_arrivals = burst.simulate(&mut rng, 0.0, 300.0);
+    let sim = simulate_batching(&burst_arrivals, &fitted_on_quiet.config, &params, None);
+    let oracle = deepbat::sim::ground_truth(&burst_arrivals, &grid, &params, slo, 95.0).unwrap();
+    // The clairvoyant optimum for the burst must differ from (and beat) the
+    // stale configuration.
+    assert!(
+        sim.summary().p95 > oracle.summary.p95,
+        "stale config p95 {} should be worse than oracle {}",
+        sim.summary().p95,
+        oracle.summary.p95
+    );
+}

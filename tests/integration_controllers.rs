@@ -1,0 +1,83 @@
+//! Controller-level integration: DeepBAT's and BATCH's control loops over a
+//! shifting workload, measured by the shared harness.
+
+use deepbat::core::{
+    generate_dataset, measure_schedule, train, vcr_of, DeepBatController, Surrogate,
+    SurrogateConfig, TrainConfig,
+};
+use deepbat::prelude::*;
+
+fn shifting_trace(seed: u64) -> Trace {
+    // 5 minutes quiet, 5 minutes bursty.
+    let quiet = Map::poisson(12.0);
+    let burst = Mmpp2::from_targets(90.0, 50.0, 8.0, 0.35).to_map().unwrap();
+    let mut rng = Rng::new(seed);
+    let mut ts = quiet.simulate(&mut rng, 0.0, 300.0);
+    ts.extend(burst.simulate(&mut rng, 300.0, 300.0));
+    Trace::new(ts, 600.0)
+}
+
+fn grid() -> ConfigGrid {
+    ConfigGrid {
+        memories_mb: vec![1024, 2048, 3008],
+        batch_sizes: vec![1, 4, 8],
+        timeouts_s: vec![0.0, 0.02, 0.05],
+    }
+}
+
+#[test]
+fn measurement_harness_conserves_requests() {
+    let trace = shifting_trace(1);
+    let schedule: Vec<(f64, f64, LambdaConfig)> = (0..10)
+        .map(|i| (i as f64 * 60.0, (i + 1) as f64 * 60.0, LambdaConfig::new(2048, 4, 0.05)))
+        .collect();
+    let ms = measure_schedule(&trace, &schedule, &SimParams::default(), 0.1, 95.0);
+    let total: usize = ms.iter().map(|m| m.requests).sum();
+    assert_eq!(total, trace.len());
+    assert!(ms.iter().all(|m| m.cost_per_request > 0.0));
+}
+
+#[test]
+fn batch_controller_plans_and_measures() {
+    let trace = shifting_trace(2);
+    let mut ctl = deepbat::analytic::BatchController::new(grid(), 0.1);
+    ctl.refit_interval = 120.0;
+    let plan = ctl.plan(&trace);
+    assert_eq!(plan.len(), 5);
+    // All intervals with data must have refitted.
+    assert!(plan.iter().all(|p| p.refitted));
+    // Measure it with the shared harness.
+    let schedule: Vec<(f64, f64, LambdaConfig)> =
+        plan.iter().map(|p| (p.start, p.end, p.config)).collect();
+    let ms = measure_schedule(&trace, &schedule, &SimParams::default(), 0.1, 95.0);
+    let v = vcr_of(&ms);
+    assert!((0.0..=100.0).contains(&v));
+}
+
+#[test]
+fn deepbat_controller_adapts_to_shift() {
+    let trace = shifting_trace(3);
+    let slo = 0.1;
+    let seq_len = 32;
+    // Train on a mixture so both regimes are in-distribution.
+    let data = generate_dataset(&trace, &grid(), &SimParams::default(), 300, seq_len, slo, 6);
+    let mut model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 4);
+    train(&mut model, &data, &TrainConfig { epochs: 15, lr: 2e-3, ..TrainConfig::default() });
+
+    let mut ctl = DeepBatController::new(grid(), slo);
+    ctl.decision_interval = 30.0;
+    let (schedule, measured) = ctl.run(&model, &trace, 0.0, 600.0);
+    assert_eq!(schedule.len(), 20);
+
+    // The controller must not pick identical configurations for the quiet
+    // and bursty halves (it sees very different windows).
+    let first_half: Vec<_> = schedule.iter().filter(|e| e.0 < 300.0).map(|e| e.2).collect();
+    let second_half: Vec<_> = schedule.iter().filter(|e| e.0 >= 330.0).map(|e| e.2).collect();
+    assert!(
+        first_half.iter().any(|c| !second_half.contains(c))
+            || second_half.iter().any(|c| !first_half.contains(c)),
+        "controller never adapted: {first_half:?} vs {second_half:?}"
+    );
+    // And the measured VCR should be well below total failure.
+    assert!(vcr_of(&measured) < 60.0, "VCR {}", vcr_of(&measured));
+}
