@@ -79,7 +79,14 @@ impl BatchController {
                 ),
             };
             current = Some(config);
-            out.push(PlannedInterval { index: i, start, end, config, refitted, solve_time });
+            out.push(PlannedInterval {
+                index: i,
+                start,
+                end,
+                config,
+                refitted,
+                solve_time,
+            });
         }
         out
     }

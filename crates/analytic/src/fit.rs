@@ -29,7 +29,11 @@ impl FitTargets {
         if m <= 0.0 {
             return None;
         }
-        Some(FitTargets { rate: 1.0 / m, scv: scv(ia), lag1: autocorrelation(ia, 1) })
+        Some(FitTargets {
+            rate: 1.0 / m,
+            scv: scv(ia),
+            lag1: autocorrelation(ia, 1),
+        })
     }
 }
 
@@ -73,7 +77,7 @@ pub fn fit_to_targets(targets: FitTargets) -> FittedMap {
             for &idc in &idc_grid {
                 let cand = Mmpp2::from_targets(targets.rate, idc, ratio, p1);
                 if let Some(err) = candidate_error(&cand, &targets) {
-                    if best.as_ref().map_or(true, |(e, _)| err < *e) {
+                    if best.as_ref().is_none_or(|(e, _)| err < *e) {
                         best = Some((err, cand));
                     }
                 }
@@ -159,7 +163,11 @@ mod tests {
         let fit = fit_map(&ia).unwrap();
         assert!(!fit.is_poisson);
         // Rate matched closely; SCV within a factor reflecting sampling noise.
-        assert!((fit.map.rate() - 20.0).abs() / 20.0 < 0.1, "rate {}", fit.map.rate());
+        assert!(
+            (fit.map.rate() - 20.0).abs() / 20.0 < 0.1,
+            "rate {}",
+            fit.map.rate()
+        );
         let true_scv = map.scv();
         let fit_scv = fit.map.scv();
         assert!(
@@ -175,7 +183,11 @@ mod tests {
         // land very close.
         let truth = Mmpp2::from_targets(15.0, 30.0, 8.0, 0.25);
         let tm = truth.to_map().unwrap();
-        let targets = FitTargets { rate: tm.rate(), scv: tm.scv(), lag1: tm.lag_correlation(1) };
+        let targets = FitTargets {
+            rate: tm.rate(),
+            scv: tm.scv(),
+            lag1: tm.lag_correlation(1),
+        };
         let fit = fit_to_targets(targets);
         assert!(fit.residual < 0.05, "residual {}", fit.residual);
         assert!((fit.map.rate() - 15.0).abs() < 1e-6);

@@ -31,7 +31,7 @@
 
 use crate::fit::FittedMap;
 use dbat_linalg::{expm, inverse, Mat};
-use dbat_sim::{ConfigGrid, LambdaConfig, SimParams};
+use dbat_sim::{ConfigGrid, LambdaConfig, SimParams, PERCENTILE_KEYS};
 use dbat_workload::Map;
 use rayon::prelude::*;
 
@@ -61,14 +61,10 @@ pub struct AnalyticEvaluation {
 }
 
 impl AnalyticEvaluation {
+    /// Look up a percentile: exact at the computed keys (50/90/95/99),
+    /// linearly interpolated between them otherwise (clamped at the ends).
     pub fn percentile(&self, p: f64) -> f64 {
-        match p as u32 {
-            50 => self.percentiles[0],
-            90 => self.percentiles[1],
-            95 => self.percentiles[2],
-            99 => self.percentiles[3],
-            _ => panic!("only percentiles 50/90/95/99 are computed"),
-        }
+        dbat_workload::stats::interp_tracked_percentile(&PERCENTILE_KEYS, &self.percentiles, p)
     }
 }
 
@@ -84,7 +80,12 @@ pub struct BatchModel {
 
 impl BatchModel {
     pub fn new(map: Map, params: SimParams) -> Self {
-        BatchModel { map, params, grid_cells: 48, phase_iterations: 12 }
+        BatchModel {
+            map,
+            params,
+            grid_cells: 48,
+            phase_iterations: 12,
+        }
     }
 
     pub fn from_fit(fit: &FittedMap, params: SimParams) -> Self {
@@ -178,11 +179,7 @@ impl BatchModel {
             for x in &mut next {
                 *x /= tot;
             }
-            let diff: f64 = next
-                .iter()
-                .zip(&phi_open)
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let diff: f64 = next.iter().zip(&phi_open).map(|(a, b)| (a - b).abs()).sum();
             phi_open = next;
             if diff < 1e-10 {
                 break;
@@ -199,7 +196,11 @@ impl BatchModel {
             let m: f64 = (0..p).map(|i| alphas[g][n * p + i]).sum();
             pmf[n] += m; // level n at T => realised size n + 1
         }
-        let mean_batch: f64 = pmf.iter().enumerate().map(|(i, &m)| (i + 1) as f64 * m).sum();
+        let mean_batch: f64 = pmf
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| (i + 1) as f64 * m)
+            .sum();
 
         // Backward recursion: R_k[s][outcome], outcomes = w ∈ 0..G (fill
         // after w more cells) followed by timeout levels 0..levels-1.
@@ -312,7 +313,13 @@ impl BatchModel {
             }
         }
 
-        WaitStructure { batch, timeout, outcomes, batch_pmf: pmf, mean_batch }
+        WaitStructure {
+            batch,
+            timeout,
+            outcomes,
+            batch_pmf: pmf,
+            mean_batch,
+        }
     }
 
     fn forward(
@@ -455,7 +462,7 @@ mod tests {
         let t = 0.08;
         let model = BatchModel::new(Map::poisson(lam), params());
         let ws = model.wait_structure(2, t);
-        let p_full = 1.0 - (-lam * t as f64).exp();
+        let p_full = 1.0 - (-lam * t).exp();
         assert!(
             (ws.batch_pmf[1] - p_full).abs() < 2e-3,
             "pmf {} vs closed form {}",

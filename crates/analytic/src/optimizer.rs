@@ -6,11 +6,7 @@ use dbat_sim::{ConfigGrid, SimParams};
 
 /// Pick the cheapest configuration whose `p`-th latency percentile meets the
 /// SLO; fall back to the lowest-latency configuration when none is feasible.
-pub fn select_best(
-    evals: &[AnalyticEvaluation],
-    slo: f64,
-    p: f64,
-) -> Option<AnalyticEvaluation> {
+pub fn select_best(evals: &[AnalyticEvaluation], slo: f64, p: f64) -> Option<AnalyticEvaluation> {
     if evals.is_empty() {
         return None;
     }
@@ -58,10 +54,13 @@ mod tests {
         let ia: Vec<f64> = arr.windows(2).map(|w| w[1] - w[0]).collect();
         let grid = ConfigGrid::paper_default();
         let params = SimParams::default();
-        let (best, fit) =
-            optimize_from_interarrivals(&ia, &grid, &params, 0.1, 95.0).unwrap();
+        let (best, fit) = optimize_from_interarrivals(&ia, &grid, &params, 0.1, 95.0).unwrap();
         assert!(fit.is_poisson);
-        assert!(best.percentile(95.0) <= 0.1 + 1e-9, "p95 {}", best.percentile(95.0));
+        assert!(
+            best.percentile(95.0) <= 0.1 + 1e-9,
+            "p95 {}",
+            best.percentile(95.0)
+        );
         // Under a 0.1 s SLO at 50 req/s, some batching should be optimal.
         assert!(best.config.batch_size >= 2, "{}", best.config);
     }
@@ -74,10 +73,8 @@ mod tests {
         let ia: Vec<f64> = arr.windows(2).map(|w| w[1] - w[0]).collect();
         let grid = ConfigGrid::paper_default();
         let params = SimParams::default();
-        let (tight, _) =
-            optimize_from_interarrivals(&ia, &grid, &params, 0.06, 95.0).unwrap();
-        let (loose, _) =
-            optimize_from_interarrivals(&ia, &grid, &params, 0.3, 95.0).unwrap();
+        let (tight, _) = optimize_from_interarrivals(&ia, &grid, &params, 0.06, 95.0).unwrap();
+        let (loose, _) = optimize_from_interarrivals(&ia, &grid, &params, 0.3, 95.0).unwrap();
         assert!(loose.cost_per_request <= tight.cost_per_request + 1e-18);
     }
 

@@ -1,8 +1,10 @@
 //! Micro-benchmarks of the nn compute kernels (the training hot path).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dbat_nn::{bmm, bmm_nt, bmm_tn, matmul2d, softmax_lastdim, Binder, Graph, InitRng,
-    MultiHeadAttention, Tensor};
+use dbat_nn::{
+    bmm, bmm_nt, bmm_tn, matmul2d, softmax_lastdim, Binder, Graph, InitRng, MultiHeadAttention,
+    Tensor,
+};
 use std::hint::black_box;
 
 fn bench_kernels(c: &mut Criterion) {

@@ -23,7 +23,13 @@ fn bench_predict(c: &mut Criterion) {
     let slo = 0.1;
 
     // DeepBAT with the paper-shaped surrogate (dim 16, 2 layers, seq 128).
-    let model = Surrogate::new(SurrogateConfig { seq_len: 128, ..SurrogateConfig::default() }, 7);
+    let model = Surrogate::new(
+        SurrogateConfig {
+            seq_len: 128,
+            ..SurrogateConfig::default()
+        },
+        7,
+    );
     let window: Vec<f64> = ia[..128].to_vec();
     let opt = DeepBatOptimizer::new(grid.clone(), slo);
     g.bench_function("deepbat_decision_216_configs", |b| {

@@ -9,18 +9,28 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("abl_coldstart");
     let trace = TraceKind::AzureLike.generate_for(s.seed_for(TraceKind::AzureLike), HOUR);
     let slice = trace.slice(10.0 * 60.0, 25.0 * 60.0);
     let arrivals = slice.timestamps();
     let cfg = LambdaConfig::new(2048, 8, 0.05);
-    println!("workload: 15-min azure-like slice, {} requests; config {cfg}", slice.len());
+    println!(
+        "workload: 15-min azure-like slice, {} requests; config {cfg}",
+        slice.len()
+    );
 
-    report::banner("Ablation: cold starts", "p95/p99 vs cold-start probability (delay 400 ms)");
+    report::banner(
+        "Ablation: cold starts",
+        "p95/p99 vs cold-start probability (delay 400 ms)",
+    );
     let mut rows = Vec::new();
     for prob in [0.0, 0.01, 0.05, 0.1, 0.25] {
         let params = SimParams {
             cold_start: if prob > 0.0 {
-                Some(ColdStart { probability: prob, delay_s: 0.4 })
+                Some(ColdStart {
+                    probability: prob,
+                    delay_s: 0.4,
+                })
             } else {
                 None
             },
@@ -39,18 +49,28 @@ fn main() {
             report::f(out.cost_per_request() * 1e6, 4),
         ]);
     }
-    report::table(&["P(cold)", "cold_batches_%", "p95_ms", "p99_ms", "cost_u$"], &rows);
+    report::table(
+        &["P(cold)", "cold_batches_%", "p95_ms", "p99_ms", "cost_u$"],
+        &rows,
+    );
     println!("\ncold starts inflate tail latency (p99 before p95) without changing");
     println!("billed cost — the SLO margin chosen by the optimizer must absorb them.");
 
-    report::banner("Ablation: concurrency quota", "p95 vs account concurrency limit");
+    report::banner(
+        "Ablation: concurrency quota",
+        "p95 vs account concurrency limit",
+    );
     let params = SimParams::default();
     let mut rows = Vec::new();
     for limit in [1usize, 2, 4, 8, 16, usize::MAX] {
         let out = simulate_with_concurrency(arrivals, &cfg, &params, limit);
         let sum = out.summary();
         rows.push(vec![
-            if limit == usize::MAX { "unlimited".into() } else { limit.to_string() },
+            if limit == usize::MAX {
+                "unlimited".into()
+            } else {
+                limit.to_string()
+            },
             report::f(sum.p50 * 1e3, 1),
             report::f(sum.p95 * 1e3, 1),
             report::f(sum.max * 1e3, 1),

@@ -10,6 +10,7 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("abl_gamma");
     let model = s.ensure_finetuned(TraceKind::SyntheticMap);
     let trace = s.trace(TraceKind::SyntheticMap);
     let hours = s.eval_hours.min((trace.horizon() / HOUR) as usize).min(6);

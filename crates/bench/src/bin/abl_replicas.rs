@@ -6,15 +6,17 @@
 //! "reference" labels.
 
 use dbat_bench::{report, ExpSettings};
-use dbat_core::{
-    label_replicated, train, Surrogate, SurrogateConfig, TrainConfig, TrainSample,
-};
+use dbat_core::{label_replicated, train, Surrogate, SurrogateConfig, TrainConfig, TrainSample};
 use dbat_workload::{sample_windows, Rng, TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
-    let (n_train, n_val, epochs, seq_len) =
-        if s.fast { (100, 40, 3, 32) } else { (400, 120, 10, 64) };
+    let _telemetry = s.init_telemetry("abl_replicas");
+    let (n_train, n_val, epochs, seq_len) = if s.fast {
+        (100, 40, 3, 32)
+    } else {
+        (400, 120, 10, 64)
+    };
     let trace = s.trace(TraceKind::AzureLike);
     let half = trace.slice(0.0, (3.0 * HOUR).min(trace.horizon()));
 
@@ -32,19 +34,37 @@ fn main() {
         .collect();
     let val_rows: Vec<usize> = (0..val.len()).collect();
 
-    report::banner("Ablation: label replication", "validation MAPE vs replicas in training labels");
+    report::banner(
+        "Ablation: label replication",
+        "validation MAPE vs replicas in training labels",
+    );
     let mut rows = Vec::new();
     for replicas in [1usize, 4, 8] {
         let mut trng = Rng::new(810);
         let data: Vec<TrainSample> = windows
             .iter()
             .map(|w| {
-                label_replicated(&w.interarrivals, &cfg_of(&mut trng), &s.params, s.slo, replicas)
+                label_replicated(
+                    &w.interarrivals,
+                    &cfg_of(&mut trng),
+                    &s.params,
+                    s.slo,
+                    replicas,
+                )
             })
             .collect();
-        let mut model =
-            Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 77);
-        let tc = TrainConfig { epochs, lr: 3e-3, ..TrainConfig::default() };
+        let mut model = Surrogate::new(
+            SurrogateConfig {
+                seq_len,
+                ..SurrogateConfig::default()
+            },
+            77,
+        );
+        let tc = TrainConfig {
+            epochs,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        };
         let rep = train(&mut model, &data, &tc);
         let holdout = dbat_core::validation_mape(&model, &val, &val_rows);
         rows.push(vec![

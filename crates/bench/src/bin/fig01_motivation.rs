@@ -12,11 +12,16 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig01_motivation");
     let trace = TraceKind::AzureLike.generate_for(s.seed_for(TraceKind::AzureLike), HOUR);
     // A busy 10-minute slice.
     let slice = trace.slice(20.0 * 60.0, 30.0 * 60.0);
     let arrivals = slice.timestamps();
-    println!("workload: azure-like 10-min slice, {} requests ({:.1}/s)", slice.len(), slice.mean_rate());
+    println!(
+        "workload: azure-like 10-min slice, {} requests ({:.1}/s)",
+        slice.len(),
+        slice.mean_rate()
+    );
 
     report::banner("Fig 1a", "memory size sweep (B=8, T=50ms)");
     let rows: Vec<Vec<String>> = [512u32, 1024, 1536, 2048, 3008, 4096, 6144, 8192, 10240]
@@ -31,7 +36,10 @@ fn main() {
             ]
         })
         .collect();
-    report::table(&["memory_MB", "mean_ms", "p95_ms", "cost_u$_per_req"], &rows);
+    report::table(
+        &["memory_MB", "mean_ms", "p95_ms", "cost_u$_per_req"],
+        &rows,
+    );
 
     report::banner("Fig 1b", "batch size sweep (M=2048MB, T=100ms)");
     let rows: Vec<Vec<String>> = [1u32, 2, 4, 8, 16, 32]
@@ -47,7 +55,16 @@ fn main() {
             ]
         })
         .collect();
-    report::table(&["batch_B", "mean_ms", "p95_ms", "cost_u$_per_req", "realized_E[b]"], &rows);
+    report::table(
+        &[
+            "batch_B",
+            "mean_ms",
+            "p95_ms",
+            "cost_u$_per_req",
+            "realized_E[b]",
+        ],
+        &rows,
+    );
 
     report::banner("Fig 1c", "timeout sweep (M=2048MB, B=16)");
     let rows: Vec<Vec<String>> = [0.0, 0.01, 0.025, 0.05, 0.1, 0.2, 0.5]
@@ -63,5 +80,14 @@ fn main() {
             ]
         })
         .collect();
-    report::table(&["timeout_ms", "mean_ms", "p95_ms", "cost_u$_per_req", "realized_E[b]"], &rows);
+    report::table(
+        &[
+            "timeout_ms",
+            "mean_ms",
+            "p95_ms",
+            "cost_u$_per_req",
+            "realized_E[b]",
+        ],
+        &rows,
+    );
 }

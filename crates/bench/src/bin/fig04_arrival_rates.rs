@@ -9,11 +9,17 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig04_arrival_rates");
     for kind in TraceKind::ALL {
         let trace = s.trace(kind);
         report::banner(
             "Fig 4",
-            &format!("{} arrival rate ({} arrivals over {:.0} h)", kind.name(), trace.len(), trace.horizon() / HOUR),
+            &format!(
+                "{} arrival rate ({} arrivals over {:.0} h)",
+                kind.name(),
+                trace.len(),
+                trace.horizon() / HOUR
+            ),
         );
         // One row per 15 simulated minutes; inline bar normalised to peak.
         let bin = 900.0;

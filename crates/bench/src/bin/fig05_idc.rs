@@ -9,6 +9,7 @@ use dbat_workload::{idc_series, TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig05_idc");
     let mut summary_rows = Vec::new();
     for kind in TraceKind::ALL {
         let trace = s.trace(kind);

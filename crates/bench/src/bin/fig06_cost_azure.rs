@@ -10,6 +10,7 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig06_cost_azure");
     let model = s.ensure_base_model();
     let azure = s.trace(TraceKind::AzureLike);
 
@@ -17,7 +18,10 @@ fn main() {
     let (w0, w1) = if azure.horizon() >= 20.0 * HOUR {
         (19.0 * HOUR + 40.0 * 60.0, 19.0 * HOUR + 50.0 * 60.0)
     } else {
-        (azure.horizon() * 0.8, azure.horizon() * 0.8 + 600.0_f64.min(azure.horizon() * 0.1))
+        (
+            azure.horizon() * 0.8,
+            azure.horizon() * 0.8 + 600.0_f64.min(azure.horizon() * 0.1),
+        )
     };
 
     // γ from the surrogate's own prediction error on held-out Azure data
@@ -26,7 +30,10 @@ fn main() {
     let gamma = estimate_gamma(&model, &held_out, &s.grid, &s.params, 24, 76);
     println!("robustness penalty gamma = {gamma:.3}");
 
-    report::banner("Fig 6", "Azure snapshot: per-interval cost, BATCH vs DeepBAT vs oracle");
+    report::banner(
+        "Fig 6",
+        "Azure snapshot: per-interval cost, BATCH vs DeepBAT vs oracle",
+    );
     let db = compare::deepbat_schedule(&model, &azure, &s, w0, w1, gamma);
     let bt = compare::batch_schedule(&azure, &s, w0, w1);
     let or = compare::oracle_schedule(&azure, &s, w0, w1);
@@ -50,7 +57,14 @@ fn main() {
         })
         .collect();
     report::table(
-        &["min", "deepbat_u$", "batch_u$", "oracle_u$", "deepbat_cfg", "batch_cfg"],
+        &[
+            "min",
+            "deepbat_u$",
+            "batch_u$",
+            "oracle_u$",
+            "deepbat_cfg",
+            "batch_cfg",
+        ],
         &rows,
     );
 
@@ -68,7 +82,10 @@ fn main() {
     // trained on Azure is applied directly, no retraining or fine-tuning).
     let twitter = s.trace(TraceKind::TwitterLike);
     let t1 = (3.0 * HOUR).min(twitter.horizon());
-    report::banner("Obs #1 (zero-shot)", "Twitter-like trace, same model, no fine-tuning");
+    report::banner(
+        "Obs #1 (zero-shot)",
+        "Twitter-like trace, same model, no fine-tuning",
+    );
     let db = compare::deepbat_schedule(&model, &twitter, &s, 0.0, t1, gamma);
     let bt = compare::batch_schedule(&twitter, &s, 0.0, t1);
     let mdb = compare::measure(&twitter, &db, &s);

@@ -11,13 +11,17 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig07_alibaba_hour");
     let model = s.ensure_finetuned(TraceKind::AlibabaLike);
     let trace = s.trace(TraceKind::AlibabaLike);
     // The paper shows hour 5-6; our regenerated trace's "flat hour followed
     // by an unpredicted peak" lands at hour 4 (see fig08's VCR table), so
     // that is the representative hour here.
     let h0 = if s.fast { 1.0 } else { 4.0 };
-    let (w0, w1) = (h0 * HOUR, (h0 + 1.0) * HOUR.min(trace.horizon() - h0 * HOUR));
+    let (w0, w1) = (
+        h0 * HOUR,
+        (h0 + 1.0) * HOUR.min(trace.horizon() - h0 * HOUR),
+    );
 
     // γ from the fine-tuning hour (§III-D).
     let first_hour = trace.slice(0.0, HOUR.min(trace.horizon()));
@@ -29,7 +33,15 @@ fn main() {
     let mdb = compare::measure(&trace, &db, &s);
     let mbt = compare::measure(&trace, &bt, &s);
 
-    report::banner("Fig 7a", format!("hour {h0}-{}: measured p95 latency (ms); SLO = {} ms", h0 + 1.0, s.slo * 1e3).as_str());
+    report::banner(
+        "Fig 7a",
+        format!(
+            "hour {h0}-{}: measured p95 latency (ms); SLO = {} ms",
+            h0 + 1.0,
+            s.slo * 1e3
+        )
+        .as_str(),
+    );
     let rows: Vec<Vec<String>> = mdb
         .iter()
         .zip(&mbt)
@@ -39,11 +51,18 @@ fn main() {
                 report::f(d.summary.p95 * 1e3, 1),
                 report::f(b.summary.p95 * 1e3, 1),
                 if d.violation { "!".into() } else { "".into() },
-                if b.violation { "VIOLATION".into() } else { "".into() },
+                if b.violation {
+                    "VIOLATION".into()
+                } else {
+                    "".into()
+                },
             ]
         })
         .collect();
-    report::table(&["min", "deepbat_p95", "batch_p95", "db_viol", "batch_viol"], &rows);
+    report::table(
+        &["min", "deepbat_p95", "batch_p95", "db_viol", "batch_viol"],
+        &rows,
+    );
 
     report::banner("Fig 7b", "per-interval cost (µ$/request)");
     let rows: Vec<Vec<String>> = mdb

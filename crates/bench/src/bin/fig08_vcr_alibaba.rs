@@ -9,6 +9,7 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig08_vcr_alibaba");
     let trace = s.trace(TraceKind::AlibabaLike);
     let hours = s.eval_hours.min((trace.horizon() / HOUR) as usize);
     let t1 = hours as f64 * HOUR;
@@ -19,8 +20,16 @@ fn main() {
     let gamma = estimate_gamma(&ft, &first_hour, &s.grid, &s.params, 24, 78);
     println!("gamma = {gamma:.3}; evaluating {hours} hours");
 
-    let m_ft = compare::measure(&trace, &compare::deepbat_schedule(&ft, &trace, &s, 0.0, t1, gamma), &s);
-    let m_base = compare::measure(&trace, &compare::deepbat_schedule(&base, &trace, &s, 0.0, t1, 0.0), &s);
+    let m_ft = compare::measure(
+        &trace,
+        &compare::deepbat_schedule(&ft, &trace, &s, 0.0, t1, gamma),
+        &s,
+    );
+    let m_base = compare::measure(
+        &trace,
+        &compare::deepbat_schedule(&base, &trace, &s, 0.0, t1, 0.0),
+        &s,
+    );
     let m_bt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, 0.0, t1), &s);
 
     let v_ft = hourly_vcr(&m_ft, hours, HOUR);
@@ -38,7 +47,10 @@ fn main() {
             ]
         })
         .collect();
-    report::table(&["hour", "BATCH", "DeepBAT_ft", "DeepBAT_pretrained"], &rows);
+    report::table(
+        &["hour", "BATCH", "DeepBAT_ft", "DeepBAT_pretrained"],
+        &rows,
+    );
 
     report::banner("Fig 8 summary", "overall");
     report::table(

@@ -9,6 +9,7 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig09_synth_hour");
     let model = s.ensure_finetuned(TraceKind::SyntheticMap);
     let trace = s.trace(TraceKind::SyntheticMap);
     // Paper: hour 3-4. Our synthetic trace's sharpest previous-hour
@@ -20,10 +21,21 @@ fn main() {
     let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 79);
     println!("gamma = {gamma:.3}");
 
-    let mdb = compare::measure(&trace, &compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma), &s);
+    let mdb = compare::measure(
+        &trace,
+        &compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma),
+        &s,
+    );
     let mbt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, w0, w1), &s);
 
-    report::banner("Fig 9a", &format!("hour {h0}-{}: p95 latency (ms); SLO = {} ms", h0 + 1.0, s.slo * 1e3));
+    report::banner(
+        "Fig 9a",
+        &format!(
+            "hour {h0}-{}: p95 latency (ms); SLO = {} ms",
+            h0 + 1.0,
+            s.slo * 1e3
+        ),
+    );
     let rows: Vec<Vec<String>> = mdb
         .iter()
         .zip(&mbt)
@@ -33,11 +45,18 @@ fn main() {
                 report::f(d.summary.p95 * 1e3, 1),
                 report::f(b.summary.p95 * 1e3, 1),
                 if d.violation { "!".into() } else { "".into() },
-                if b.violation { "VIOLATION".into() } else { "".into() },
+                if b.violation {
+                    "VIOLATION".into()
+                } else {
+                    "".into()
+                },
             ]
         })
         .collect();
-    report::table(&["min", "deepbat_p95", "batch_p95", "db_viol", "batch_viol"], &rows);
+    report::table(
+        &["min", "deepbat_p95", "batch_p95", "db_viol", "batch_viol"],
+        &rows,
+    );
 
     report::banner("Fig 9b", "per-interval cost (µ$/request)");
     let rows: Vec<Vec<String>> = mdb

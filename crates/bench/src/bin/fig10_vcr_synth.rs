@@ -8,6 +8,7 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig10_vcr_synth");
     let trace = s.trace(TraceKind::SyntheticMap);
     let hours = s.eval_hours.min((trace.horizon() / HOUR) as usize);
     let t1 = hours as f64 * HOUR;
@@ -17,7 +18,11 @@ fn main() {
     let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 80);
     println!("gamma = {gamma:.3}; evaluating {hours} hours");
 
-    let m_db = compare::measure(&trace, &compare::deepbat_schedule(&model, &trace, &s, 0.0, t1, gamma), &s);
+    let m_db = compare::measure(
+        &trace,
+        &compare::deepbat_schedule(&model, &trace, &s, 0.0, t1, gamma),
+        &s,
+    );
     let m_bt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, 0.0, t1), &s);
     let v_db = hourly_vcr(&m_db, hours, HOUR);
     let v_bt = hourly_vcr(&m_bt, hours, HOUR);
@@ -34,7 +39,10 @@ fn main() {
             ]
         })
         .collect();
-    report::table(&["hour", "BATCH", "DeepBAT_ft", "BATCH_bar", "DeepBAT_bar"], &rows);
+    report::table(
+        &["hour", "BATCH", "DeepBAT_ft", "BATCH_bar", "DeepBAT_bar"],
+        &rows,
+    );
 
     report::banner("Fig 10 summary", "overall");
     report::table(

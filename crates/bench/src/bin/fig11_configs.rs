@@ -11,6 +11,7 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig11_configs");
     let model = s.ensure_finetuned(TraceKind::SyntheticMap);
     let trace = s.trace(TraceKind::SyntheticMap);
     let h0 = if s.fast { 1.0 } else { 2.0 };
@@ -23,7 +24,13 @@ fn main() {
     let bt = compare::batch_schedule(&trace, &s, w0, w1);
     let or = compare::oracle_schedule(&trace, &s, w0, w1);
 
-    report::banner("Fig 11", &format!("configurations over hour {h0}-{} of the synthetic trace", h0 + 1.0));
+    report::banner(
+        "Fig 11",
+        &format!(
+            "configurations over hour {h0}-{} of the synthetic trace",
+            h0 + 1.0
+        ),
+    );
     let rows: Vec<Vec<String>> = db
         .iter()
         .zip(&bt)
@@ -45,8 +52,8 @@ fn main() {
         .collect();
     report::table(
         &[
-            "min", "M_db", "M_batch", "M_truth", "B_db", "B_batch", "B_truth", "T_db",
-            "T_batch", "T_truth",
+            "min", "M_db", "M_batch", "M_truth", "B_db", "B_batch", "B_truth", "T_db", "T_batch",
+            "T_truth",
         ],
         &rows,
     );
@@ -69,8 +76,16 @@ fn main() {
     report::table(
         &["policy", "exact_match_%", "mean_|dM|_MB"],
         &[
-            vec!["DeepBAT".into(), report::f(agree(&db), 1), report::f(mem_dev(&db), 0)],
-            vec!["BATCH".into(), report::f(agree(&bt), 1), report::f(mem_dev(&bt), 0)],
+            vec![
+                "DeepBAT".into(),
+                report::f(agree(&db), 1),
+                report::f(mem_dev(&db), 0),
+            ],
+            vec![
+                "BATCH".into(),
+                report::f(agree(&bt), 1),
+                report::f(mem_dev(&bt), 0),
+            ],
         ],
     );
 }

@@ -12,6 +12,7 @@ use dbat_workload::{TraceKind, HOUR};
 
 fn main() {
     let mut s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig12_slo_variation");
     let model = s.ensure_finetuned(TraceKind::SyntheticMap);
     let trace = s.trace(TraceKind::SyntheticMap);
     // Paper: hour 2-3 with varied SLOs; hour 5 is our equivalent interval
@@ -22,17 +23,29 @@ fn main() {
 
     let first_hour = trace.slice(0.0, HOUR.min(trace.horizon()));
 
-    let slos = if s.fast { vec![0.15] } else { vec![0.05, 0.15, 0.20, 0.25] };
+    let slos = if s.fast {
+        vec![0.15]
+    } else {
+        vec![0.05, 0.15, 0.20, 0.25]
+    };
     for slo in slos {
         s.slo = slo;
         let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 82);
-        let mdb = compare::measure(&trace, &compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma), &s);
+        let mdb = compare::measure(
+            &trace,
+            &compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma),
+            &s,
+        );
         let mbt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, w0, w1), &s);
         let mor = compare::measure(&trace, &compare::oracle_schedule(&trace, &s, w0, w1), &s);
 
         report::banner(
             "Fig 12",
-            &format!("hour {h0}-{}: p95 latency (ms) with SLO = {} ms", h0 + 1.0, slo * 1e3),
+            &format!(
+                "hour {h0}-{}: p95 latency (ms) with SLO = {} ms",
+                h0 + 1.0,
+                slo * 1e3
+            ),
         );
         let rows: Vec<Vec<String>> = mdb
             .iter()
@@ -44,11 +57,18 @@ fn main() {
                     report::f(d.summary.p95 * 1e3, 1),
                     report::f(b.summary.p95 * 1e3, 1),
                     report::f(o.summary.p95 * 1e3, 1),
-                    if b.violation { "BATCH-VIOLATION".into() } else { "".into() },
+                    if b.violation {
+                        "BATCH-VIOLATION".into()
+                    } else {
+                        "".into()
+                    },
                 ]
             })
             .collect();
-        report::table(&["min", "deepbat_p95", "batch_p95", "truth_p95", "note"], &rows);
+        report::table(
+            &["min", "deepbat_p95", "batch_p95", "truth_p95", "note"],
+            &rows,
+        );
         report::table(
             &compare::SUMMARY_HEADERS,
             &[

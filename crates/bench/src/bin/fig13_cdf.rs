@@ -15,14 +15,25 @@ use dbat_workload::{percentile, sample_windows, Rng, TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig13_cdf");
     let base = s.ensure_base_model();
 
     // (trace, model, config, test-region start hour) following the paper's
     // subcaptions; Azure/Twitter use the base model (zero-shot for Twitter),
     // Alibaba/synthetic use their fine-tuned variants.
     let cases: Vec<(TraceKind, Surrogate, LambdaConfig, f64)> = vec![
-        (TraceKind::AzureLike, base_clone(&s), LambdaConfig::new(2048, 10, 0.08), 12.0),
-        (TraceKind::TwitterLike, base_clone(&s), LambdaConfig::new(2048, 8, 0.05), 0.0),
+        (
+            TraceKind::AzureLike,
+            base_clone(&s),
+            LambdaConfig::new(2048, 10, 0.08),
+            12.0,
+        ),
+        (
+            TraceKind::TwitterLike,
+            base_clone(&s),
+            LambdaConfig::new(2048, 8, 0.05),
+            0.0,
+        ),
         (
             TraceKind::AlibabaLike,
             s.ensure_finetuned(TraceKind::AlibabaLike),
@@ -70,10 +81,10 @@ fn main() {
                 *acc += v.max(0.0);
             }
             let truth = label_replicated(&w.interarrivals, &cfg, &s.params, s.slo, 8);
-            for i in 0..4 {
+            for (i, m) in win_mape.iter_mut().enumerate() {
                 let t = truth.target[i + 1];
                 if t > 0.0 {
-                    win_mape[i] += (p.data()[i + 1].max(0.0) - t).abs() / t;
+                    *m += (p.data()[i + 1].max(0.0) - t).abs() / t;
                 }
             }
             win_n += 1;
@@ -87,7 +98,12 @@ fn main() {
 
         report::banner(
             "Fig 13",
-            &format!("{}: predicted vs observed latency percentiles ({}, {} windows)", kind.name(), cfg, windows.len()),
+            &format!(
+                "{}: predicted vs observed latency percentiles ({}, {} windows)",
+                kind.name(),
+                cfg,
+                windows.len()
+            ),
         );
         let mut mape_acc = 0.0;
         let rows: Vec<Vec<String>> = [50.0, 90.0, 95.0, 99.0]
@@ -96,7 +112,11 @@ fn main() {
             .map(|(i, &p)| {
                 let obs = percentile(&observed, p);
                 let pred = pred_acc[i];
-                let err = if obs > 0.0 { (pred - obs).abs() / obs * 100.0 } else { 0.0 };
+                let err = if obs > 0.0 {
+                    (pred - obs).abs() / obs * 100.0
+                } else {
+                    0.0
+                };
                 mape_acc += err;
                 vec![
                     format!("p{}", p as u32),
@@ -106,7 +126,10 @@ fn main() {
                 ]
             })
             .collect();
-        report::table(&["percentile", "observed_ms", "predicted_ms", "APE_%"], &rows);
+        report::table(
+            &["percentile", "observed_ms", "predicted_ms", "APE_%"],
+            &rows,
+        );
         let mape = mape_acc / 4.0;
         let per_window = win_mape.iter().sum::<f64>() / 4.0 * 100.0;
         println!("pooled-CDF MAPE: {mape:.2}%   per-window prediction MAPE: {per_window:.2}%");
@@ -121,9 +144,14 @@ fn main() {
         "Fig 13 summary",
         "per-trace latency-prediction MAPE (paper: 2.85/3.11/3.32/3.07%)",
     );
-    report::table(&["trace", "per_window_MAPE_%", "pooled_CDF_MAPE_%"], &summary);
-    println!("
-per-window MAPE is the metric that drives the optimizer; the pooled-CDF");
+    report::table(
+        &["trace", "per_window_MAPE_%", "pooled_CDF_MAPE_%"],
+        &summary,
+    );
+    println!(
+        "
+per-window MAPE is the metric that drives the optimizer; the pooled-CDF"
+    );
     println!("column aggregates a mean-of-percentiles against a mixture percentile and");
     println!("is only meaningful when the trace is regime-homogeneous.");
 }

@@ -12,6 +12,7 @@ use dbat_workload::{sample_windows, Rng, TraceKind, HOUR};
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig14_attention");
     let model = s.ensure_base_model();
     let buckets = 16usize;
 
@@ -28,7 +29,13 @@ fn main() {
         // correlation between interarrival magnitude and received attention.
         let correlations: Vec<f64> = windows
             .iter()
-            .map(|w| bucket_correlation(&model.attention_profile(&w.interarrivals), &w.interarrivals, buckets))
+            .map(|w| {
+                bucket_correlation(
+                    &model.attention_profile(&w.interarrivals),
+                    &w.interarrivals,
+                    buckets,
+                )
+            })
             .collect();
         let mean_corr = mean(&correlations);
         let frac_positive = correlations.iter().filter(|&&c| c > 0.0).count() as f64
@@ -73,7 +80,13 @@ fn main() {
             ]);
         }
         report::table(
-            &["bucket", "mean_ia_ms", "ia_profile", "attention", "attention_profile"],
+            &[
+                "bucket",
+                "mean_ia_ms",
+                "ia_profile",
+                "attention",
+                "attention_profile",
+            ],
             &rows,
         );
         println!(

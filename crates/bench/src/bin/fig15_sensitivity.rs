@@ -18,22 +18,33 @@ use std::time::Instant;
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("fig15_sensitivity");
     let which = std::env::args().nth(1).unwrap_or_else(|| "both".into());
     let trace = s.trace(TraceKind::AzureLike);
     let half = trace.slice(0.0, trace.horizon() / 2.0);
 
     let (n_samples, epochs) = if s.fast { (120, 2) } else { (500, 20) };
-    let tc = TrainConfig { epochs, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs,
+        ..TrainConfig::default()
+    };
 
     if which == "both" || which == "seq" {
         report::banner("Fig 15a", "sequence-length sweep (reduced schedule)");
         // 512 is omitted from the default sweep: one epoch costs ~a minute on
         // a single core and the time axis is already unambiguous by 256.
-        let lengths: Vec<usize> = if s.fast { vec![32, 64] } else { vec![32, 64, 128, 256] };
+        let lengths: Vec<usize> = if s.fast {
+            vec![32, 64]
+        } else {
+            vec![32, 64, 128, 256]
+        };
         let mut rows = Vec::new();
         for l in lengths {
             let data = generate_dataset(&half, &s.grid, &s.params, n_samples, l, s.slo, 301);
-            let cfg = SurrogateConfig { seq_len: l, ..SurrogateConfig::default() };
+            let cfg = SurrogateConfig {
+                seq_len: l,
+                ..SurrogateConfig::default()
+            };
             let mut model = Surrogate::new(cfg, 15);
             let rep = train(&mut model, &data, &tc);
             // Prediction time per sequence: encode + full grid sweep.
@@ -53,7 +64,12 @@ fn main() {
             ]);
         }
         report::table(
-            &["seq_len", "predict_ms_per_seq", "val_MAPE_%", "train_s_per_epoch"],
+            &[
+                "seq_len",
+                "predict_ms_per_seq",
+                "val_MAPE_%",
+                "train_s_per_epoch",
+            ],
             &rows,
         );
         println!("\npaper shape: prediction time grows sharply with length; error falls.");
@@ -66,7 +82,11 @@ fn main() {
         let layer_counts: Vec<usize> = if s.fast { vec![1, 2] } else { vec![1, 2, 4, 6] };
         let mut rows = Vec::new();
         for n_layers in layer_counts {
-            let cfg = SurrogateConfig { seq_len, n_layers, ..SurrogateConfig::default() };
+            let cfg = SurrogateConfig {
+                seq_len,
+                n_layers,
+                ..SurrogateConfig::default()
+            };
             let mut model = Surrogate::new(cfg, 16);
             let rep = train(&mut model, &data, &tc);
             rows.push(vec![
@@ -76,7 +96,15 @@ fn main() {
                 report::f(rep.secs_per_epoch, 1),
             ]);
         }
-        report::table(&["layers", "val_MAPE_%", "final_val_loss", "train_s_per_epoch"], &rows);
+        report::table(
+            &[
+                "layers",
+                "val_MAPE_%",
+                "final_val_loss",
+                "train_s_per_epoch",
+            ],
+            &rows,
+        );
         println!("\npaper shape: 2 layers match or beat 1; 4 and 6 do not improve further.");
     }
 }

@@ -2,6 +2,7 @@
 //! into `target/deepbat/figures/<name>.txt`. Convenience wrapper — each
 //! binary also runs standalone.
 
+use dbat_telemetry::{log_error, log_info, log_warn};
 use std::fs;
 use std::process::Command;
 
@@ -38,33 +39,42 @@ fn main() {
     for name in BINARIES {
         let bin = exe_dir.join(name);
         if !bin.exists() {
-            eprintln!("[make_all_figures] SKIP {name}: binary not built (run `cargo build --release -p dbat-bench` first)");
+            log_warn!(
+                "make_all_figures",
+                "SKIP {name}: binary not built (run `cargo build --release -p dbat-bench` first)"
+            );
             failed.push(*name);
             continue;
         }
-        eprintln!("[make_all_figures] running {name}…");
+        log_info!("make_all_figures", "running {name}…");
         let t0 = std::time::Instant::now();
         let output = Command::new(&bin).output().expect("spawn figure binary");
         let path = out_dir.join(format!("{name}.txt"));
         fs::write(&path, &output.stdout).expect("write figure output");
         if output.status.success() {
-            eprintln!(
-                "[make_all_figures] {name} ok in {:.1}s -> {}",
+            log_info!(
+                "make_all_figures",
+                "{name} ok in {:.1}s -> {}",
                 t0.elapsed().as_secs_f64(),
                 path.display()
             );
         } else {
-            eprintln!(
-                "[make_all_figures] {name} FAILED: {}",
+            log_error!(
+                "make_all_figures",
+                "{name} FAILED: {}",
                 String::from_utf8_lossy(&output.stderr)
             );
             failed.push(*name);
         }
     }
     if failed.is_empty() {
-        eprintln!("[make_all_figures] all {} regenerators succeeded", BINARIES.len());
+        log_info!(
+            "make_all_figures",
+            "all {} regenerators succeeded",
+            BINARIES.len()
+        );
     } else {
-        eprintln!("[make_all_figures] failures: {failed:?}");
+        log_error!("make_all_figures", "failures: {failed:?}");
         std::process::exit(1);
     }
 }

@@ -14,6 +14,7 @@ use std::time::Instant;
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("tbl_prediction_time");
     let model = s.ensure_finetuned(TraceKind::SyntheticMap);
     let trace = s.trace(TraceKind::SyntheticMap);
     let hour = trace.slice(0.0, HOUR.min(trace.horizon()));
@@ -24,8 +25,13 @@ fn main() {
     let t0 = Instant::now();
     let mut batch_result = None;
     for _ in 0..reps_batch {
-        batch_result =
-            dbat_analytic::optimize_from_interarrivals(&ia, &s.grid, &s.params, s.slo, s.percentile);
+        batch_result = dbat_analytic::optimize_from_interarrivals(
+            &ia,
+            &s.grid,
+            &s.params,
+            s.slo,
+            s.percentile,
+        );
     }
     let batch_s = t0.elapsed().as_secs_f64() / reps_batch as f64;
     let (batch_best, fit) = batch_result.expect("enough data to fit");
@@ -72,7 +78,11 @@ fn main() {
                     fit_s,
                     batch_s - fit_s,
                     s.grid.len(),
-                    if fit.is_poisson { ", poisson fit" } else { ", MMPP(2) fit" }
+                    if fit.is_poisson {
+                        ", poisson fit"
+                    } else {
+                        ", MMPP(2) fit"
+                    }
                 ),
                 format!("{}", batch_best.config),
             ],
@@ -89,7 +99,10 @@ fn main() {
             ],
         ],
     );
-    println!("\nspeedup: {:.1}x (paper reports 55.93x: 40.83 s vs 0.73 s)", batch_s / db_s);
+    println!(
+        "\nspeedup: {:.1}x (paper reports 55.93x: 40.83 s vs 0.73 s)",
+        batch_s / db_s
+    );
 
     report::banner("§IV-A", "deployment footprint of the surrogate");
     let n_params = dbat_nn::Module::num_parameters(&model);

@@ -11,16 +11,24 @@ use dbat_workload::TraceKind;
 
 fn main() {
     let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("train_model");
     println!(
         "training models (fast={}, seq_len={}, dataset={}, epochs={})",
         s.fast, s.seq_len, s.dataset_size, s.epochs
     );
     let t0 = std::time::Instant::now();
     let base = s.ensure_base_model();
-    println!("base model ready ({} parameters)", dbat_nn::Module::num_parameters(&base));
+    println!(
+        "base model ready ({} parameters)",
+        dbat_nn::Module::num_parameters(&base)
+    );
     let _ = s.ensure_finetuned(TraceKind::AlibabaLike);
     println!("alibaba fine-tuned model ready");
     let _ = s.ensure_finetuned(TraceKind::SyntheticMap);
     println!("synthetic fine-tuned model ready");
-    println!("total {:.1}s; cache: {}", t0.elapsed().as_secs_f64(), s.cache_dir().display());
+    println!(
+        "total {:.1}s; cache: {}",
+        t0.elapsed().as_secs_f64(),
+        s.cache_dir().display()
+    );
 }

@@ -68,7 +68,11 @@ fn chop(t0: f64, t1: f64, dt: f64, config_at: impl Fn(f64) -> LambdaConfig) -> V
 }
 
 /// Measure a schedule with the experiment's SLO/percentile.
-pub fn measure(trace: &Trace, schedule: &[ScheduleEntry], s: &ExpSettings) -> Vec<IntervalMeasurement> {
+pub fn measure(
+    trace: &Trace,
+    schedule: &[ScheduleEntry],
+    s: &ExpSettings,
+) -> Vec<IntervalMeasurement> {
     measure_schedule(trace, schedule, &s.params, s.slo, s.percentile)
 }
 
@@ -79,7 +83,10 @@ pub fn summary_row(label: &str, ms: &[IntervalMeasurement]) -> Vec<String> {
     let vcr = dbat_core::vcr_of(ms);
     let mean_p95 = ms.iter().map(|m| m.summary.p95).sum::<f64>() / n;
     // Cost per request aggregated over all requests (not per-interval mean).
-    let total_cost: f64 = ms.iter().map(|m| m.cost_per_request * m.requests as f64).sum();
+    let total_cost: f64 = ms
+        .iter()
+        .map(|m| m.cost_per_request * m.requests as f64)
+        .sum();
     let total_req: f64 = ms.iter().map(|m| m.requests as f64).sum();
     vec![
         label.to_string(),
@@ -91,8 +98,13 @@ pub fn summary_row(label: &str, ms: &[IntervalMeasurement]) -> Vec<String> {
 }
 
 /// Headers matching [`summary_row`].
-pub const SUMMARY_HEADERS: [&str; 5] =
-    ["policy", "intervals", "VCR_%", "mean_p95_ms", "cost_u$_per_req"];
+pub const SUMMARY_HEADERS: [&str; 5] = [
+    "policy",
+    "intervals",
+    "VCR_%",
+    "mean_p95_ms",
+    "cost_u$_per_req",
+];
 
 #[cfg(test)]
 mod tests {
@@ -117,7 +129,10 @@ mod tests {
         assert_eq!(sched[3].1, 120.0);
         // Clairvoyant choices must actually meet the SLO when measured.
         let ms = measure(&tr, &sched, &s);
-        assert!(ms.iter().all(|m| !m.violation), "oracle violated its own SLO");
+        assert!(
+            ms.iter().all(|m| !m.violation),
+            "oracle violated its own SLO"
+        );
     }
 
     #[test]

@@ -9,8 +9,10 @@ use dbat_core::{
     TrainConfig,
 };
 use dbat_sim::{ConfigGrid, SimParams};
+use dbat_telemetry::{log_info, log_warn, JsonlSink};
 use dbat_workload::{Trace, TraceKind, HOUR};
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Deterministic seeds per trace (generation) — shared by all figures.
 pub const SEED_AZURE: u64 = 11;
@@ -46,10 +48,79 @@ pub struct ExpSettings {
     pub fast: bool,
 }
 
+/// RAII guard returned by [`ExpSettings::init_telemetry`]. Dropping it
+/// emits a final `run.metrics` event with every recorded metric and
+/// flushes all sinks, so the JSONL file is complete when `main` returns.
+pub struct TelemetryGuard {
+    bin: String,
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        let t = dbat_telemetry::global();
+        if t.is_enabled() {
+            let mut data = serde_json::Map::new();
+            data.insert(
+                "bin".to_string(),
+                serde_json::Value::String(self.bin.clone()),
+            );
+            data.insert("metrics".to_string(), t.metrics_json());
+            t.emit("run.metrics", serde_json::Value::Object(data));
+            t.flush();
+        }
+    }
+}
+
 impl ExpSettings {
+    /// Enable telemetry for a figure binary: turn on the global hub and
+    /// stream events as JSONL to `<cache_dir>/telemetry/<bin>.jsonl`.
+    /// Hold the returned guard for the life of `main`.
+    /// `DEEPBAT_TELEMETRY=0|off|false` leaves telemetry disabled.
+    pub fn init_telemetry(&self, bin: &str) -> TelemetryGuard {
+        let t = dbat_telemetry::global();
+        if let Ok(v) = std::env::var("DEEPBAT_TELEMETRY") {
+            if matches!(
+                v.to_ascii_lowercase().as_str(),
+                "0" | "off" | "false" | "no"
+            ) {
+                return TelemetryGuard {
+                    bin: bin.to_string(),
+                };
+            }
+        }
+        t.enable();
+        let dir = self.cache_dir().join("telemetry");
+        match std::fs::create_dir_all(&dir) {
+            Ok(()) => {
+                let path = dir.join(format!("{bin}.jsonl"));
+                match JsonlSink::create(&path) {
+                    Ok(sink) => t.add_sink(Arc::new(sink)),
+                    Err(e) => log_warn!("telemetry", "cannot open {}: {e}", path.display()),
+                }
+            }
+            Err(e) => log_warn!("telemetry", "cannot create {}: {e}", dir.display()),
+        }
+        t.emit(
+            "run.start",
+            serde_json::json!({
+                "bin": bin,
+                "fast": self.fast,
+                "slo": self.slo,
+                "percentile": self.percentile,
+                "seq_len": self.seq_len,
+                "grid_size": self.grid.len(),
+            }),
+        );
+        TelemetryGuard {
+            bin: bin.to_string(),
+        }
+    }
+
     /// Settings from the environment (`DEEPBAT_FAST=1` for smoke runs).
     pub fn from_env() -> Self {
-        let fast = std::env::var("DEEPBAT_FAST").map(|v| v == "1").unwrap_or(false);
+        let fast = std::env::var("DEEPBAT_FAST")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         if fast {
             ExpSettings {
                 seq_len: 64,
@@ -84,14 +155,21 @@ impl ExpSettings {
     }
 
     pub fn surrogate_config(&self) -> SurrogateConfig {
-        SurrogateConfig { seq_len: self.seq_len, ..SurrogateConfig::default() }
+        SurrogateConfig {
+            seq_len: self.seq_len,
+            ..SurrogateConfig::default()
+        }
     }
 
     pub fn train_config(&self) -> TrainConfig {
         // lr 3e-3 over ~50 epochs (with built-in step decay) reaches the
         // same loss plateau as the paper's 1e-3 x 100 epochs in half the
         // single-core wall-clock (see EXPERIMENTS.md).
-        TrainConfig { epochs: self.epochs, lr: 3e-3, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: self.epochs,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        }
     }
 
     /// Model/figure cache directory (`target/deepbat`).
@@ -103,7 +181,11 @@ impl ExpSettings {
 
     /// Generate (deterministically) the full 24 h trace for a kind.
     pub fn trace(&self, kind: TraceKind) -> Trace {
-        let hours = if self.fast { self.eval_hours.max(2) as f64 + 1.0 } else { 24.0 };
+        let hours = if self.fast {
+            self.eval_hours.max(2) as f64 + 1.0
+        } else {
+            24.0
+        };
         kind.generate_for(self.seed_for(kind), hours * HOUR)
     }
 
@@ -122,11 +204,20 @@ impl ExpSettings {
         let path = self.cache_dir().join("base.json");
         if let Ok(m) = Surrogate::load(&path) {
             if m.cfg == self.surrogate_config() {
-                eprintln!("[deepbat] loaded cached base model from {}", path.display());
+                log_info!(
+                    "deepbat",
+                    "loaded cached base model from {}",
+                    path.display()
+                );
                 return m;
             }
         }
-        eprintln!("[deepbat] training base model ({} samples, {} epochs)…", self.dataset_size, self.epochs);
+        log_info!(
+            "deepbat",
+            "training base model ({} samples, {} epochs)…",
+            self.dataset_size,
+            self.epochs
+        );
         let trace = self.trace(TraceKind::AzureLike);
         let train_horizon = trace.horizon() / 2.0; // "first 12 hours"
         let train_slice = trace.slice(0.0, train_horizon);
@@ -143,9 +234,13 @@ impl ExpSettings {
         let report = train(&mut model, &data, &self.train_config());
         let rows: Vec<usize> = (data.len() * 9 / 10..data.len()).collect();
         let (cost_mape, lat_mape) = validation_mape_split(&model, &data, &rows);
-        eprintln!(
-            "[deepbat] trained: val MAPE {:.2}% (cost {:.2}%, latency {:.2}%), {:.1}s/epoch",
-            report.final_val_mape, cost_mape, lat_mape, report.secs_per_epoch
+        log_info!(
+            "deepbat",
+            "trained: val MAPE {:.2}% (cost {:.2}%, latency {:.2}%), {:.1}s/epoch",
+            report.final_val_mape,
+            cost_mape,
+            lat_mape,
+            report.secs_per_epoch
         );
         model.save(&path).expect("cache dir writable");
         model
@@ -157,12 +252,16 @@ impl ExpSettings {
         let path = self.cache_dir().join(format!("ft-{}.json", kind.name()));
         if let Ok(m) = Surrogate::load(&path) {
             if m.cfg == self.surrogate_config() {
-                eprintln!("[deepbat] loaded cached fine-tuned model {}", path.display());
+                log_info!(
+                    "deepbat",
+                    "loaded cached fine-tuned model {}",
+                    path.display()
+                );
                 return m;
             }
         }
         let mut model = self.ensure_base_model();
-        eprintln!("[deepbat] fine-tuning on first hour of {}…", kind.name());
+        log_info!("deepbat", "fine-tuning on first hour of {}…", kind.name());
         let trace = self.trace(kind);
         let first_hour = trace.slice(0.0, HOUR.min(trace.horizon()));
         let data = generate_dataset(
@@ -175,7 +274,7 @@ impl ExpSettings {
             202,
         );
         let report = fine_tune(&mut model, &data, self.ft_epochs, &self.train_config());
-        eprintln!("[deepbat] fine-tuned: MAPE {:.2}%", report.final_val_mape);
+        log_info!("deepbat", "fine-tuned: MAPE {:.2}%", report.final_val_mape);
         model.save(&path).expect("cache dir writable");
         model
     }

@@ -41,7 +41,13 @@ impl Buffer {
     pub fn new(batch_size: u32, timeout_s: f64) -> Self {
         assert!(batch_size >= 1, "batch size must be >= 1 (Eq. 10c)");
         assert!(timeout_s >= 0.0, "timeout must be >= 0 (Eq. 10d)");
-        Buffer { batch_size, timeout_s, pending: Vec::new(), opened_at: None, last_event: 0.0 }
+        Buffer {
+            batch_size,
+            timeout_s,
+            pending: Vec::new(),
+            opened_at: None,
+            last_event: 0.0,
+        }
     }
 
     pub fn from_config(cfg: &LambdaConfig) -> Self {
@@ -126,7 +132,11 @@ impl Buffer {
 
     fn release(&mut self, t: f64, reason: ReleaseReason) -> ReleasedBatch {
         self.opened_at = None;
-        ReleasedBatch { requests: std::mem::take(&mut self.pending), released_at: t, reason }
+        ReleasedBatch {
+            requests: std::mem::take(&mut self.pending),
+            released_at: t,
+            reason,
+        }
     }
 }
 

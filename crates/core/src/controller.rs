@@ -2,17 +2,19 @@
 //! harness the evaluation figures use to score *any* configuration schedule
 //! (DeepBAT's, BATCH's, or the ground truth's) against actual arrivals.
 
+use crate::drift::WindowStats;
 use crate::optimizer::DeepBatOptimizer;
 use crate::surrogate::Surrogate;
 use crate::traindata::{label, window_to_arrivals};
 use dbat_sim::{simulate_batching, ConfigGrid, LambdaConfig, LatencySummary, SimParams};
 use dbat_workload::{sample_windows, window_at_time, Rng, Trace};
+use serde::{Deserialize, Serialize};
 
 /// A configuration active over `[start, end)`.
 pub type ScheduleEntry = (f64, f64, LambdaConfig);
 
 /// Measured outcome of serving one interval of the trace with one config.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
 pub struct IntervalMeasurement {
     pub start: f64,
     pub end: f64,
@@ -22,6 +24,72 @@ pub struct IntervalMeasurement {
     pub requests: usize,
     /// Measured `percentile(p) > SLO` for this interval (the VCR numerator).
     pub violation: bool,
+}
+
+/// The decision-audit record: everything the controller knew and chose at
+/// one decision interval, plus (when measured) what actually happened.
+/// One of these is emitted per interval as a `controller.decision`
+/// telemetry event; the JSONL stream is the controller's audit trail.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DecisionRecord {
+    /// Zero-based decision index within the run.
+    pub index: usize,
+    /// Interval `[start, end)` the decision governs (trace seconds).
+    pub start: f64,
+    pub end: f64,
+    /// Interarrivals available to the parser at decision time (0 before
+    /// the window warms up).
+    pub window_len: usize,
+    /// Log-scale summary of the decision window (`None` at bootstrap).
+    pub window_stats: Option<WindowStats>,
+    /// Number of candidate configurations the optimizer scored.
+    pub grid_size: usize,
+    /// True when the parser had no history and the bootstrap config was
+    /// applied without consulting the surrogate.
+    pub bootstrap: bool,
+    /// True when no candidate met the (γ-tightened) SLO and the
+    /// lowest-latency fallback was chosen.
+    pub fallback: bool,
+    /// The configuration applied over the interval.
+    pub config: LambdaConfig,
+    /// Surrogate-predicted [p50, p90, p95, p99] for `config` (`None` at
+    /// bootstrap).
+    pub predicted_percentiles: Option<[f64; 4]>,
+    /// Surrogate-predicted cost (µ$/req) for `config` (`None` at bootstrap).
+    pub predicted_cost_micro: Option<f64>,
+    /// Wall-clock seconds of surrogate inference + grid search.
+    pub infer_s: f64,
+    /// Ground-truth latency summary for the interval; `None` until the
+    /// interval is measured or when it contained no arrivals.
+    pub measured: Option<LatencySummary>,
+    /// Measured cost per request (`None` like `measured`).
+    pub measured_cost_per_request: Option<f64>,
+    /// Requests served in the interval (0 until measured / when empty).
+    pub requests: usize,
+    /// Measured SLO violation flag (`None` until measured).
+    pub violation: Option<bool>,
+    /// The SLO and percentile the decision optimised for.
+    pub slo: f64,
+    pub percentile: f64,
+}
+
+impl DecisionRecord {
+    /// Absolute percentage error of the predicted constrained percentile
+    /// against the measurement — the per-interval term of the online MAPE.
+    /// `None` until measured, at bootstrap, or when the measured value is 0.
+    pub fn online_ape(&self) -> Option<f64> {
+        let pred = dbat_workload::stats::interp_tracked_percentile(
+            &dbat_sim::PERCENTILE_KEYS,
+            &self.predicted_percentiles?,
+            self.percentile,
+        );
+        let truth = self.measured?.percentile(self.percentile);
+        if truth > 0.0 {
+            Some((pred - truth).abs() / truth * 100.0)
+        } else {
+            None
+        }
+    }
 }
 
 /// Replay a schedule against the trace: each interval's arrivals are served
@@ -108,19 +176,77 @@ impl DeepBatController {
         t0: f64,
         t1: f64,
     ) -> Vec<ScheduleEntry> {
+        self.schedule_audited(model, trace, t0, t1).0
+    }
+
+    /// Like [`DeepBatController::schedule`], but also return one
+    /// [`DecisionRecord`] per decision interval capturing what the
+    /// controller saw and chose. Measurement fields are `None`/0 here;
+    /// [`DeepBatController::run_audited`] fills them in.
+    pub fn schedule_audited(
+        &self,
+        model: &Surrogate,
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+    ) -> (Vec<ScheduleEntry>, Vec<DecisionRecord>) {
         let l = model.cfg.seq_len;
-        let mut out = Vec::new();
+        let mut entries = Vec::new();
+        let mut records = Vec::new();
         let mut t = t0;
         while t < t1 {
             let end = (t + self.decision_interval).min(t1);
-            let config = match window_at_time(trace, t, l, 1.0) {
-                Some(w) => self.optimizer.choose(model, &w.interarrivals).chosen.config,
-                None => self.bootstrap,
+            let index = entries.len();
+            let record = match window_at_time(trace, t, l, 1.0) {
+                Some(w) => {
+                    let decision = self.optimizer.choose(model, &w.interarrivals);
+                    DecisionRecord {
+                        index,
+                        start: t,
+                        end,
+                        window_len: w.interarrivals.len(),
+                        window_stats: Some(WindowStats::from_window(&w.interarrivals)),
+                        grid_size: self.optimizer.grid.len(),
+                        bootstrap: false,
+                        fallback: decision.fallback,
+                        config: decision.chosen.config,
+                        predicted_percentiles: Some(decision.chosen.percentiles),
+                        predicted_cost_micro: Some(decision.chosen.cost_micro),
+                        infer_s: decision.infer_s,
+                        measured: None,
+                        measured_cost_per_request: None,
+                        requests: 0,
+                        violation: None,
+                        slo: self.optimizer.slo,
+                        percentile: self.optimizer.percentile,
+                    }
+                }
+                None => DecisionRecord {
+                    index,
+                    start: t,
+                    end,
+                    window_len: 0,
+                    window_stats: None,
+                    grid_size: self.optimizer.grid.len(),
+                    bootstrap: true,
+                    fallback: false,
+                    config: self.bootstrap,
+                    predicted_percentiles: None,
+                    predicted_cost_micro: None,
+                    infer_s: 0.0,
+                    measured: None,
+                    measured_cost_per_request: None,
+                    requests: 0,
+                    violation: None,
+                    slo: self.optimizer.slo,
+                    percentile: self.optimizer.percentile,
+                },
             };
-            out.push((t, end, config));
+            entries.push((t, end, record.config));
+            records.push(record);
             t = end;
         }
-        out
+        (entries, records)
     }
 
     /// Arrival-count-triggered variant (§III-A: DeepBAT "can work either as
@@ -174,6 +300,49 @@ impl DeepBatController {
             self.optimizer.percentile,
         );
         (schedule, measured)
+    }
+
+    /// Schedule, measure, and merge into the full audit trail: one
+    /// [`DecisionRecord`] per decision interval with both the controller's
+    /// predictions and the ground-truth measurements. Each completed
+    /// record is emitted as a `controller.decision` telemetry event.
+    pub fn run_audited(
+        &self,
+        model: &Surrogate,
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+    ) -> (Vec<IntervalMeasurement>, Vec<DecisionRecord>) {
+        let (schedule, mut records) = self.schedule_audited(model, trace, t0, t1);
+        let measured = measure_schedule(
+            trace,
+            &schedule,
+            &self.params,
+            self.optimizer.slo,
+            self.optimizer.percentile,
+        );
+        // `measure_schedule` skips empty intervals, so join on start time
+        // rather than position.
+        let mut mi = measured.iter().peekable();
+        for rec in &mut records {
+            if let Some(m) = mi.peek() {
+                if m.start == rec.start {
+                    rec.measured = Some(m.summary);
+                    rec.measured_cost_per_request = Some(m.cost_per_request);
+                    rec.requests = m.requests;
+                    rec.violation = Some(m.violation);
+                    mi.next();
+                }
+            }
+        }
+        let t = dbat_telemetry::global();
+        if t.is_enabled() {
+            for rec in &records {
+                t.emit("controller.decision", serde_json::to_value(rec));
+            }
+            t.flush();
+        }
+        (measured, records)
     }
 }
 
@@ -255,8 +424,9 @@ mod tests {
     fn measure_schedule_covers_intervals() {
         let tr = trace();
         let cfg = LambdaConfig::new(2048, 4, 0.05);
-        let schedule: Vec<ScheduleEntry> =
-            (0..10).map(|i| (i as f64 * 60.0, (i + 1) as f64 * 60.0, cfg)).collect();
+        let schedule: Vec<ScheduleEntry> = (0..10)
+            .map(|i| (i as f64 * 60.0, (i + 1) as f64 * 60.0, cfg))
+            .collect();
         let m = measure_schedule(&tr, &schedule, &SimParams::default(), 0.1, 95.0);
         assert_eq!(m.len(), 10);
         let total_requests: usize = m.iter().map(|x| x.requests).sum();
@@ -357,7 +527,13 @@ mod tests {
     fn window_violates_consistency() {
         let w = vec![0.01; 32];
         let fast = LambdaConfig::new(3008, 1, 0.0);
-        assert!(!window_violates(&w, &fast, &SimParams::default(), 0.1, 95.0));
+        assert!(!window_violates(
+            &w,
+            &fast,
+            &SimParams::default(),
+            0.1,
+            95.0
+        ));
         let slow = LambdaConfig::new(512, 32, 5.0);
         assert!(window_violates(&w, &slow, &SimParams::default(), 0.1, 95.0));
     }

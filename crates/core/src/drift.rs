@@ -22,7 +22,10 @@ impl WindowStats {
         let logs: Vec<f64> = window.iter().map(|&x| (x + 1e-6).ln()).collect();
         let mean = logs.iter().sum::<f64>() / logs.len() as f64;
         let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
-        WindowStats { log_mean: mean, log_std: var.sqrt() }
+        WindowStats {
+            log_mean: mean,
+            log_std: var.sqrt(),
+        }
     }
 }
 
@@ -49,14 +52,28 @@ impl DriftDetector {
     /// Fit the reference distribution from training windows.
     pub fn fit(windows: &[Vec<f64>]) -> Self {
         assert!(!windows.is_empty(), "need at least one training window");
-        let stats: Vec<WindowStats> = windows.iter().map(|w| WindowStats::from_window(w)).collect();
+        let stats: Vec<WindowStats> = windows
+            .iter()
+            .map(|w| WindowStats::from_window(w))
+            .collect();
         let n = stats.len() as f64;
         let mean_lm = stats.iter().map(|s| s.log_mean).sum::<f64>() / n;
         let mean_ls = stats.iter().map(|s| s.log_std).sum::<f64>() / n;
-        let var_lm = stats.iter().map(|s| (s.log_mean - mean_lm).powi(2)).sum::<f64>() / n;
-        let var_ls = stats.iter().map(|s| (s.log_std - mean_ls).powi(2)).sum::<f64>() / n;
+        let var_lm = stats
+            .iter()
+            .map(|s| (s.log_mean - mean_lm).powi(2))
+            .sum::<f64>()
+            / n;
+        let var_ls = stats
+            .iter()
+            .map(|s| (s.log_std - mean_ls).powi(2))
+            .sum::<f64>()
+            / n;
         DriftDetector {
-            center: WindowStats { log_mean: mean_lm, log_std: mean_ls },
+            center: WindowStats {
+                log_mean: mean_lm,
+                log_std: mean_ls,
+            },
             spread: WindowStats {
                 log_mean: var_lm.sqrt().max(0.05),
                 log_std: var_ls.sqrt().max(0.05),
@@ -130,9 +147,11 @@ mod tests {
         let train = windows_of(&map, 1, 60, 32);
         let det = DriftDetector::fit(&train);
         let test = windows_of(&map, 2, 20, 32);
-        let mean_score: f64 =
-            test.iter().map(|w| det.score(w)).sum::<f64>() / test.len() as f64;
-        assert!(mean_score < det.threshold, "in-dist mean score {mean_score}");
+        let mean_score: f64 = test.iter().map(|w| det.score(w)).sum::<f64>() / test.len() as f64;
+        assert!(
+            mean_score < det.threshold,
+            "in-dist mean score {mean_score}"
+        );
     }
 
     #[test]
@@ -144,7 +163,11 @@ mod tests {
         for w in &ood {
             det.observe(w);
         }
-        assert!(det.drift_fraction() > 0.8, "fraction {}", det.drift_fraction());
+        assert!(
+            det.drift_fraction() > 0.8,
+            "fraction {}",
+            det.drift_fraction()
+        );
         assert!(det.should_fine_tune());
     }
 
@@ -153,7 +176,9 @@ mod tests {
         // Same mean rate, very different burstiness.
         let train = windows_of(&Map::poisson(30.0), 1, 60, 32);
         let mut det = DriftDetector::fit(&train);
-        let bursty = Mmpp2::from_targets(30.0, 150.0, 20.0, 0.2).to_map().unwrap();
+        let bursty = Mmpp2::from_targets(30.0, 150.0, 20.0, 0.2)
+            .to_map()
+            .unwrap();
         let ood = windows_of(&bursty, 4, 24, 32);
         for w in &ood {
             det.observe(w);

@@ -15,8 +15,8 @@
 //!   shared by every evaluation figure.
 
 pub mod buffer;
-pub mod drift;
 pub mod controller;
+pub mod drift;
 pub mod optimizer;
 pub mod parser;
 pub mod surrogate;
@@ -24,11 +24,11 @@ pub mod train;
 pub mod traindata;
 
 pub use buffer::{Buffer, ReleaseReason, ReleasedBatch};
-pub use drift::{DriftDetector, WindowStats};
 pub use controller::{
-    estimate_gamma, hourly_vcr, measure_schedule, vcr_of, window_violates, DeepBatController,
-    IntervalMeasurement, ScheduleEntry,
+    estimate_gamma, hourly_vcr, measure_schedule, vcr_of, window_violates, DecisionRecord,
+    DeepBatController, IntervalMeasurement, ScheduleEntry,
 };
+pub use drift::{DriftDetector, WindowStats};
 pub use optimizer::{ConfigPrediction, Decision, DeepBatOptimizer};
 pub use parser::WorkloadParser;
 pub use surrogate::{Surrogate, SurrogateConfig};

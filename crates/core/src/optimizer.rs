@@ -5,7 +5,8 @@
 
 use crate::surrogate::Surrogate;
 use dbat_nn::Tensor;
-use dbat_sim::{ConfigGrid, LambdaConfig};
+use dbat_sim::{ConfigGrid, LambdaConfig, PERCENTILE_KEYS};
+use dbat_workload::stats::interp_tracked_percentile;
 
 /// The surrogate's prediction for one configuration.
 #[derive(Clone, Copy, Debug)]
@@ -18,14 +19,11 @@ pub struct ConfigPrediction {
 }
 
 impl ConfigPrediction {
+    /// Look up a predicted percentile. The four predicted keys
+    /// (50/90/95/99) return their values exactly; other `p` in [0, 100]
+    /// interpolate between the bracketing keys (clamped at the ends).
     pub fn percentile(&self, p: f64) -> f64 {
-        match p as u32 {
-            50 => self.percentiles[0],
-            90 => self.percentiles[1],
-            95 => self.percentiles[2],
-            99 => self.percentiles[3],
-            _ => panic!("only percentiles 50/90/95/99 are predicted"),
-        }
+        interp_tracked_percentile(&PERCENTILE_KEYS, &self.percentiles, p)
     }
 }
 
@@ -38,6 +36,9 @@ pub struct Decision {
     /// True when no configuration satisfied the tightened SLO and the
     /// lowest-latency fallback was returned.
     pub fallback: bool,
+    /// Wall-clock seconds spent on surrogate inference + grid search for
+    /// this decision (§IV measures online inference latency).
+    pub infer_s: f64,
 }
 
 /// DeepBAT's SLO/cost optimizer.
@@ -53,7 +54,12 @@ pub struct DeepBatOptimizer {
 
 impl DeepBatOptimizer {
     pub fn new(grid: ConfigGrid, slo: f64) -> Self {
-        DeepBatOptimizer { grid, slo, percentile: 95.0, gamma: 0.0 }
+        DeepBatOptimizer {
+            grid,
+            slo,
+            percentile: 95.0,
+            gamma: 0.0,
+        }
     }
 
     /// Predict every grid configuration for one window: encode the sequence
@@ -88,13 +94,20 @@ impl DeepBatOptimizer {
     /// The 2-step optimisation (§III-D "Online Model Inference"): filter by
     /// the (γ-tightened) SLO constraint, then minimise predicted cost.
     pub fn choose(&self, model: &Surrogate, window: &[f64]) -> Decision {
+        let t = dbat_telemetry::global();
+        let start = std::time::Instant::now();
         let all = self.predict_all(model, window);
         let feasible = all
             .iter()
             .filter(|p| p.percentile(self.percentile) * (1.0 + self.gamma) <= self.slo)
             .min_by(|a, b| a.cost_micro.partial_cmp(&b.cost_micro).unwrap());
-        match feasible {
-            Some(&best) => Decision { chosen: best, all, fallback: false },
+        let decision = match feasible {
+            Some(&best) => Decision {
+                chosen: best,
+                all,
+                fallback: false,
+                infer_s: 0.0,
+            },
             None => {
                 let best = *all
                     .iter()
@@ -104,9 +117,24 @@ impl DeepBatOptimizer {
                             .unwrap()
                     })
                     .expect("grid is non-empty");
-                Decision { chosen: best, all, fallback: true }
+                Decision {
+                    chosen: best,
+                    all,
+                    fallback: true,
+                    infer_s: 0.0,
+                }
             }
+        };
+        let mut decision = decision;
+        decision.infer_s = start.elapsed().as_secs_f64();
+        if t.is_enabled() {
+            t.counter("controller.decisions").inc();
+            if decision.fallback {
+                t.counter("controller.fallbacks").inc();
+            }
+            t.histogram("controller.infer_s").record(decision.infer_s);
         }
+        decision
     }
 }
 

@@ -41,7 +41,10 @@ impl WorkloadParser {
     /// Observe one arrival (timestamps must be non-decreasing).
     pub fn observe(&mut self, t: f64) {
         if let Some(prev) = self.last_arrival {
-            assert!(t >= prev, "arrivals must be observed in order: {t} < {prev}");
+            assert!(
+                t >= prev,
+                "arrivals must be observed in order: {t} < {prev}"
+            );
             if self.history.len() == self.seq_len {
                 self.history.pop_front();
             }

@@ -20,8 +20,8 @@
 //! re-solves matrix exponentials per configuration (§IV-F).
 
 use dbat_nn::{
-    add_positional, Adam, Binder, Checkpoint, Graph, InitRng, Linear, Module,
-    MultiHeadAttention, Standardizer, Tensor, TransformerEncoder, Var,
+    add_positional, Adam, Binder, Checkpoint, Graph, InitRng, Linear, Module, MultiHeadAttention,
+    Standardizer, Tensor, TransformerEncoder, Var,
 };
 use serde::{Deserialize, Serialize};
 
@@ -97,12 +97,21 @@ impl Surrogate {
         Surrogate {
             cfg,
             embed: Linear::new(1, cfg.dim, &mut rng),
-            encoder: TransformerEncoder::new(cfg.n_layers, cfg.dim, cfg.heads, cfg.ff_hidden, &mut rng),
+            encoder: TransformerEncoder::new(
+                cfg.n_layers,
+                cfg.dim,
+                cfg.heads,
+                cfg.ff_hidden,
+                &mut rng,
+            ),
             pool_attn: MultiHeadAttention::new(cfg.dim, cfg.heads, &mut rng),
             feat_ff: Linear::new(cfg.n_features, cfg.dim, &mut rng),
             head1: Linear::new(2 * cfg.dim, cfg.ff_hidden, &mut rng),
             head2: Linear::new(cfg.ff_hidden, cfg.n_outputs, &mut rng),
-            seq_std: Standardizer { mean: vec![0.0], std: vec![1.0] },
+            seq_std: Standardizer {
+                mean: vec![0.0],
+                std: vec![1.0],
+            },
             feat_std: Standardizer {
                 mean: vec![0.0; cfg.n_features],
                 std: vec![1.0; cfg.n_features],
@@ -140,8 +149,8 @@ impl Surrogate {
         let (e_trans, enc_attn) = self.encoder.forward_with_attention(b, e_pos);
         // E_p = MeanPool(E_Trans)
         let e_p = b.g.mean_axis1(e_trans); // [K, D]
-        // E_1 = MultiHeadAtt(E_p, E_p, E_p)  (Eq. 4; mask is a no-op on a
-        // length-1 pooled sequence)
+                                           // E_1 = MultiHeadAtt(E_p, E_p, E_p)  (Eq. 4; mask is a no-op on a
+                                           // length-1 pooled sequence)
         let e_p3 = b.g.reshape(e_p, vec![k, 1, self.cfg.dim]);
         let e1 = self.pool_attn.forward(b, e_p3);
         let e1 = b.g.reshape(e1, vec![k, self.cfg.dim]);
@@ -404,7 +413,11 @@ mod tests {
         let mut targets = Vec::new();
         for i in 0..k {
             seqs.extend(raw_window(l).iter().map(|x| x * (1.0 + i as f64 * 0.05)));
-            let f = [512.0 + 100.0 * i as f64, (i % 8 + 1) as f64, 0.01 * i as f64];
+            let f = [
+                512.0 + 100.0 * i as f64,
+                (i % 8 + 1) as f64,
+                0.01 * i as f64,
+            ];
             feats.extend_from_slice(&f);
             let y = 0.001 * f[0] / 512.0 + 0.05 * f[1];
             targets.extend_from_slice(&[y, 0.5 * y, 0.8 * y, y, 1.2 * y]);

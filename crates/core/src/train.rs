@@ -47,7 +47,10 @@ impl Default for TrainConfig {
 impl TrainConfig {
     /// Much shorter schedule for tests and smoke runs.
     pub fn fast() -> Self {
-        TrainConfig { epochs: 5, ..TrainConfig::default() }
+        TrainConfig {
+            epochs: 5,
+            ..TrainConfig::default()
+        }
     }
 }
 
@@ -64,10 +67,7 @@ pub struct TrainReport {
 
 /// Assemble `[N, L]` seq, `[N, 3]` feats, `[N, 5]` targets, `[N, 5]` weights
 /// from samples.
-pub fn to_tensors(
-    data: &[TrainSample],
-    violation_weight: f64,
-) -> (Tensor, Tensor, Tensor, Tensor) {
+pub fn to_tensors(data: &[TrainSample], violation_weight: f64) -> (Tensor, Tensor, Tensor, Tensor) {
     to_tensors_weighted(data, violation_weight, 1.0)
 }
 
@@ -91,7 +91,7 @@ pub fn to_tensors_weighted(
         targets.extend_from_slice(&s.target);
         let w = if s.violates { violation_weight } else { 1.0 };
         weights.push(w);
-        weights.extend(std::iter::repeat(w * latency_weight).take(4));
+        weights.extend(std::iter::repeat_n(w * latency_weight, 4));
     }
     (
         Tensor::new(vec![n, l], seq),
@@ -129,8 +129,10 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
     let mut rng = InitRng::new(tc.seed);
     let mut train_losses = Vec::with_capacity(tc.epochs);
     let mut val_losses = Vec::with_capacity(tc.epochs);
+    let tel = dbat_telemetry::global();
     let t0 = std::time::Instant::now();
     for epoch in 0..tc.epochs {
+        let epoch_t0 = std::time::Instant::now();
         // Step decay: drop the learning rate for the final stretch.
         if tc.epochs >= 10 && epoch == tc.epochs * 7 / 10 {
             adam.lr *= 0.3;
@@ -164,18 +166,57 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
                 tc.delta,
             ));
         }
+        if tel.is_enabled() {
+            tel.emit(
+                "train.epoch",
+                serde_json::json!({
+                    "epoch": epoch,
+                    "train_loss": train_losses.last().copied().unwrap_or(0.0),
+                    "val_loss": val_losses.last().copied().unwrap_or(0.0),
+                    "lr": adam.lr,
+                    "secs": epoch_t0.elapsed().as_secs_f64(),
+                }),
+            );
+            tel.histogram("train.epoch_s")
+                .record(epoch_t0.elapsed().as_secs_f64());
+        }
     }
     let secs_per_epoch = t0.elapsed().as_secs_f64() / tc.epochs.max(1) as f64;
 
-    let eval_rows = if val_rows.is_empty() { &train_rows } else { &val_rows };
+    let eval_rows = if val_rows.is_empty() {
+        &train_rows
+    } else {
+        &val_rows
+    };
     let final_val_mape = validation_mape(model, data, eval_rows);
-    TrainReport { train_losses, val_losses, final_val_mape, secs_per_epoch }
+    if tel.is_enabled() {
+        tel.emit(
+            "train.done",
+            serde_json::json!({
+                "epochs": tc.epochs,
+                "samples": n,
+                "final_val_mape": final_val_mape,
+                "secs_per_epoch": secs_per_epoch,
+            }),
+        );
+    }
+    TrainReport {
+        train_losses,
+        val_losses,
+        final_val_mape,
+        secs_per_epoch,
+    }
 }
 
 /// Fine-tune on a small OOD dataset (§III-D "Model Fine-Tuning"): reuse the
 /// pre-trained weights *and standardisers*, run a short schedule at a lower
 /// learning rate.
-pub fn fine_tune(model: &mut Surrogate, data: &[TrainSample], epochs: usize, tc: &TrainConfig) -> TrainReport {
+pub fn fine_tune(
+    model: &mut Surrogate,
+    data: &[TrainSample],
+    epochs: usize,
+    tc: &TrainConfig,
+) -> TrainReport {
     let (seq_raw, feats_raw, targets, weights) =
         to_tensors_weighted(data, tc.violation_weight, tc.latency_weight);
     let seq = model.preprocess_seq(&seq_raw);
@@ -183,8 +224,10 @@ pub fn fine_tune(model: &mut Surrogate, data: &[TrainSample], epochs: usize, tc:
     let mut adam = Adam::new(tc.lr * 0.3);
     let mut rng = InitRng::new(tc.seed ^ 0xF17E);
     let mut train_losses = Vec::with_capacity(epochs);
+    let tel = dbat_telemetry::global();
     let t0 = std::time::Instant::now();
-    for _ in 0..epochs {
+    for epoch in 0..epochs {
+        let epoch_t0 = std::time::Instant::now();
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for batch in shuffled_batches(data.len(), tc.batch_size, &mut rng) {
@@ -201,6 +244,16 @@ pub fn fine_tune(model: &mut Surrogate, data: &[TrainSample], epochs: usize, tc:
             batches += 1;
         }
         train_losses.push(epoch_loss / batches.max(1) as f64);
+        if tel.is_enabled() {
+            tel.emit(
+                "train.finetune_epoch",
+                serde_json::json!({
+                    "epoch": epoch,
+                    "train_loss": train_losses.last().copied().unwrap_or(0.0),
+                    "secs": epoch_t0.elapsed().as_secs_f64(),
+                }),
+            );
+        }
     }
     let secs_per_epoch = t0.elapsed().as_secs_f64() / epochs.max(1) as f64;
     let rows: Vec<usize> = (0..data.len()).collect();
@@ -221,7 +274,11 @@ pub fn validation_mape(model: &Surrogate, data: &[TrainSample], rows: &[usize]) 
 }
 
 /// MAPE (%) split into (cost output, pooled latency percentiles).
-pub fn validation_mape_split(model: &Surrogate, data: &[TrainSample], rows: &[usize]) -> (f64, f64) {
+pub fn validation_mape_split(
+    model: &Surrogate,
+    data: &[TrainSample],
+    rows: &[usize],
+) -> (f64, f64) {
     if rows.is_empty() {
         return (0.0, 0.0);
     }
@@ -273,7 +330,15 @@ mod tests {
         let map = Map::poisson(40.0);
         let mut rng = Rng::new(11);
         let trace = Trace::new(map.simulate(&mut rng, 0.0, 200.0), 200.0);
-        generate_dataset(&trace, &ConfigGrid::tiny(), &SimParams::default(), n, l, 0.1, 3)
+        generate_dataset(
+            &trace,
+            &ConfigGrid::tiny(),
+            &SimParams::default(),
+            n,
+            l,
+            0.1,
+            3,
+        )
     }
 
     #[test]
@@ -318,7 +383,12 @@ mod tests {
         // Train on Poisson(40), fine-tune on much slower Poisson(5) windows.
         let data = dataset(48, 16);
         let mut model = Surrogate::new(SurrogateConfig::tiny(), 5);
-        let tc = TrainConfig { epochs: 25, lr: 3e-3, val_fraction: 0.0, ..TrainConfig::default() };
+        let tc = TrainConfig {
+            epochs: 25,
+            lr: 3e-3,
+            val_fraction: 0.0,
+            ..TrainConfig::default()
+        };
         train(&mut model, &data, &tc);
 
         let map = Map::poisson(5.0);

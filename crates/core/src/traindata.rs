@@ -94,7 +94,9 @@ pub fn generate_dataset(
     let mut rng = Rng::new(seed);
     let windows: Vec<Window> = sample_windows(trace, seq_len, n, &mut rng);
     let configs = grid.configs();
-    let picks: Vec<usize> = (0..windows.len()).map(|_| rng.below(configs.len())).collect();
+    let picks: Vec<usize> = (0..windows.len())
+        .map(|_| rng.below(configs.len()))
+        .collect();
     windows
         .par_iter()
         .zip(picks)

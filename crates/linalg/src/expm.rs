@@ -21,7 +21,11 @@ pub fn expm(a: &Mat) -> Mat {
     let n = a.rows();
     // Scaling: ||A/2^s|| <= 0.5
     let norm = a.norm_inf();
-    let s = if norm > 0.5 { (norm / 0.5).log2().ceil() as i32 } else { 0 };
+    let s = if norm > 0.5 {
+        (norm / 0.5).log2().ceil() as i32
+    } else {
+        0
+    };
     let s = s.max(0) as u32;
     let a_scaled = a.scale(1.0 / f64::powi(2.0, s as i32));
 
@@ -130,18 +134,17 @@ impl Uniformizer {
             if weight == 0.0 && (k as f64) < lt {
                 // Extremely large Λt — restart weights in log space is overkill
                 // for our model sizes; fall back to squaring via expm.
-                let e = expm(&crate::matrix::Mat::from_vec(
-                    n,
-                    n,
-                    {
+                let e = expm(
+                    &crate::matrix::Mat::from_vec(n, n, {
                         // Rebuild Q = Λ(P - I)
                         let mut q = self.p.clone();
                         for i in 0..n {
                             q[(i, i)] -= 1.0;
                         }
                         q.scale(self.lambda).data().to_vec()
-                    },
-                ).scale(t));
+                    })
+                    .scale(t),
+                );
                 return e.vecmat(v);
             }
         }
@@ -198,11 +201,7 @@ mod tests {
 
     #[test]
     fn uniformizer_matches_expm() {
-        let q = Mat::from_rows(&[
-            &[-3.0, 2.0, 1.0],
-            &[0.5, -1.5, 1.0],
-            &[4.0, 0.0, -4.0],
-        ]);
+        let q = Mat::from_rows(&[&[-3.0, 2.0, 1.0], &[0.5, -1.5, 1.0], &[4.0, 0.0, -4.0]]);
         let u = Uniformizer::new(&q, 1e-12);
         for &t in &[0.0, 0.01, 0.3, 1.0, 4.0] {
             let et = expm(&q.scale(t));

@@ -26,7 +26,10 @@ pub fn kron(a: &Mat, b: &Mat) -> Mat {
 
 /// Kronecker sum `A ⊕ B = A ⊗ I + I ⊗ B` (both must be square).
 pub fn kron_sum(a: &Mat, b: &Mat) -> Mat {
-    assert!(a.is_square() && b.is_square(), "kron_sum requires square matrices");
+    assert!(
+        a.is_square() && b.is_square(),
+        "kron_sum requires square matrices"
+    );
     &kron(a, &Mat::eye(b.rows())) + &kron(&Mat::eye(a.rows()), b)
 }
 

@@ -86,6 +86,9 @@ impl Lu {
     }
 
     /// Solve `A x = b` for a single right-hand side.
+    // Triangular substitution reads y[j] while writing y[i]; the indexed
+    // form mirrors the textbook kernel.
+    #[allow(clippy::needless_range_loop)]
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, LinalgError> {
         let n = self.lu.rows();
         if b.len() != n {

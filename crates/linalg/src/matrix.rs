@@ -24,12 +24,20 @@ pub struct Mat {
 impl Mat {
     /// Create a matrix of zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Mat { rows, cols, data: vec![0.0; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Create a matrix filled with `v`.
     pub fn full(rows: usize, cols: usize, v: f64) -> Self {
-        Mat { rows, cols, data: vec![v; rows * cols] }
+        Mat {
+            rows,
+            cols,
+            data: vec![v; rows * cols],
+        }
     }
 
     /// Identity matrix of order `n`.
@@ -57,7 +65,11 @@ impl Mat {
             assert_eq!(row.len(), c, "ragged rows");
             data.extend_from_slice(row);
         }
-        Mat { rows: r, cols: c, data }
+        Mat {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Build an `n`-square diagonal matrix from the given diagonal entries.
@@ -151,13 +163,19 @@ impl Mat {
             }
         };
         if m >= PAR_THRESHOLD && n >= PAR_THRESHOLD {
-            out.par_chunks_mut(n).enumerate().for_each(|(i, row)| kernel(i, row));
+            out.par_chunks_mut(n)
+                .enumerate()
+                .for_each(|(i, row)| kernel(i, row));
         } else {
             for (i, row) in out.chunks_mut(n).enumerate() {
                 kernel(i, row);
             }
         }
-        Mat { rows: m, cols: n, data: out }
+        Mat {
+            rows: m,
+            cols: n,
+            data: out,
+        }
     }
 
     /// Matrix-vector product `self * v`.
@@ -210,7 +228,11 @@ impl Mat {
     pub fn approx_eq(&self, other: &Mat, tol: f64) -> bool {
         self.rows == other.rows
             && self.cols == other.cols
-            && self.data.iter().zip(&other.data).all(|(a, b)| (a - b).abs() <= tol)
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| (a - b).abs() <= tol)
     }
 }
 
@@ -232,11 +254,20 @@ impl IndexMut<(usize, usize)> for Mat {
 impl Add for &Mat {
     type Output = Mat;
     fn add(self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "add shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "add shape mismatch"
+        );
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a + b)
+                .collect(),
         }
     }
 }
@@ -244,11 +275,20 @@ impl Add for &Mat {
 impl Sub for &Mat {
     type Output = Mat;
     fn sub(self, rhs: &Mat) -> Mat {
-        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols), "sub shape mismatch");
+        assert_eq!(
+            (self.rows, self.cols),
+            (rhs.rows, rhs.cols),
+            "sub shape mismatch"
+        );
         Mat {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 }

@@ -21,7 +21,10 @@ impl std::fmt::Display for StationaryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             StationaryError::Reducible { state } => {
-                write!(f, "chain reducible: state {state} has no outgoing transitions")
+                write!(
+                    f,
+                    "chain reducible: state {state} has no outgoing transitions"
+                )
             }
             StationaryError::NotSquare => write!(f, "matrix must be square"),
         }
@@ -101,11 +104,7 @@ mod tests {
 
     #[test]
     fn three_state_ctmc_balance() {
-        let q = Mat::from_rows(&[
-            &[-3.0, 2.0, 1.0],
-            &[4.0, -5.0, 1.0],
-            &[0.5, 0.5, -1.0],
-        ]);
+        let q = Mat::from_rows(&[&[-3.0, 2.0, 1.0], &[4.0, -5.0, 1.0], &[0.5, 0.5, -1.0]]);
         let pi = ctmc_stationary(&q).unwrap();
         // pi Q = 0
         let r = q.vecmat(&pi);

@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 /// Strategy: a small random matrix with entries in [-5, 5].
 fn mat(rows: usize, cols: usize) -> impl Strategy<Value = Mat> {
-    prop::collection::vec(-5.0f64..5.0, rows * cols)
-        .prop_map(move |v| Mat::from_vec(rows, cols, v))
+    prop::collection::vec(-5.0f64..5.0, rows * cols).prop_map(move |v| Mat::from_vec(rows, cols, v))
 }
 
 /// Strategy: an irreducible CTMC generator of order `n` with rates in

@@ -88,7 +88,10 @@ impl Graph {
             v,
             vec![a.0, b.0],
             Some(Box::new(|g, ps, _| {
-                vec![g.zip(ps[1], |gi, bi| gi * bi), g.zip(ps[0], |gi, ai| gi * ai)]
+                vec![
+                    g.zip(ps[1], |gi, bi| gi * bi),
+                    g.zip(ps[0], |gi, ai| gi * ai),
+                ]
             })),
         )
     }
@@ -224,9 +227,7 @@ impl Graph {
             Some(Box::new(|g, _, out| {
                 let d = *out.shape().last().unwrap();
                 let mut dx = vec![0.0; out.numel()];
-                for (i, (grow, yrow)) in
-                    g.data().chunks(d).zip(out.data().chunks(d)).enumerate()
-                {
+                for (i, (grow, yrow)) in g.data().chunks(d).zip(out.data().chunks(d)).enumerate() {
                     let dot: f64 = grow.iter().zip(yrow).map(|(&gi, &yi)| gi * yi).sum();
                     for j in 0..d {
                         dx[i * d + j] = yrow[j] * (grow[j] - dot);
@@ -271,8 +272,7 @@ impl Graph {
                     xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
                 {
                     let mu: f64 = row.iter().sum::<f64>() / n;
-                    let var: f64 =
-                        row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / n;
+                    let var: f64 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / n;
                     let sigma = (var + eps).sqrt();
                     let xhat: Vec<f64> = row.iter().map(|&v| (v - mu) / sigma).collect();
                     // Parameter grads.
@@ -466,7 +466,9 @@ impl Graph {
         grads[root.0] = Some(Tensor::scalar(1.0));
         for idx in (0..=root.0).rev() {
             let Some(ref g) = grads[idx] else { continue };
-            let Some(ref f) = self.back[idx] else { continue };
+            let Some(ref f) = self.back[idx] else {
+                continue;
+            };
             let parent_vals: Vec<&Tensor> =
                 self.parents[idx].iter().map(|&p| &self.values[p]).collect();
             let parent_grads = f(g, &parent_vals, &self.values[idx]);
@@ -561,7 +563,12 @@ mod tests {
                 let y = g.bmm(x, xt);
                 g.sum_all(y)
             },
-            t(&[2, 2, 3], &[0.1, 0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 0.8, -0.9, 1.0, -1.1, 1.2]),
+            t(
+                &[2, 2, 3],
+                &[
+                    0.1, 0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 0.8, -0.9, 1.0, -1.1, 1.2,
+                ],
+            ),
             1e-5,
         );
     }
@@ -570,12 +577,22 @@ mod tests {
     fn grad_bmm_nt() {
         grad_check(
             |g, x| {
-                let w = g.leaf(t(&[2, 2, 3], &[0.2, -0.1, 0.4, 0.3, 0.6, -0.5, 0.1, 0.9, -0.2, 0.7, -0.3, 0.8]));
+                let w = g.leaf(t(
+                    &[2, 2, 3],
+                    &[
+                        0.2, -0.1, 0.4, 0.3, 0.6, -0.5, 0.1, 0.9, -0.2, 0.7, -0.3, 0.8,
+                    ],
+                ));
                 let s = g.bmm_nt(x, w);
                 let s2 = g.mul(s, s);
                 g.sum_all(s2)
             },
-            t(&[2, 2, 3], &[0.1, 0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 0.8, -0.9, 1.0, -1.1, 1.2]),
+            t(
+                &[2, 2, 3],
+                &[
+                    0.1, 0.2, 0.3, -0.4, 0.5, -0.6, 0.7, 0.8, -0.9, 1.0, -1.1, 1.2,
+                ],
+            ),
             1e-5,
         );
         // And gradient w.r.t. the transposed (right) operand.
@@ -660,7 +677,12 @@ mod tests {
                 let c2 = g.mul(c, c);
                 g.sum_all(c2)
             },
-            t(&[2, 3, 2], &[0.1, 0.2, 0.3, 0.4, 0.5, 0.6, -0.1, -0.2, -0.3, -0.4, -0.5, -0.6]),
+            t(
+                &[2, 3, 2],
+                &[
+                    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, -0.1, -0.2, -0.3, -0.4, -0.5, -0.6,
+                ],
+            ),
             1e-5,
         );
     }

@@ -81,7 +81,12 @@ mod tests {
         let mut rng = InitRng::new(9);
         let w = normal_init(vec![1000], 0.02, &mut rng);
         let mean: f64 = w.data().iter().sum::<f64>() / 1000.0;
-        let var: f64 = w.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / 1000.0;
+        let var: f64 = w
+            .data()
+            .iter()
+            .map(|x| (x - mean) * (x - mean))
+            .sum::<f64>()
+            / 1000.0;
         assert!(mean.abs() < 0.005);
         assert!((var.sqrt() - 0.02).abs() < 0.005);
     }

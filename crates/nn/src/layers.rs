@@ -22,7 +22,10 @@ pub struct Binder<'g> {
 
 impl<'g> Binder<'g> {
     pub fn new(g: &'g mut Graph) -> Self {
-        Binder { g, vars: Vec::new() }
+        Binder {
+            g,
+            vars: Vec::new(),
+        }
     }
 
     /// Bind a parameter tensor as a graph leaf and record its var.
@@ -53,7 +56,10 @@ pub struct Linear {
 
 impl Linear {
     pub fn new(in_dim: usize, out_dim: usize, rng: &mut InitRng) -> Self {
-        Linear { w: xavier_uniform(in_dim, out_dim, rng), b: Tensor::zeros(vec![out_dim]) }
+        Linear {
+            w: xavier_uniform(in_dim, out_dim, rng),
+            b: Tensor::zeros(vec![out_dim]),
+        }
     }
 
     pub fn in_dim(&self) -> usize {
@@ -68,7 +74,12 @@ impl Linear {
     pub fn forward(&self, b: &mut Binder, x: Var) -> Var {
         let shape = b.g.value(x).shape().to_vec();
         let in_dim = *shape.last().expect("linear input must be >=1-D");
-        assert_eq!(in_dim, self.in_dim(), "linear expects last dim {}", self.in_dim());
+        assert_eq!(
+            in_dim,
+            self.in_dim(),
+            "linear expects last dim {}",
+            self.in_dim()
+        );
         let rows = b.g.value(x).numel() / in_dim;
         let w = b.param(&self.w);
         let bias = b.param(&self.b);
@@ -100,7 +111,11 @@ pub struct LayerNorm {
 
 impl LayerNorm {
     pub fn new(dim: usize) -> Self {
-        LayerNorm { gamma: Tensor::full(vec![dim], 1.0), beta: Tensor::zeros(vec![dim]), eps: 1e-5 }
+        LayerNorm {
+            gamma: Tensor::full(vec![dim], 1.0),
+            beta: Tensor::zeros(vec![dim]),
+            eps: 1e-5,
+        }
     }
 
     pub fn forward(&self, b: &mut Binder, x: Var) -> Var {
@@ -131,7 +146,10 @@ pub struct MultiHeadAttention {
 
 impl MultiHeadAttention {
     pub fn new(dim: usize, heads: usize, rng: &mut InitRng) -> Self {
-        assert!(dim % heads == 0, "model dim {dim} must divide into {heads} heads");
+        assert!(
+            dim.is_multiple_of(heads),
+            "model dim {dim} must divide into {heads} heads"
+        );
         MultiHeadAttention {
             wq: Linear::new(dim, dim, rng),
             wk: Linear::new(dim, dim, rng),
@@ -262,9 +280,17 @@ pub struct TransformerEncoder {
 }
 
 impl TransformerEncoder {
-    pub fn new(n_layers: usize, dim: usize, heads: usize, ff_hidden: usize, rng: &mut InitRng) -> Self {
+    pub fn new(
+        n_layers: usize,
+        dim: usize,
+        heads: usize,
+        ff_hidden: usize,
+        rng: &mut InitRng,
+    ) -> Self {
         TransformerEncoder {
-            layers: (0..n_layers).map(|_| EncoderLayer::new(dim, heads, ff_hidden, rng)).collect(),
+            layers: (0..n_layers)
+                .map(|_| EncoderLayer::new(dim, heads, ff_hidden, rng))
+                .collect(),
         }
     }
 
@@ -289,7 +315,10 @@ impl Module for TransformerEncoder {
         self.layers.iter().flat_map(|l| l.parameters()).collect()
     }
     fn parameters_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.parameters_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.parameters_mut())
+            .collect()
     }
 }
 

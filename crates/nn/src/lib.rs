@@ -31,4 +31,6 @@ pub use layers::{
 };
 pub use optim::Adam;
 pub use serialize::{load_into, Checkpoint};
-pub use tensor::{bmm, bmm_nt, bmm_tn, matmul2d, permute_0213, softmax_lastdim, transpose_last2, Tensor};
+pub use tensor::{
+    bmm, bmm_nt, bmm_tn, matmul2d, permute_0213, softmax_lastdim, transpose_last2, Tensor,
+};

@@ -40,10 +40,20 @@ impl Adam {
     pub fn step(&mut self, params: &mut [&mut Tensor], grads: &[Tensor]) {
         assert_eq!(params.len(), grads.len(), "params/grads length mismatch");
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.shape().to_vec())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.shape().to_vec())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().to_vec()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.shape().to_vec()))
+                .collect();
         }
-        assert_eq!(self.m.len(), params.len(), "optimizer bound to a different model");
+        assert_eq!(
+            self.m.len(),
+            params.len(),
+            "optimizer bound to a different model"
+        );
 
         // Global-norm clipping.
         let scale = match self.clip_norm {

@@ -17,7 +17,12 @@ pub struct Checkpoint {
 
 impl Checkpoint {
     pub fn new(name: impl Into<String>, params: Vec<Tensor>, meta: serde_json::Value) -> Self {
-        Checkpoint { format_version: 1, name: name.into(), params, meta }
+        Checkpoint {
+            format_version: 1,
+            name: name.into(),
+            params,
+            meta,
+        }
     }
 
     pub fn save(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
@@ -74,7 +79,7 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(loaded.name, "test");
         assert_eq!(loaded.params, ck.params);
-        assert_eq!(loaded.meta["dim"], 16);
+        assert_eq!(loaded.meta["dim"].as_u64(), Some(16));
         std::fs::remove_dir_all(dir).ok();
     }
 

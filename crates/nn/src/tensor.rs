@@ -26,20 +26,32 @@ impl Tensor {
 
     pub fn zeros(shape: Vec<usize>) -> Self {
         let n = shape.iter().product();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     pub fn full(shape: Vec<usize>, v: f64) -> Self {
         let n = shape.iter().product();
-        Tensor { shape, data: vec![v; n] }
+        Tensor {
+            shape,
+            data: vec![v; n],
+        }
     }
 
     pub fn scalar(v: f64) -> Self {
-        Tensor { shape: vec![1], data: vec![v] }
+        Tensor {
+            shape: vec![1],
+            data: vec![v],
+        }
     }
 
     pub fn from_vec(data: Vec<f64>) -> Self {
-        Tensor { shape: vec![data.len()], data }
+        Tensor {
+            shape: vec![data.len()],
+            data,
+        }
     }
 
     pub fn shape(&self) -> &[usize] {
@@ -72,7 +84,10 @@ impl Tensor {
             "reshape {shape:?} incompatible with {:?}",
             self.shape
         );
-        Tensor { shape, data: self.data.clone() }
+        Tensor {
+            shape,
+            data: self.data.clone(),
+        }
     }
 
     /// Elementwise map.
@@ -134,7 +149,9 @@ pub fn matmul2d(a: &Tensor, b: &Tensor) -> Tensor {
         }
     };
     if m * n * k > 64 * 64 * 64 {
-        out.par_chunks_mut(n).enumerate().for_each(|(i, row)| kernel(i, row));
+        out.par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, row)| kernel(i, row));
     } else {
         for (i, row) in out.chunks_mut(n).enumerate() {
             kernel(i, row);
@@ -154,23 +171,25 @@ pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0; n * r * c];
     let ad = a.data();
     let bd = b.data();
-    out.par_chunks_mut(r * c).enumerate().for_each(|(i, chunk)| {
-        let ab = &ad[i * r * k..(i + 1) * r * k];
-        let bb = &bd[i * k * c..(i + 1) * k * c];
-        for row in 0..r {
-            let orow = &mut chunk[row * c..(row + 1) * c];
-            for p in 0..k {
-                let av = ab[row * k + p];
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &bb[p * c..(p + 1) * c];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+    out.par_chunks_mut(r * c)
+        .enumerate()
+        .for_each(|(i, chunk)| {
+            let ab = &ad[i * r * k..(i + 1) * r * k];
+            let bb = &bd[i * k * c..(i + 1) * k * c];
+            for row in 0..r {
+                let orow = &mut chunk[row * c..(row + 1) * c];
+                for p in 0..k {
+                    let av = ab[row * k + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &bb[p * c..(p + 1) * c];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
-    });
+        });
     Tensor::new(vec![n, r, c], out)
 }
 
@@ -189,21 +208,23 @@ pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0; n * r * c];
     let ad = a.data();
     let bd = b.data();
-    out.par_chunks_mut(r * c).enumerate().for_each(|(i, chunk)| {
-        let ab = &ad[i * r * k..(i + 1) * r * k];
-        let bb = &bd[i * c * k..(i + 1) * c * k];
-        for row in 0..r {
-            let arow = &ab[row * k..(row + 1) * k];
-            let orow = &mut chunk[row * c..(row + 1) * c];
-            for (o, brow) in orow.iter_mut().zip(bb.chunks_exact(k)) {
-                let mut acc = 0.0;
-                for (&x, &y) in arow.iter().zip(brow) {
-                    acc += x * y;
+    out.par_chunks_mut(r * c)
+        .enumerate()
+        .for_each(|(i, chunk)| {
+            let ab = &ad[i * r * k..(i + 1) * r * k];
+            let bb = &bd[i * c * k..(i + 1) * c * k];
+            for row in 0..r {
+                let arow = &ab[row * k..(row + 1) * k];
+                let orow = &mut chunk[row * c..(row + 1) * c];
+                for (o, brow) in orow.iter_mut().zip(bb.chunks_exact(k)) {
+                    let mut acc = 0.0;
+                    for (&x, &y) in arow.iter().zip(brow) {
+                        acc += x * y;
+                    }
+                    *o = acc;
                 }
-                *o = acc;
             }
-        }
-    });
+        });
     Tensor::new(vec![n, r, c], out)
 }
 
@@ -220,23 +241,25 @@ pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
     let mut out = vec![0.0; n * r * c];
     let ad = a.data();
     let bd = b.data();
-    out.par_chunks_mut(r * c).enumerate().for_each(|(i, chunk)| {
-        let ab = &ad[i * k * r..(i + 1) * k * r];
-        let bb = &bd[i * k * c..(i + 1) * k * c];
-        for kk in 0..k {
-            let arow = &ab[kk * r..(kk + 1) * r];
-            let brow = &bb[kk * c..(kk + 1) * c];
-            for (row, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let orow = &mut chunk[row * c..(row + 1) * c];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
+    out.par_chunks_mut(r * c)
+        .enumerate()
+        .for_each(|(i, chunk)| {
+            let ab = &ad[i * k * r..(i + 1) * k * r];
+            let bb = &bd[i * k * c..(i + 1) * k * c];
+            for kk in 0..k {
+                let arow = &ab[kk * r..(kk + 1) * r];
+                let brow = &bb[kk * c..(kk + 1) * c];
+                for (row, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let orow = &mut chunk[row * c..(row + 1) * c];
+                    for (o, &bv) in orow.iter_mut().zip(brow) {
+                        *o += av * bv;
+                    }
                 }
             }
-        }
-    });
+        });
     Tensor::new(vec![n, r, c], out)
 }
 
@@ -368,8 +391,14 @@ mod tests {
 
     #[test]
     fn bmm_nt_matches_explicit_transpose() {
-        let a = Tensor::new(vec![2, 3, 4], (0..24).map(|i| (i as f64) * 0.3 - 2.0).collect());
-        let b = Tensor::new(vec![2, 5, 4], (0..40).map(|i| (i as f64) * 0.1 - 1.0).collect());
+        let a = Tensor::new(
+            vec![2, 3, 4],
+            (0..24).map(|i| (i as f64) * 0.3 - 2.0).collect(),
+        );
+        let b = Tensor::new(
+            vec![2, 5, 4],
+            (0..40).map(|i| (i as f64) * 0.1 - 1.0).collect(),
+        );
         let fused = bmm_nt(&a, &b);
         let explicit = bmm(&a, &transpose_last2(&b));
         assert_eq!(fused.shape(), &[2, 3, 5]);
@@ -380,7 +409,10 @@ mod tests {
 
     #[test]
     fn bmm_tn_matches_explicit_transpose() {
-        let a = Tensor::new(vec![2, 4, 3], (0..24).map(|i| (i as f64) * 0.2 - 1.5).collect());
+        let a = Tensor::new(
+            vec![2, 4, 3],
+            (0..24).map(|i| (i as f64) * 0.2 - 1.5).collect(),
+        );
         let b = Tensor::new(vec![2, 4, 5], (0..40).map(|i| (i as f64) * 0.05).collect());
         let fused = bmm_tn(&a, &b);
         let explicit = bmm(&transpose_last2(&a), &b);
@@ -425,7 +457,10 @@ mod tests {
         for row in s.data().chunks(3) {
             let sum: f64 = row.iter().sum();
             assert!((sum - 1.0).abs() < 1e-12);
-            assert!(row.windows(2).all(|w| w[0] < w[1]), "monotone inputs stay ordered");
+            assert!(
+                row.windows(2).all(|w| w[0] < w[1]),
+                "monotone inputs stay ordered"
+            );
         }
     }
 

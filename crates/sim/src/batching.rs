@@ -121,6 +121,35 @@ enum Event {
     Timeout(u64),
 }
 
+/// Telemetry handles resolved once per simulation run, so the hot event
+/// loop never touches the metric registry. `None` when telemetry is
+/// disabled, making instrumentation a single branch per use.
+struct SimTel {
+    events: std::sync::Arc<dbat_telemetry::Counter>,
+    batch_size: std::sync::Arc<dbat_telemetry::Histogram>,
+    flush_timeout: std::sync::Arc<dbat_telemetry::Counter>,
+    flush_capacity: std::sync::Arc<dbat_telemetry::Counter>,
+    cold_starts: std::sync::Arc<dbat_telemetry::Counter>,
+    queue_depth: std::sync::Arc<dbat_telemetry::Gauge>,
+}
+
+impl SimTel {
+    fn resolve() -> Option<SimTel> {
+        let t = dbat_telemetry::global();
+        if !t.is_enabled() {
+            return None;
+        }
+        Some(SimTel {
+            events: t.counter("sim.events"),
+            batch_size: t.histogram("sim.batch_size"),
+            flush_timeout: t.counter("sim.flush.timeout"),
+            flush_capacity: t.counter("sim.flush.capacity"),
+            cold_starts: t.counter("sim.cold_starts"),
+            queue_depth: t.gauge("sim.queue_depth"),
+        })
+    }
+}
+
 /// Simulate the batching buffer over a finite arrival sequence.
 ///
 /// `rng` is only consulted when `params.cold_start` is set. Timestamps must
@@ -150,60 +179,88 @@ pub fn simulate_batching(
     let mut buffer: Vec<usize> = Vec::with_capacity(cfg.batch_size as usize);
     let mut opened_at = 0.0f64;
     let mut epoch = 0u64;
-    let mut requests: Vec<RequestRecord> =
-        arrivals.iter().map(|&a| RequestRecord { arrival: a, dispatch: 0.0, completion: 0.0, batch: 0 }).collect();
+    let mut requests: Vec<RequestRecord> = arrivals
+        .iter()
+        .map(|&a| RequestRecord {
+            arrival: a,
+            dispatch: 0.0,
+            completion: 0.0,
+            batch: 0,
+        })
+        .collect();
     let mut batches: Vec<BatchRecord> = Vec::new();
     let mut total_cost = 0.0;
 
     // Dispatch closure state is threaded manually since `run` borrows sched.
     let immediate = cfg.batch_size == 1 || cfg.timeout_s == 0.0;
+    let tel = SimTel::resolve();
 
-    run(&mut sched, |t, ev, sch| match ev {
-        Event::Arrival(i) => {
-            if buffer.is_empty() {
-                opened_at = t;
-                if !immediate && cfg.timeout_s.is_finite() {
-                    sch.schedule(t + cfg.timeout_s, Event::Timeout(epoch));
+    run(&mut sched, |t, ev, sch| {
+        if let Some(tel) = &tel {
+            tel.events.inc();
+        }
+        match ev {
+            Event::Arrival(i) => {
+                if buffer.is_empty() {
+                    opened_at = t;
+                    if !immediate && cfg.timeout_s.is_finite() {
+                        sch.schedule(t + cfg.timeout_s, Event::Timeout(epoch));
+                    }
+                }
+                buffer.push(i);
+                if immediate || buffer.len() as u32 >= cfg.batch_size {
+                    if let Some(tel) = &tel {
+                        tel.flush_capacity.inc();
+                    }
+                    dispatch(
+                        &mut buffer,
+                        t,
+                        opened_at,
+                        cfg,
+                        params,
+                        &mut rng,
+                        &mut requests,
+                        &mut batches,
+                        &mut total_cost,
+                        t0,
+                        &tel,
+                    );
+                    epoch += 1;
                 }
             }
-            buffer.push(i);
-            if immediate || buffer.len() as u32 >= cfg.batch_size {
-                dispatch(
-                    &mut buffer,
-                    t,
-                    opened_at,
-                    cfg,
-                    params,
-                    &mut rng,
-                    &mut requests,
-                    &mut batches,
-                    &mut total_cost,
-                    t0,
-                );
-                epoch += 1;
+            Event::Timeout(e) => {
+                if e == epoch && !buffer.is_empty() {
+                    if let Some(tel) = &tel {
+                        tel.flush_timeout.inc();
+                    }
+                    dispatch(
+                        &mut buffer,
+                        t,
+                        opened_at,
+                        cfg,
+                        params,
+                        &mut rng,
+                        &mut requests,
+                        &mut batches,
+                        &mut total_cost,
+                        t0,
+                        &tel,
+                    );
+                    epoch += 1;
+                }
             }
         }
-        Event::Timeout(e) => {
-            if e == epoch && !buffer.is_empty() {
-                dispatch(
-                    &mut buffer,
-                    t,
-                    opened_at,
-                    cfg,
-                    params,
-                    &mut rng,
-                    &mut requests,
-                    &mut batches,
-                    &mut total_cost,
-                    t0,
-                );
-                epoch += 1;
-            }
+        if let Some(tel) = &tel {
+            tel.queue_depth.set(buffer.len() as f64);
         }
     });
 
     debug_assert!(buffer.is_empty(), "all requests must be dispatched");
-    SimOutcome { requests, batches, total_cost }
+    SimOutcome {
+        requests,
+        batches,
+        total_cost,
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -218,20 +275,27 @@ fn dispatch(
     batches: &mut Vec<BatchRecord>,
     total_cost: &mut f64,
     t0: f64,
+    tel: &Option<SimTel>,
 ) {
     let size = buffer.len() as u32;
     let service = params.profile.service_time(cfg.memory_mb, size);
-    let cold = match (params.cold_start, rng.as_deref_mut()) {
-        (Some(cs), Some(r)) => {
+    let cold = params
+        .cold_start
+        .zip(rng.as_deref_mut())
+        .map_or(0.0, |(cs, r)| {
             if r.bernoulli(cs.probability) {
                 cs.delay_s
             } else {
                 0.0
             }
-        }
-        _ => 0.0,
-    };
+        });
     let cost = params.pricing.invocation_cost(cfg.memory_mb, service);
+    if let Some(tel) = tel {
+        tel.batch_size.record(size as f64);
+        if cold > 0.0 {
+            tel.cold_starts.inc();
+        }
+    }
     let batch_idx = batches.len();
     batches.push(BatchRecord {
         opened_at: opened_at + t0,
@@ -343,12 +407,8 @@ mod tests {
     #[test]
     fn batching_cheaper_than_singles_on_dense_arrivals() {
         let arrivals: Vec<f64> = (0..512).map(|i| i as f64 * 0.002).collect();
-        let single = simulate_batching(
-            &arrivals,
-            &LambdaConfig::new(2048, 1, 0.0),
-            &params(),
-            None,
-        );
+        let single =
+            simulate_batching(&arrivals, &LambdaConfig::new(2048, 1, 0.0), &params(), None);
         let batched = simulate_batching(
             &arrivals,
             &LambdaConfig::new(2048, 16, 0.1),
@@ -367,12 +427,20 @@ mod tests {
 
     #[test]
     fn cold_start_adds_latency() {
-        let cs = ColdStart { probability: 1.0, delay_s: 0.4 };
-        let p = SimParams { cold_start: Some(cs), ..SimParams::default() };
+        let cs = ColdStart {
+            probability: 1.0,
+            delay_s: 0.4,
+        };
+        let p = SimParams {
+            cold_start: Some(cs),
+            ..SimParams::default()
+        };
         let mut rng = Rng::new(1);
         let cfg = LambdaConfig::new(2048, 1, 0.0);
         let out = simulate_batching(&[0.0], &cfg, &p, Some(&mut rng));
-        assert!((out.requests[0].latency() - (0.4 + p.profile.service_time(2048, 1))).abs() < 1e-12);
+        assert!(
+            (out.requests[0].latency() - (0.4 + p.profile.service_time(2048, 1))).abs() < 1e-12
+        );
         assert_eq!(out.batches[0].cold_start_s, 0.4);
     }
 

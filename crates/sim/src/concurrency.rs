@@ -24,8 +24,14 @@ pub fn simulate_with_concurrency(
     max_concurrency: usize,
 ) -> SimOutcome {
     cfg.validate().expect("invalid configuration");
-    assert!(max_concurrency >= 1, "need at least one concurrent instance");
-    debug_assert!(arrivals.windows(2).all(|w| w[0] <= w[1]), "arrivals must be sorted");
+    assert!(
+        max_concurrency >= 1,
+        "need at least one concurrent instance"
+    );
+    debug_assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
 
     enum Event {
         Arrival(usize),
@@ -45,7 +51,12 @@ pub fn simulate_with_concurrency(
     let immediate = cfg.batch_size == 1 || cfg.timeout_s == 0.0;
     let mut requests: Vec<RequestRecord> = arrivals
         .iter()
-        .map(|&a| RequestRecord { arrival: a, dispatch: 0.0, completion: 0.0, batch: 0 })
+        .map(|&a| RequestRecord {
+            arrival: a,
+            dispatch: 0.0,
+            completion: 0.0,
+            batch: 0,
+        })
         .collect();
     let mut batches: Vec<BatchRecord> = Vec::new();
     let mut total_cost = 0.0;
@@ -54,41 +65,40 @@ pub fn simulate_with_concurrency(
     let mut running = 0usize;
 
     run(&mut sched, |t, ev, sch| {
-        let start_if_possible =
-            |members: Vec<usize>,
-             formed_at: f64,
-             win_opened: f64,
-             running: &mut usize,
-             dispatch_queue: &mut VecDeque<(Vec<usize>, f64, f64)>,
-             sch: &mut Scheduler<Event>,
-             requests: &mut Vec<RequestRecord>,
-             batches: &mut Vec<BatchRecord>,
-             total_cost: &mut f64| {
-                if *running < max_concurrency {
-                    *running += 1;
-                    let size = members.len() as u32;
-                    let service = params.profile.service_time(cfg.memory_mb, size);
-                    let cost = params.pricing.invocation_cost(cfg.memory_mb, service);
-                    *total_cost += cost;
-                    let idx = batches.len();
-                    batches.push(BatchRecord {
-                        opened_at: win_opened + t0,
-                        dispatched_at: formed_at + t0,
-                        size,
-                        service_s: service,
-                        cold_start_s: 0.0,
-                        cost,
-                    });
-                    for &i in &members {
-                        requests[i].dispatch = formed_at + t0;
-                        requests[i].completion = formed_at + t0 + service;
-                        requests[i].batch = idx;
-                    }
-                    sch.schedule(formed_at + service, Event::Completion);
-                } else {
-                    dispatch_queue.push_back((members, formed_at, win_opened));
+        let start_if_possible = |members: Vec<usize>,
+                                 formed_at: f64,
+                                 win_opened: f64,
+                                 running: &mut usize,
+                                 dispatch_queue: &mut VecDeque<(Vec<usize>, f64, f64)>,
+                                 sch: &mut Scheduler<Event>,
+                                 requests: &mut Vec<RequestRecord>,
+                                 batches: &mut Vec<BatchRecord>,
+                                 total_cost: &mut f64| {
+            if *running < max_concurrency {
+                *running += 1;
+                let size = members.len() as u32;
+                let service = params.profile.service_time(cfg.memory_mb, size);
+                let cost = params.pricing.invocation_cost(cfg.memory_mb, service);
+                *total_cost += cost;
+                let idx = batches.len();
+                batches.push(BatchRecord {
+                    opened_at: win_opened + t0,
+                    dispatched_at: formed_at + t0,
+                    size,
+                    service_s: service,
+                    cold_start_s: 0.0,
+                    cost,
+                });
+                for &i in &members {
+                    requests[i].dispatch = formed_at + t0;
+                    requests[i].completion = formed_at + t0 + service;
+                    requests[i].batch = idx;
                 }
-            };
+                sch.schedule(formed_at + service, Event::Completion);
+            } else {
+                dispatch_queue.push_back((members, formed_at, win_opened));
+            }
+        };
 
         match ev {
             Event::Arrival(i) => {
@@ -103,8 +113,15 @@ pub fn simulate_with_concurrency(
                     let members = std::mem::take(&mut buffer);
                     epoch += 1;
                     start_if_possible(
-                        members, t, opened_at, &mut running, &mut dispatch_queue, sch,
-                        &mut requests, &mut batches, &mut total_cost,
+                        members,
+                        t,
+                        opened_at,
+                        &mut running,
+                        &mut dispatch_queue,
+                        sch,
+                        &mut requests,
+                        &mut batches,
+                        &mut total_cost,
                     );
                 }
             }
@@ -113,8 +130,15 @@ pub fn simulate_with_concurrency(
                     let members = std::mem::take(&mut buffer);
                     epoch += 1;
                     start_if_possible(
-                        members, t, opened_at, &mut running, &mut dispatch_queue, sch,
-                        &mut requests, &mut batches, &mut total_cost,
+                        members,
+                        t,
+                        opened_at,
+                        &mut running,
+                        &mut dispatch_queue,
+                        sch,
+                        &mut requests,
+                        &mut batches,
+                        &mut total_cost,
                     );
                 }
             }
@@ -123,8 +147,15 @@ pub fn simulate_with_concurrency(
                 if let Some((members, _formed, win_opened)) = dispatch_queue.pop_front() {
                     // Starts now (t), having queued since formation.
                     start_if_possible(
-                        members, t, win_opened, &mut running, &mut dispatch_queue, sch,
-                        &mut requests, &mut batches, &mut total_cost,
+                        members,
+                        t,
+                        win_opened,
+                        &mut running,
+                        &mut dispatch_queue,
+                        sch,
+                        &mut requests,
+                        &mut batches,
+                        &mut total_cost,
                     );
                 }
             }
@@ -132,7 +163,11 @@ pub fn simulate_with_concurrency(
     });
 
     debug_assert!(buffer.is_empty() && dispatch_queue.is_empty());
-    SimOutcome { requests, batches, total_cost }
+    SimOutcome {
+        requests,
+        batches,
+        total_cost,
+    }
 }
 
 #[cfg(test)]

@@ -19,7 +19,11 @@ pub struct LambdaConfig {
 
 impl LambdaConfig {
     pub fn new(memory_mb: u32, batch_size: u32, timeout_s: f64) -> Self {
-        let c = LambdaConfig { memory_mb, batch_size, timeout_s };
+        let c = LambdaConfig {
+            memory_mb,
+            batch_size,
+            timeout_s,
+        };
         c.validate().expect("invalid configuration");
         c
     }
@@ -131,7 +135,11 @@ mod tests {
 
     #[test]
     fn negative_timeout_rejected() {
-        let c = LambdaConfig { memory_mb: 1024, batch_size: 1, timeout_s: -1.0 };
+        let c = LambdaConfig {
+            memory_mb: 1024,
+            batch_size: 1,
+            timeout_s: -1.0,
+        };
         assert!(c.validate().is_err());
     }
 

@@ -5,8 +5,10 @@
 //! generic lets tests (and extensions such as cold-start modelling) inject
 //! their own event types.
 
+use dbat_telemetry::Counter;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 struct Entry<E> {
     time: f64,
@@ -42,6 +44,9 @@ pub struct Scheduler<E> {
     heap: BinaryHeap<Entry<E>>,
     seq: u64,
     now: f64,
+    /// Telemetry counter for events clamped into the present (resolved
+    /// once at construction; `None` when telemetry is disabled).
+    clamped: Option<Arc<Counter>>,
 }
 
 impl<E> Default for Scheduler<E> {
@@ -52,7 +57,12 @@ impl<E> Default for Scheduler<E> {
 
 impl<E> Scheduler<E> {
     pub fn new() -> Self {
-        Scheduler { heap: BinaryHeap::new(), seq: 0, now: 0.0 }
+        Scheduler {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+            clamped: dbat_telemetry::global().counter_if_enabled("sim.clamped_events"),
+        }
     }
 
     /// Current simulation time (time of the last popped event).
@@ -71,9 +81,24 @@ impl<E> Scheduler<E> {
     /// Schedule `event` at absolute time `t`.
     pub fn schedule(&mut self, t: f64, event: E) {
         debug_assert!(t.is_finite(), "event time must be finite");
-        debug_assert!(t >= self.now, "cannot schedule into the past: {t} < {}", self.now);
+        debug_assert!(
+            t >= self.now,
+            "cannot schedule into the past: {t} < {}",
+            self.now
+        );
+        if t < self.now {
+            // Release builds clamp instead of panicking; the counter makes
+            // that silent repair observable.
+            if let Some(c) = &self.clamped {
+                c.inc();
+            }
+        }
         let t = t.max(self.now);
-        self.heap.push(Entry { time: t, seq: self.seq, event });
+        self.heap.push(Entry {
+            time: t,
+            seq: self.seq,
+            event,
+        });
         self.seq += 1;
     }
 

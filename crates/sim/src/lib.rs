@@ -21,7 +21,9 @@ pub mod pricing;
 pub mod service;
 pub mod sweep;
 
-pub use batching::{simulate_batching, BatchRecord, ColdStart, RequestRecord, SimOutcome, SimParams};
+pub use batching::{
+    simulate_batching, BatchRecord, ColdStart, RequestRecord, SimOutcome, SimParams,
+};
 pub use concurrency::simulate_with_concurrency;
 pub use config::{ConfigGrid, LambdaConfig, MEMORY_MAX_MB, MEMORY_MIN_MB};
 pub use metrics::{vcr, LatencySummary, PERCENTILE_KEYS};

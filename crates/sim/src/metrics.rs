@@ -1,6 +1,6 @@
 //! Latency summaries and the paper's SLO Violation Count Ratio (VCR).
 
-use dbat_workload::stats::percentile_sorted;
+use dbat_workload::stats::{interp_tracked_percentile, percentile_sorted};
 use serde::{Deserialize, Serialize};
 
 /// The latency percentiles the surrogate model predicts (plus cost).
@@ -21,7 +21,15 @@ pub struct LatencySummary {
 impl LatencySummary {
     pub fn from_latencies(latencies: &[f64]) -> Self {
         if latencies.is_empty() {
-            return LatencySummary { p50: 0.0, p90: 0.0, p95: 0.0, p99: 0.0, mean: 0.0, max: 0.0, count: 0 };
+            return LatencySummary {
+                p50: 0.0,
+                p90: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                mean: 0.0,
+                max: 0.0,
+                count: 0,
+            };
         }
         let mut sorted = latencies.to_vec();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -37,15 +45,12 @@ impl LatencySummary {
         }
     }
 
-    /// Look up one of the four tracked percentiles (50/90/95/99).
+    /// Look up a percentile. The four tracked keys (50/90/95/99) return
+    /// their stored values exactly; any other `p` in [0, 100] is estimated
+    /// by linear interpolation between the bracketing tracked keys
+    /// (clamped to p50 below 50 and p99 above 99).
     pub fn percentile(&self, p: f64) -> f64 {
-        match p as u32 {
-            50 => self.p50,
-            90 => self.p90,
-            95 => self.p95,
-            99 => self.p99,
-            _ => panic!("only percentiles {PERCENTILE_KEYS:?} are tracked, got {p}"),
-        }
+        interp_tracked_percentile(&PERCENTILE_KEYS, &self.percentile_vector(), p)
     }
 
     /// The tracked percentiles as a vector (surrogate training target order).
@@ -104,9 +109,19 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "only percentiles")]
-    fn percentile_lookup_unknown_key() {
-        LatencySummary::from_latencies(&[1.0]).percentile(42.0);
+    fn percentile_lookup_untracked_key_interpolates() {
+        let s = LatencySummary::from_latencies(&(1..=100).map(|i| i as f64).collect::<Vec<_>>());
+        // Untracked keys no longer panic: below the first tracked key
+        // clamps to p50, between keys interpolates, above clamps to p99.
+        assert_eq!(s.percentile(42.0), s.p50);
+        let p92_5 = s.percentile(92.5);
+        assert!(
+            s.p90 <= p92_5 && p92_5 <= s.p95,
+            "p92.5 {p92_5} outside [{}, {}]",
+            s.p90,
+            s.p95
+        );
+        assert_eq!(s.percentile(100.0), s.p99);
     }
 
     #[test]

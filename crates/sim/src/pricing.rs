@@ -14,7 +14,10 @@ pub struct Pricing {
 impl Pricing {
     /// AWS Lambda list prices: $0.0000166667 / GB-s and $0.20 per 1M requests.
     pub fn aws_lambda() -> Self {
-        Pricing { per_gb_second: 1.66667e-5, per_invocation: 2.0e-7 }
+        Pricing {
+            per_gb_second: 1.66667e-5,
+            per_invocation: 2.0e-7,
+        }
     }
 
     /// Cost (USD) of a single invocation of duration `duration_s` at
@@ -69,7 +72,10 @@ mod tests {
         let p = Pricing::aws_lambda();
         let single = p.cost_per_request(1024, 0.05, 1);
         let batched = p.cost_per_request(1024, 0.08, 8);
-        assert!(batched < single, "batched {batched} should beat single {single}");
+        assert!(
+            batched < single,
+            "batched {batched} should beat single {single}"
+        );
     }
 
     #[test]

@@ -98,7 +98,10 @@ mod tests {
         let s1 = p.service_time(2048, 1);
         let s8 = p.service_time(2048, 8);
         assert!(s8 > s1);
-        assert!(s8 < 8.0 * s1, "batch of 8 must be far cheaper than 8 singles");
+        assert!(
+            s8 < 8.0 * s1,
+            "batch of 8 must be far cheaper than 8 singles"
+        );
         // Per-request time strictly decreases with batch size here.
         assert!(p.per_request_service(2048, 8) < p.per_request_service(2048, 1));
     }

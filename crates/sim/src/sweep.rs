@@ -132,14 +132,8 @@ mod tests {
     fn batching_wins_under_loose_slo() {
         // With a generous SLO the optimum should exploit batching (B > 1).
         let grid = ConfigGrid::paper_default();
-        let best = ground_truth(
-            &dense_arrivals(),
-            &grid,
-            &SimParams::default(),
-            0.5,
-            95.0,
-        )
-        .unwrap();
+        let best =
+            ground_truth(&dense_arrivals(), &grid, &SimParams::default(), 0.5, 95.0).unwrap();
         assert!(
             best.config.batch_size > 1,
             "expected batching at loose SLO, got {}",
@@ -150,10 +144,10 @@ mod tests {
     #[test]
     fn tight_slo_prefers_fast_configs() {
         let grid = ConfigGrid::paper_default();
-        let loose = ground_truth(&dense_arrivals(), &grid, &SimParams::default(), 0.5, 95.0)
-            .unwrap();
-        let tight = ground_truth(&dense_arrivals(), &grid, &SimParams::default(), 0.06, 95.0)
-            .unwrap();
+        let loose =
+            ground_truth(&dense_arrivals(), &grid, &SimParams::default(), 0.5, 95.0).unwrap();
+        let tight =
+            ground_truth(&dense_arrivals(), &grid, &SimParams::default(), 0.06, 95.0).unwrap();
         assert!(tight.summary.p95 <= 0.06 + 1e-12);
         assert!(
             tight.cost_per_request >= loose.cost_per_request,

@@ -1,0 +1,91 @@
+//! Lightweight spans: scoped wall-clock timing recorded into a histogram.
+//!
+//! A span is an RAII guard. Creating one through [`crate::Telemetry::span`]
+//! notes the start instant; dropping it records the elapsed seconds into
+//! the histogram named `span.<name>` and bumps the `span.<name>.count`
+//! counter. When telemetry is disabled the guard is inert and costs one
+//! relaxed atomic load to construct.
+
+use crate::metrics::Histogram;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// RAII timing guard returned by [`crate::Telemetry::span`].
+#[must_use = "a span records its duration when dropped; binding it to `_` drops it immediately"]
+pub struct Span {
+    start: Instant,
+    // None when telemetry is disabled: drop does nothing.
+    target: Option<Arc<Histogram>>,
+}
+
+impl Span {
+    pub(crate) fn active(target: Arc<Histogram>) -> Self {
+        Span {
+            start: Instant::now(),
+            target: Some(target),
+        }
+    }
+
+    pub(crate) fn inert() -> Self {
+        Span {
+            start: Instant::now(),
+            target: None,
+        }
+    }
+
+    /// Elapsed seconds so far, without ending the span.
+    pub fn elapsed_s(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// End the span now and return the recorded duration in seconds.
+    pub fn finish(self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        if let Some(h) = &self.target {
+            h.record(secs);
+        }
+        // Avoid double-recording in Drop.
+        std::mem::forget(self);
+        secs
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(h) = &self.target {
+            h.record(self.start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn active_span_records_on_drop() {
+        let h = Arc::new(Histogram::default());
+        {
+            let _s = Span::active(h.clone());
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        assert_eq!(h.count(), 1);
+        assert!(h.sum() >= 0.002);
+    }
+
+    #[test]
+    fn finish_records_once() {
+        let h = Arc::new(Histogram::default());
+        let s = Span::active(h.clone());
+        let secs = s.finish();
+        assert!(secs >= 0.0);
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn inert_span_records_nothing() {
+        let s = Span::inert();
+        assert!(s.elapsed_s() >= 0.0);
+        drop(s);
+    }
+}

@@ -55,7 +55,12 @@ pub fn read_trace(path: impl AsRef<Path>, horizon: Option<f64>) -> Result<Trace,
         let field = t.split(',').next().unwrap_or(t).trim();
         match field.parse::<f64>() {
             Ok(v) if v.is_finite() => ts.push(v),
-            _ => return Err(TraceIoError::Parse { line: i + 1, content: t.to_string() }),
+            _ => {
+                return Err(TraceIoError::Parse {
+                    line: i + 1,
+                    content: t.to_string(),
+                })
+            }
         }
     }
     if ts.is_empty() {
@@ -64,7 +69,11 @@ pub fn read_trace(path: impl AsRef<Path>, horizon: Option<f64>) -> Result<Trace,
     ts.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let h = horizon.unwrap_or_else(|| {
         let last = *ts.last().unwrap();
-        let mean_ia = if ts.len() > 1 { (last - ts[0]) / (ts.len() - 1) as f64 } else { 1.0 };
+        let mean_ia = if ts.len() > 1 {
+            (last - ts[0]) / (ts.len() - 1) as f64
+        } else {
+            1.0
+        };
         last + mean_ia.max(1e-9)
     });
     Ok(Trace::new(ts, h))

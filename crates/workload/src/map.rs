@@ -14,9 +14,18 @@ use dbat_linalg::{ctmc_stationary, dtmc_stationary, inverse, Mat};
 #[derive(Clone, Debug, PartialEq)]
 pub enum MapError {
     ShapeMismatch,
-    NegativeOffDiagonal { mat: &'static str, i: usize, j: usize },
-    NonNegativeDiagonal { i: usize },
-    RowSumNotZero { i: usize, sum: f64 },
+    NegativeOffDiagonal {
+        mat: &'static str,
+        i: usize,
+        j: usize,
+    },
+    NonNegativeDiagonal {
+        i: usize,
+    },
+    RowSumNotZero {
+        i: usize,
+        sum: f64,
+    },
     Reducible,
 }
 
@@ -80,7 +89,12 @@ impl Map {
         // Embedded chain at arrivals: P = (-D0)^{-1} D1 (row-stochastic).
         let p = Self::embedded_matrix(&d0, &d1);
         let embedded_stationary = dtmc_stationary(&p).map_err(|_| MapError::Reducible)?;
-        Ok(Map { d0, d1, phase_stationary, embedded_stationary })
+        Ok(Map {
+            d0,
+            d1,
+            phase_stationary,
+            embedded_stationary,
+        })
     }
 
     fn embedded_matrix(d0: &Mat, d1: &Mat) -> Mat {
@@ -91,11 +105,8 @@ impl Map {
     /// A Poisson process as the order-1 MAP.
     pub fn poisson(rate: f64) -> Self {
         assert!(rate > 0.0);
-        Map::new(
-            Mat::from_rows(&[&[-rate]]),
-            Mat::from_rows(&[&[rate]]),
-        )
-        .expect("Poisson MAP is always valid")
+        Map::new(Mat::from_rows(&[&[-rate]]), Mat::from_rows(&[&[rate]]))
+            .expect("Poisson MAP is always valid")
     }
 
     pub fn order(&self) -> usize {
@@ -124,7 +135,11 @@ impl Map {
     pub fn rate(&self) -> f64 {
         let ones = vec![1.0; self.order()];
         let d1_one = self.d1.matvec(&ones);
-        self.phase_stationary.iter().zip(&d1_one).map(|(p, r)| p * r).sum()
+        self.phase_stationary
+            .iter()
+            .zip(&d1_one)
+            .map(|(p, r)| p * r)
+            .sum()
     }
 
     /// k-th raw moment of the stationary interarrival time:
@@ -209,7 +224,10 @@ impl Map {
     /// `rate(thin(p)) = p · rate(self)` while the phase process is
     /// unchanged.
     pub fn thin(&self, p: f64) -> Map {
-        assert!((0.0..=1.0).contains(&p), "thinning probability must be in [0,1]");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "thinning probability must be in [0,1]"
+        );
         assert!(p > 0.0, "thinning to zero rate yields no arrival process");
         let d1 = self.d1.scale(p);
         let d0 = &self.d0 + &self.d1.scale(1.0 - p);
@@ -281,7 +299,10 @@ mod tests {
         // Row sums not zero.
         let d0 = Mat::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
         let d1 = Mat::from_rows(&[&[0.5, 0.0], &[0.0, 1.0]]);
-        assert!(matches!(Map::new(d0, d1), Err(MapError::RowSumNotZero { .. })));
+        assert!(matches!(
+            Map::new(d0, d1),
+            Err(MapError::RowSumNotZero { .. })
+        ));
     }
 
     #[test]
@@ -388,7 +409,11 @@ mod tests {
         let mut rng = Rng::new(55);
         let arr = m.simulate(&mut rng, 0.0, 4_000.0);
         let emp = arr.len() as f64 / 4_000.0;
-        assert!((emp - m.rate()).abs() / m.rate() < 0.07, "{emp} vs {}", m.rate());
+        assert!(
+            (emp - m.rate()).abs() / m.rate() < 0.07,
+            "{emp} vs {}",
+            m.rate()
+        );
     }
 
     #[test]

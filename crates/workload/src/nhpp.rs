@@ -8,12 +8,7 @@ use crate::trace::Trace;
 ///
 /// Uses thinning: candidates arrive at rate `rate_max` and are kept with
 /// probability `rate(t)/rate_max`. Panics (debug) if the bound is violated.
-pub fn nhpp<F: Fn(f64) -> f64>(
-    rng: &mut Rng,
-    rate: F,
-    rate_max: f64,
-    horizon: f64,
-) -> Trace {
+pub fn nhpp<F: Fn(f64) -> f64>(rng: &mut Rng, rate: F, rate_max: f64, horizon: f64) -> Trace {
     assert!(rate_max > 0.0, "rate_max must be positive");
     assert!(horizon > 0.0, "horizon must be positive");
     let mut t = 0.0;
@@ -81,8 +76,18 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let a = nhpp(&mut Rng::new(42), |t| 5.0 + (t / 10.0).sin().abs() * 5.0, 10.0, 100.0);
-        let b = nhpp(&mut Rng::new(42), |t| 5.0 + (t / 10.0).sin().abs() * 5.0, 10.0, 100.0);
+        let a = nhpp(
+            &mut Rng::new(42),
+            |t| 5.0 + (t / 10.0).sin().abs() * 5.0,
+            10.0,
+            100.0,
+        );
+        let b = nhpp(
+            &mut Rng::new(42),
+            |t| 5.0 + (t / 10.0).sin().abs() * 5.0,
+            10.0,
+            100.0,
+        );
         assert_eq!(a.timestamps(), b.timestamps());
     }
 }

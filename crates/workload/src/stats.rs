@@ -120,6 +120,32 @@ pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
     }
 }
 
+/// Estimate an arbitrary percentile from values tracked at a few known
+/// percentile keys, by linear interpolation between the bracketing keys.
+/// Queries below the first key clamp to its value; queries above the last
+/// key clamp likewise (the tail beyond the highest tracked percentile is
+/// unobserved, so extrapolating would invent data).
+///
+/// `keys` must be strictly increasing and the same length as `values`.
+pub fn interp_tracked_percentile(keys: &[f64], values: &[f64], p: f64) -> f64 {
+    assert_eq!(keys.len(), values.len());
+    assert!(!keys.is_empty(), "need at least one tracked percentile");
+    assert!(
+        (0.0..=100.0).contains(&p),
+        "percentile must be in [0, 100], got {p}"
+    );
+    if p <= keys[0] {
+        return values[0];
+    }
+    if p >= keys[keys.len() - 1] {
+        return values[values.len() - 1];
+    }
+    let hi = keys.partition_point(|&k| k < p);
+    let (k0, k1) = (keys[hi - 1], keys[hi]);
+    let w = (p - k0) / (k1 - k0);
+    values[hi - 1] * (1.0 - w) + values[hi] * w
+}
+
 /// Mean absolute percentage error between predictions and ground truth,
 /// in percent. Pairs with `truth == 0` are skipped.
 pub fn mape(pred: &[f64], truth: &[f64]) -> f64 {
@@ -156,7 +182,9 @@ mod tests {
 
     #[test]
     fn autocorrelation_of_alternating_sequence() {
-        let xs: Vec<f64> = (0..100).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let xs: Vec<f64> = (0..100)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert!(autocorrelation(&xs, 1) < -0.9);
         assert!(autocorrelation(&xs, 2) > 0.9);
         assert_eq!(autocorrelation(&xs, 0), 1.0);
@@ -238,5 +266,33 @@ mod tests {
     #[test]
     fn mape_skips_zero_truth() {
         assert_eq!(mape(&[1.0, 5.0], &[0.0, 5.0]), 0.0);
+    }
+
+    #[test]
+    fn interp_tracked_exact_keys_and_between() {
+        let keys = [50.0, 90.0, 95.0, 99.0];
+        let values = [1.0, 2.0, 3.0, 5.0];
+        for (k, v) in keys.iter().zip(values) {
+            assert_eq!(interp_tracked_percentile(&keys, &values, *k), v);
+        }
+        // Midway between p90 and p95.
+        assert!((interp_tracked_percentile(&keys, &values, 92.5) - 2.5).abs() < 1e-12);
+        // Quarter of the way between p95 and p99.
+        assert!((interp_tracked_percentile(&keys, &values, 96.0) - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interp_tracked_clamps_outside_range() {
+        let keys = [50.0, 90.0, 95.0, 99.0];
+        let values = [1.0, 2.0, 3.0, 5.0];
+        assert_eq!(interp_tracked_percentile(&keys, &values, 0.0), 1.0);
+        assert_eq!(interp_tracked_percentile(&keys, &values, 42.0), 1.0);
+        assert_eq!(interp_tracked_percentile(&keys, &values, 100.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in")]
+    fn interp_tracked_rejects_out_of_domain() {
+        interp_tracked_percentile(&[50.0, 99.0], &[1.0, 2.0], 150.0);
     }
 }

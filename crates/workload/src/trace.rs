@@ -20,7 +20,10 @@ impl Trace {
             "timestamps must be finite"
         );
         timestamps.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        Trace { timestamps, horizon }
+        Trace {
+            timestamps,
+            horizon,
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -65,7 +68,10 @@ impl Trace {
         let lo = self.lower_bound(t0);
         let hi = self.lower_bound(t1);
         let ts = self.timestamps[lo..hi].iter().map(|t| t - t0).collect();
-        Trace { timestamps: ts, horizon: t1 - t0 }
+        Trace {
+            timestamps: ts,
+            horizon: t1 - t0,
+        }
     }
 
     /// Arrival counts in consecutive bins of width `bin` (covers the horizon).
@@ -82,14 +88,18 @@ impl Trace {
 
     /// Arrival rate (req/s) per bin of width `bin` — the series of Fig. 4.
     pub fn rate_series(&self, bin: f64) -> Vec<f64> {
-        self.counts(bin).into_iter().map(|c| c as f64 / bin).collect()
+        self.counts(bin)
+            .into_iter()
+            .map(|c| c as f64 / bin)
+            .collect()
     }
 
     /// Concatenate another trace after this one (its timestamps shifted by
     /// this trace's horizon).
     pub fn extend_with(&mut self, other: &Trace) {
         let off = self.horizon;
-        self.timestamps.extend(other.timestamps.iter().map(|t| t + off));
+        self.timestamps
+            .extend(other.timestamps.iter().map(|t| t + off));
         self.horizon += other.horizon;
     }
 }

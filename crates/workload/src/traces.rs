@@ -38,17 +38,11 @@ struct ModulationPath {
 
 impl ModulationPath {
     /// Simulate a two-state alternating path over `[0, horizon)`.
-    fn simulate(
-        rng: &mut Rng,
-        horizon: f64,
-        factors: [f64; 2],
-        mean_sojourn: [f64; 2],
-    ) -> Self {
+    fn simulate(rng: &mut Rng, horizon: f64, factors: [f64; 2], mean_sojourn: [f64; 2]) -> Self {
         let mut starts = vec![0.0];
         let mut fs = Vec::new();
-        let mut state = usize::from(rng.bernoulli(
-            mean_sojourn[1] / (mean_sojourn[0] + mean_sojourn[1]),
-        ));
+        let mut state =
+            usize::from(rng.bernoulli(mean_sojourn[1] / (mean_sojourn[0] + mean_sojourn[1])));
         let mut t = 0.0;
         loop {
             fs.push(factors[state]);
@@ -59,7 +53,10 @@ impl ModulationPath {
             starts.push(t);
             state = 1 - state;
         }
-        ModulationPath { starts, factors: fs }
+        ModulationPath {
+            starts,
+            factors: fs,
+        }
     }
 
     fn factor_at(&self, t: f64) -> f64 {
@@ -207,7 +204,10 @@ pub fn synthetic_segments(seed: u64, hours: usize) -> Vec<SyntheticSegment> {
             let idc = rng.uniform_in(15.0, 180.0);
             let ratio = rng.uniform_in(6.0, 25.0);
             let p1 = rng.uniform_in(0.15, 0.45);
-            SyntheticSegment { hour, mmpp: Mmpp2::from_targets(rate, idc, ratio, p1) }
+            SyntheticSegment {
+                hour,
+                mmpp: Mmpp2::from_targets(rate, idc, ratio, p1),
+            }
         })
         .collect()
 }
@@ -280,7 +280,10 @@ mod tests {
         let tw = TraceKind::TwitterLike.generate_for(11, 6.0 * HOUR);
         let series = idc_series(&tw, HOUR, 20.0);
         let avg = series.iter().sum::<f64>() / series.len() as f64;
-        assert!(avg > 1.5 && avg < 15.0, "twitter mean IDC {avg} outside mild range");
+        assert!(
+            avg > 1.5 && avg < 15.0,
+            "twitter mean IDC {avg} outside mild range"
+        );
     }
 
     #[test]
@@ -312,7 +315,10 @@ mod tests {
             .collect();
         let max = rates.iter().cloned().fold(0.0_f64, f64::max);
         let min = rates.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max / min.max(0.01) > 1.5, "hourly rates {rates:?} barely vary");
+        assert!(
+            max / min.max(0.01) > 1.5,
+            "hourly rates {rates:?} barely vary"
+        );
     }
 
     #[test]

@@ -44,7 +44,10 @@ impl Window {
 /// interarrival (or `pad_default` when no data) if history is short.
 pub fn window_ending_at(trace: &Trace, k: usize, l: usize, pad_default: f64) -> Window {
     assert!(l >= 1, "window length must be >= 1");
-    assert!(k >= 1 && k < trace.len(), "k must index an arrival with a predecessor");
+    assert!(
+        k >= 1 && k < trace.len(),
+        "k must index an arrival with a predecessor"
+    );
     let ts = trace.timestamps();
     let lo = k.saturating_sub(l);
     let mut ia: Vec<f64> = (lo..k).map(|i| ts[i + 1] - ts[i]).collect();
@@ -59,7 +62,11 @@ pub fn window_ending_at(trace: &Trace, k: usize, l: usize, pad_default: f64) -> 
         padded_vec.append(&mut ia);
         ia = padded_vec;
     }
-    Window { interarrivals: ia, end_time: ts[k], padded }
+    Window {
+        interarrivals: ia,
+        end_time: ts[k],
+        padded,
+    }
 }
 
 /// The most recent window at absolute time `t` (uses the last `l`

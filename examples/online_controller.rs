@@ -6,19 +6,30 @@
 //!
 //! This example drives the *components* (Parser, Buffer, Optimizer)
 //! directly rather than the batch `DeepBatController` harness, which is
-//! what a real deployment would embed.
+//! what a real deployment would embed. With telemetry enabled it writes
+//! the controller's full audit trail — one `controller.decision` event per
+//! decision interval carrying a `DecisionRecord` — to
+//! `target/deepbat/telemetry/online_controller.jsonl`.
 //!
 //! ```sh
 //! cargo run --release --example online_controller
 //! ```
 
 use deepbat::prelude::*;
+use deepbat::sim::LatencySummary;
 
 fn main() {
     let slo = 0.1;
     let seq_len = 64;
     let grid = ConfigGrid::paper_default();
     let params = SimParams::default();
+
+    // Stream telemetry as JSONL next to the figure outputs.
+    let tel = telemetry();
+    let tel_dir = std::path::Path::new("target/deepbat/telemetry");
+    std::fs::create_dir_all(tel_dir).expect("create telemetry dir");
+    let jsonl = tel_dir.join("online_controller.jsonl");
+    deepbat::telemetry::init_from_env(Some(&jsonl));
 
     // A workload that shifts intensity mid-stream (quiet -> burst).
     let quiet = Map::poisson(15.0);
@@ -32,14 +43,28 @@ fn main() {
     // Train a small surrogate on the first 2 minutes (warm-up history).
     let warmup = trace.slice(0.0, 120.0);
     let data = generate_dataset(&warmup, &grid, &params, 300, seq_len, slo, 9);
-    let mut model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 5);
-    train(&mut model, &data, &TrainConfig { epochs: 10, ..TrainConfig::default() });
+    let mut model = Surrogate::new(
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::default()
+        },
+        5,
+    );
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 10,
+            ..TrainConfig::default()
+        },
+    );
     let optimizer = DeepBatOptimizer::new(grid, slo);
 
     // --- the online loop -----------------------------------------------------
     let mut parser = WorkloadParser::new(seq_len);
     let mut buffer = Buffer::new(1, 0.0); // bootstrap: serve singly
     let mut memory_mb = 3008u32; // bootstrap memory
+    let bootstrap_cfg = LambdaConfig::new(memory_mb, 1, 0.0);
     let decision_interval = 30.0;
     let mut next_decision = 120.0; // start controlling after warm-up
 
@@ -50,11 +75,53 @@ fn main() {
     let mut cost = 0.0;
     let mut max_p95_interval: (f64, f64) = (0.0, 0.0);
     let mut interval_lat: Vec<f64> = Vec::new();
+    let mut interval_cost = 0.0f64;
 
-    let mut serve = |batch: &deepbat::core::ReleasedBatch,
-                     memory_mb: u32,
-                     interval_lat: &mut Vec<f64>,
-                     arrivals: &std::collections::HashMap<u64, f64>| {
+    // The audit trail: the record of the decision currently in force, to
+    // be completed with measurements when its interval ends.
+    let mut pending: Option<DecisionRecord> = None;
+    let mut decision_index = 0usize;
+
+    // Score the interval that just finished, complete its audit record,
+    // and emit it as a `controller.decision` event.
+    let close_interval = |pending: &mut Option<DecisionRecord>,
+                          interval_lat: &mut Vec<f64>,
+                          interval_cost: &mut f64,
+                          windows: &mut usize,
+                          violations: &mut usize,
+                          max_p95_interval: &mut (f64, f64),
+                          interval_start: f64| {
+        if !interval_lat.is_empty() {
+            *windows += 1;
+            let summary = LatencySummary::from_latencies(interval_lat);
+            let violated = summary.percentile(95.0) > slo;
+            if violated {
+                *violations += 1;
+            }
+            if summary.p95 > max_p95_interval.1 {
+                *max_p95_interval = (interval_start, summary.p95);
+            }
+            if let Some(rec) = pending.as_mut() {
+                rec.measured = Some(summary);
+                rec.measured_cost_per_request = Some(*interval_cost / summary.count as f64);
+                rec.requests = summary.count;
+                rec.violation = Some(violated);
+            }
+        }
+        if let Some(rec) = pending.take() {
+            deepbat::telemetry::global().emit(
+                "controller.decision",
+                deepbat::telemetry::serde_json::to_value(&rec),
+            );
+        }
+        interval_lat.clear();
+        *interval_cost = 0.0;
+    };
+
+    let serve = |batch: &deepbat::core::ReleasedBatch,
+                 memory_mb: u32,
+                 interval_lat: &mut Vec<f64>,
+                 arrivals: &std::collections::HashMap<u64, f64>| {
         let b = batch.requests.len() as u32;
         let service = params.profile.service_time(memory_mb, b);
         let invocation = params.pricing.invocation_cost(memory_mb, service);
@@ -70,23 +137,48 @@ fn main() {
         let id = id as u64;
         // Control step(s) due before this arrival.
         while t >= next_decision {
-            // Score the finishing interval.
-            if !interval_lat.is_empty() {
-                windows += 1;
-                let p95 = deepbat::workload::percentile(&interval_lat, 95.0);
-                if p95 > slo {
-                    violations += 1;
-                }
-                if p95 > max_p95_interval.1 {
-                    max_p95_interval = (next_decision - decision_interval, p95);
-                }
-                interval_lat.clear();
-            }
+            close_interval(
+                &mut pending,
+                &mut interval_lat,
+                &mut interval_cost,
+                &mut windows,
+                &mut violations,
+                &mut max_p95_interval,
+                next_decision - decision_interval,
+            );
+            let mut rec = DecisionRecord {
+                index: decision_index,
+                start: next_decision,
+                end: next_decision + decision_interval,
+                window_len: 0,
+                window_stats: None,
+                grid_size: optimizer.grid.len(),
+                bootstrap: true,
+                fallback: false,
+                config: bootstrap_cfg,
+                predicted_percentiles: None,
+                predicted_cost_micro: None,
+                infer_s: 0.0,
+                measured: None,
+                measured_cost_per_request: None,
+                requests: 0,
+                violation: None,
+                slo,
+                percentile: 95.0,
+            };
             if let Some(window) = parser.window() {
                 let decision = optimizer.choose(&model, &window);
                 let cfg = decision.chosen.config;
                 buffer.reconfigure(&cfg);
                 memory_mb = cfg.memory_mb;
+                rec.window_len = window.len();
+                rec.window_stats = Some(deepbat::core::WindowStats::from_window(&window));
+                rec.bootstrap = false;
+                rec.fallback = decision.fallback;
+                rec.config = cfg;
+                rec.predicted_percentiles = Some(decision.chosen.percentiles);
+                rec.predicted_cost_micro = Some(decision.chosen.cost_micro);
+                rec.infer_s = decision.infer_s;
                 println!(
                     "t={:>5.0}s  rate~{:>5.1}/s  ->  {}",
                     next_decision,
@@ -94,6 +186,8 @@ fn main() {
                     cfg
                 );
             }
+            pending = Some(rec);
+            decision_index += 1;
             next_decision += decision_interval;
         }
         // Request flow: parser -> buffer (-> serverless function).
@@ -102,12 +196,14 @@ fn main() {
         if let Some(batch) = buffer.poll(t) {
             let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
             cost += c;
+            interval_cost += c;
             served += n;
             batches += 1;
         }
         if let Some(batch) = buffer.push(id, t) {
             let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
             cost += c;
+            interval_cost += c;
             served += n;
             batches += 1;
         }
@@ -115,9 +211,22 @@ fn main() {
     if let Some(batch) = buffer.flush(trace.horizon()) {
         let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
         cost += c;
+        interval_cost += c;
         served += n;
         batches += 1;
     }
+    // Close the final interval's audit record.
+    close_interval(
+        &mut pending,
+        &mut interval_lat,
+        &mut interval_cost,
+        &mut windows,
+        &mut violations,
+        &mut max_p95_interval,
+        next_decision - decision_interval,
+    );
+    tel.emit("run.metrics", tel.metrics_json());
+    tel.flush();
 
     println!("\n--- outcome -------------------------------------------------");
     println!("served {served} requests in {batches} invocations");
@@ -132,4 +241,10 @@ fn main() {
         max_p95_interval.0,
         slo * 1e3
     );
+    println!(
+        "audit trail: {} decision records -> {}",
+        decision_index,
+        jsonl.display()
+    );
+    println!("\n{}", tel.summary_table());
 }

@@ -32,10 +32,17 @@ fn main() {
 
     // --- 4. Train the Transformer surrogate --------------------------------
     let mut model = Surrogate::new(
-        SurrogateConfig { seq_len, ..SurrogateConfig::default() },
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::default()
+        },
         42,
     );
-    let tc = TrainConfig { epochs: 20, lr: 3e-3, ..TrainConfig::default() };
+    let tc = TrainConfig {
+        epochs: 20,
+        lr: 3e-3,
+        ..TrainConfig::default()
+    };
     let report = train(&mut model, &data, &tc);
     println!(
         "trained {} parameters for {} epochs ({:.1}s/epoch), val MAPE {:.1}%",
@@ -75,7 +82,11 @@ fn main() {
     println!(
         "  simulator check: p95 {:.1} ms ({}), cost {:.3} u$/req",
         s.p95 * 1e3,
-        if s.p95 <= slo { "meets SLO" } else { "VIOLATES SLO" },
+        if s.p95 <= slo {
+            "meets SLO"
+        } else {
+            "VIOLATES SLO"
+        },
         sim.cost_per_request() * 1e6
     );
 }

@@ -15,7 +15,10 @@ fn main() {
     let mut rng = Rng::new(11);
     let arrivals = truth.simulate(&mut rng, 0.0, 600.0);
     let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
-    println!("observed {} arrivals; fitting a MAP (the BATCH front half)…", arrivals.len());
+    println!(
+        "observed {} arrivals; fitting a MAP (the BATCH front half)…",
+        arrivals.len()
+    );
 
     let fit = fit_map(&ia).expect("enough data");
     println!(

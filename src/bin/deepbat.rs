@@ -75,20 +75,26 @@ fn parse_opts(args: &[String]) -> HashMap<String, String> {
 }
 
 fn get<'a>(opts: &'a HashMap<String, String>, key: &str) -> Result<&'a str, String> {
-    opts.get(key).map(|s| s.as_str()).ok_or_else(|| format!("missing --{key}"))
+    opts.get(key)
+        .map(|s| s.as_str())
+        .ok_or_else(|| format!("missing --{key}"))
 }
 
 fn get_f64(opts: &HashMap<String, String>, key: &str, default: f64) -> Result<f64, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects a number, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects a number, got {v:?}")),
     }
 }
 
 fn get_usize(opts: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match opts.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got {v:?}")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got {v:?}")),
     }
 }
 
@@ -126,7 +132,10 @@ fn cmd_stats(opts: &HashMap<String, String>) -> Result<(), String> {
     println!("horizon:         {:.1} s", trace.horizon());
     println!("mean rate:       {:.2} req/s", trace.mean_rate());
     println!("interarrival scv: {:.3}", deepbat::workload::scv(&ia));
-    println!("lag-1 acf:       {:.4}", deepbat::workload::autocorrelation(&ia, 1));
+    println!(
+        "lag-1 acf:       {:.4}",
+        deepbat::workload::autocorrelation(&ia, 1)
+    );
     println!(
         "IDC (bin {bin}s):  {:.2}",
         deepbat::workload::idc_by_counts(&trace, bin)
@@ -138,7 +147,11 @@ fn parse_config(opts: &HashMap<String, String>) -> Result<LambdaConfig, String> 
     let m = get_usize(opts, "memory", 2048)? as u32;
     let b = get_usize(opts, "batch", 1)? as u32;
     let t = get_f64(opts, "timeout-ms", 0.0)? / 1e3;
-    let cfg = LambdaConfig { memory_mb: m, batch_size: b, timeout_s: t };
+    let cfg = LambdaConfig {
+        memory_mb: m,
+        batch_size: b,
+        timeout_s: t,
+    };
     cfg.validate()?;
     Ok(cfg)
 }
@@ -149,9 +162,21 @@ fn cmd_simulate(opts: &HashMap<String, String>) -> Result<(), String> {
     let out = simulate_batching(trace.timestamps(), &cfg, &SimParams::default(), None);
     let s = out.summary();
     println!("config:          {cfg}");
-    println!("invocations:     {} (mean batch {:.2})", out.batches.len(), out.mean_batch_size());
-    println!("latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms", s.p50 * 1e3, s.p95 * 1e3, s.p99 * 1e3);
-    println!("cost:            {:.4} u$/request", out.cost_per_request() * 1e6);
+    println!(
+        "invocations:     {} (mean batch {:.2})",
+        out.batches.len(),
+        out.mean_batch_size()
+    );
+    println!(
+        "latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms",
+        s.p50 * 1e3,
+        s.p95 * 1e3,
+        s.p99 * 1e3
+    );
+    println!(
+        "cost:            {:.4} u$/request",
+        out.cost_per_request() * 1e6
+    );
     Ok(())
 }
 
@@ -205,12 +230,21 @@ fn cmd_train(opts: &HashMap<String, String>) -> Result<(), String> {
     if data.is_empty() {
         return Err("trace too short for the requested window length".into());
     }
-    let mut model =
-        Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 2024);
+    let mut model = Surrogate::new(
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::default()
+        },
+        2024,
+    );
     let report = deepbat::core::train(
         &mut model,
         &data,
-        &TrainConfig { epochs, lr: 3e-3, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        },
     );
     model.save(out).map_err(|e| e.to_string())?;
     println!(
@@ -236,7 +270,11 @@ fn cmd_decide(opts: &HashMap<String, String>) -> Result<(), String> {
     println!(
         "DeepBAT decision in {:.1} ms{}:",
         t0.elapsed().as_secs_f64() * 1e3,
-        if decision.fallback { " (SLO infeasible — lowest-latency fallback)" } else { "" }
+        if decision.fallback {
+            " (SLO infeasible — lowest-latency fallback)"
+        } else {
+            ""
+        }
     );
     println!(
         "  {} (predicted p95 {:.1} ms, {:.4} u$/req)",

@@ -54,6 +54,7 @@ pub use dbat_core as core;
 pub use dbat_linalg as linalg;
 pub use dbat_nn as nn;
 pub use dbat_sim as sim;
+pub use dbat_telemetry as telemetry;
 pub use dbat_workload as workload;
 
 /// The commonly used names in one import.
@@ -61,13 +62,14 @@ pub mod prelude {
     pub use dbat_analytic::{fit_map, optimize_from_interarrivals, BatchController, BatchModel};
     pub use dbat_core::{
         estimate_gamma, fine_tune, generate_dataset, measure_schedule, train, Buffer,
-        DeepBatController, DeepBatOptimizer, Surrogate, SurrogateConfig, TrainConfig,
-        WorkloadParser,
+        DecisionRecord, DeepBatController, DeepBatOptimizer, Surrogate, SurrogateConfig,
+        TrainConfig, WorkloadParser,
     };
     pub use dbat_nn::{Module, Tensor};
     pub use dbat_sim::{
         simulate_batching, ConfigGrid, LambdaConfig, LatencySummary, Pricing, ServiceProfile,
         SimParams,
     };
+    pub use dbat_telemetry::{global as telemetry, JsonlSink, MemorySink};
     pub use dbat_workload::{Map, Mmpp2, Rng, Trace, TraceKind, Window, DAY, HOUR};
 }

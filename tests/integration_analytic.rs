@@ -18,7 +18,10 @@ fn fitted_model_predictions_match_simulation() {
 
     let params = SimParams::default();
     let model = BatchModel::from_fit(&fit, params);
-    for cfg in [LambdaConfig::new(2048, 8, 0.05), LambdaConfig::new(1024, 4, 0.1)] {
+    for cfg in [
+        LambdaConfig::new(2048, 8, 0.05),
+        LambdaConfig::new(1024, 4, 0.1),
+    ] {
         let analytic = model.evaluate(&cfg);
         let sim = simulate_batching(&arrivals, &cfg, &params, None);
         let p95_sim = sim.summary().p95;
@@ -67,7 +70,9 @@ fn stale_fit_misses_workload_shift() {
     // quiet hour violates the SLO when intensity jumps. Reproduce that in
     // miniature.
     let quiet = Map::poisson(8.0);
-    let burst = Mmpp2::from_targets(120.0, 80.0, 10.0, 0.4).to_map().unwrap();
+    let burst = Mmpp2::from_targets(120.0, 80.0, 10.0, 0.4)
+        .to_map()
+        .unwrap();
     let params = SimParams::default();
     let grid = ConfigGrid::paper_default();
     let slo = 0.1;

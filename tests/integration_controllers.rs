@@ -29,7 +29,13 @@ fn grid() -> ConfigGrid {
 fn measurement_harness_conserves_requests() {
     let trace = shifting_trace(1);
     let schedule: Vec<(f64, f64, LambdaConfig)> = (0..10)
-        .map(|i| (i as f64 * 60.0, (i + 1) as f64 * 60.0, LambdaConfig::new(2048, 4, 0.05)))
+        .map(|i| {
+            (
+                i as f64 * 60.0,
+                (i + 1) as f64 * 60.0,
+                LambdaConfig::new(2048, 4, 0.05),
+            )
+        })
         .collect();
     let ms = measure_schedule(&trace, &schedule, &SimParams::default(), 0.1, 95.0);
     let total: usize = ms.iter().map(|m| m.requests).sum();
@@ -61,8 +67,22 @@ fn deepbat_controller_adapts_to_shift() {
     let seq_len = 32;
     // Train on a mixture so both regimes are in-distribution.
     let data = generate_dataset(&trace, &grid(), &SimParams::default(), 300, seq_len, slo, 6);
-    let mut model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 4);
-    train(&mut model, &data, &TrainConfig { epochs: 15, lr: 2e-3, ..TrainConfig::default() });
+    let mut model = Surrogate::new(
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::default()
+        },
+        4,
+    );
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 15,
+            lr: 2e-3,
+            ..TrainConfig::default()
+        },
+    );
 
     let mut ctl = DeepBatController::new(grid(), slo);
     ctl.decision_interval = 30.0;
@@ -71,8 +91,16 @@ fn deepbat_controller_adapts_to_shift() {
 
     // The controller must not pick identical configurations for the quiet
     // and bursty halves (it sees very different windows).
-    let first_half: Vec<_> = schedule.iter().filter(|e| e.0 < 300.0).map(|e| e.2).collect();
-    let second_half: Vec<_> = schedule.iter().filter(|e| e.0 >= 330.0).map(|e| e.2).collect();
+    let first_half: Vec<_> = schedule
+        .iter()
+        .filter(|e| e.0 < 300.0)
+        .map(|e| e.2)
+        .collect();
+    let second_half: Vec<_> = schedule
+        .iter()
+        .filter(|e| e.0 >= 330.0)
+        .map(|e| e.2)
+        .collect();
     assert!(
         first_half.iter().any(|c| !second_half.contains(c))
             || second_half.iter().any(|c| !first_half.contains(c)),

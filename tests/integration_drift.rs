@@ -3,8 +3,8 @@
 //! on freshly collected data, and improves its prediction error.
 
 use deepbat::core::{
-    fine_tune, generate_dataset, train, validation_mape, DriftDetector, Surrogate,
-    SurrogateConfig, TrainConfig,
+    fine_tune, generate_dataset, train, validation_mape, DriftDetector, Surrogate, SurrogateConfig,
+    TrainConfig,
 };
 use deepbat::prelude::*;
 
@@ -24,11 +24,21 @@ fn drift_triggers_fine_tune_and_error_drops() {
     let mut rng = Rng::new(61);
     let trace_a = Trace::new(regime_a.simulate(&mut rng, 0.0, 900.0), 900.0);
     let data_a = generate_dataset(&trace_a, &grid, &params, 160, seq_len, slo, 1);
-    let mut model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 8);
+    let mut model = Surrogate::new(
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::default()
+        },
+        8,
+    );
     train(
         &mut model,
         &data_a,
-        &TrainConfig { epochs: 10, lr: 3e-3, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 10,
+            lr: 3e-3,
+            ..TrainConfig::default()
+        },
     );
     let train_windows: Vec<Vec<f64>> = data_a.iter().map(|s| s.window.clone()).collect();
     let mut detector = DriftDetector::fit(&train_windows);
@@ -57,7 +67,10 @@ fn drift_triggers_fine_tune_and_error_drops() {
         &mut model,
         tune,
         6,
-        &TrainConfig { lr: 3e-3, ..TrainConfig::default() },
+        &TrainConfig {
+            lr: 3e-3,
+            ..TrainConfig::default()
+        },
     );
     let after = validation_mape(&model, holdout, &rows);
     assert!(

@@ -27,11 +27,21 @@ fn trained_surrogate_makes_mostly_feasible_decisions() {
     let mut rng = Rng::new(100);
     let trace = Trace::new(map.simulate(&mut rng, 0.0, 1_200.0), 1_200.0);
     let data = generate_dataset(&trace, &grid, &params, 300, seq_len, slo, 3);
-    let mut model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 9);
+    let mut model = Surrogate::new(
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::default()
+        },
+        9,
+    );
     let report = train(
         &mut model,
         &data,
-        &TrainConfig { epochs: 18, lr: 2e-3, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 18,
+            lr: 2e-3,
+            ..TrainConfig::default()
+        },
     );
     assert!(
         report.final_val_mape < 60.0,
@@ -74,8 +84,22 @@ fn deepbat_beats_single_request_serving_on_cost() {
     let mut rng = Rng::new(42);
     let trace = Trace::new(map.simulate(&mut rng, 0.0, 900.0), 900.0);
     let data = generate_dataset(&trace, &grid, &params, 250, seq_len, slo, 5);
-    let mut model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::default() }, 1);
-    train(&mut model, &data, &TrainConfig { epochs: 15, lr: 2e-3, ..TrainConfig::default() });
+    let mut model = Surrogate::new(
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::default()
+        },
+        1,
+    );
+    train(
+        &mut model,
+        &data,
+        &TrainConfig {
+            epochs: 15,
+            lr: 2e-3,
+            ..TrainConfig::default()
+        },
+    );
 
     let optimizer = DeepBatOptimizer::new(grid, slo);
     let mut rng = Rng::new(77);
@@ -102,7 +126,13 @@ fn deepbat_beats_single_request_serving_on_cost() {
 fn checkpoint_roundtrip_through_optimizer() {
     // Save/load must preserve optimizer decisions bit-for-bit.
     let seq_len = 16;
-    let model = Surrogate::new(SurrogateConfig { seq_len, ..SurrogateConfig::tiny() }, 33);
+    let model = Surrogate::new(
+        SurrogateConfig {
+            seq_len,
+            ..SurrogateConfig::tiny()
+        },
+        33,
+    );
     let dir = std::env::temp_dir().join("deepbat_integration_ckpt");
     let path = dir.join("m.json");
     model.save(&path).unwrap();

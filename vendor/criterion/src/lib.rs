@@ -1,0 +1,172 @@
+//! A minimal, dependency-free stand-in for `criterion`, built for offline
+//! use. Provides the `Criterion`/`benchmark_group`/`bench_function`/
+//! `Bencher::iter` API subset this workspace's benches use, backed by a
+//! plain warmup-then-measure timing loop that prints mean/min wall-clock
+//! per iteration. Statistical analysis, plotting, and baselines are out of
+//! scope — the numbers are honest, the machinery is simple.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("\nbenchmark group: {name}");
+        BenchmarkGroup {
+            sample_size: self.sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Criterion's `configure_from_args`; arguments are ignored here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn final_summary(&self) {}
+}
+
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(&name.to_string(), self.sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(name: &str, samples: usize, mut f: F) {
+    // Calibrate the per-sample iteration count for a ~25 ms sample.
+    let mut iters = 1u64;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(25) || iters >= 1 << 20 {
+            break;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        iters = if per_iter > 0.0 {
+            ((0.025 / per_iter) as u64).clamp(iters + 1, iters * 16)
+        } else {
+            iters * 16
+        };
+    }
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        means.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    println!(
+        "  {name}: mean {} / iter, best {} ({} iters x {samples} samples)",
+        fmt_time(mean),
+        fmt_time(min),
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} us", secs * 1e6)
+    } else {
+        format!("{:.1} ns", secs * 1e9)
+    }
+}
+
+/// Collect bench functions into a named group (stand-in: a plain fn list).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(3);
+        let mut count = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                count = count.wrapping_add(1);
+                black_box(count)
+            })
+        });
+        g.finish();
+        assert!(count > 0);
+    }
+}

@@ -1,0 +1,334 @@
+//! A small, dependency-free stand-in for `rayon`, built for offline use.
+//!
+//! Provides genuinely parallel execution (via `std::thread::scope`) for the
+//! iterator subset this workspace uses: `par_iter` on slices with
+//! `map`/`zip`/`enumerate`/`collect`/`for_each`, and `par_chunks_mut` with
+//! `enumerate().for_each(..)`. Work is split into one contiguous index
+//! range per hardware thread; output order is deterministic and identical
+//! to the sequential result.
+
+use std::thread;
+
+pub mod prelude {
+    pub use super::{IndexedParallelIterator, ParallelSlice, ParallelSliceMut};
+}
+
+fn thread_count(items: usize) -> usize {
+    if items < 2 {
+        return 1;
+    }
+    thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(items)
+}
+
+/// Contiguous index ranges splitting `n` items over `k` workers.
+fn ranges(n: usize, k: usize) -> Vec<std::ops::Range<usize>> {
+    let per = n.div_ceil(k);
+    (0..k)
+        .map(|t| (t * per).min(n)..((t + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// A random-access parallel producer: `get(i)` must be callable from any
+/// thread for distinct `i`.
+pub trait IndexedParallelIterator: Sized + Sync {
+    type Item: Send;
+
+    fn par_len(&self) -> usize;
+    fn par_get(&self, i: usize) -> Self::Item;
+
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    fn enumerate(self) -> Enumerate<Self> {
+        Enumerate { base: self }
+    }
+
+    /// Zip with anything iterable; the other side is materialized and its
+    /// items are cloned per access (cheap for the index/scalar types this
+    /// workspace zips with).
+    fn zip<J>(self, other: J) -> Zip<Self, J::Item>
+    where
+        J: IntoIterator,
+        J::Item: Clone + Send + Sync,
+    {
+        Zip {
+            base: self,
+            other: other.into_iter().collect(),
+        }
+    }
+
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        let n = self.par_len();
+        let k = thread_count(n);
+        if k <= 1 {
+            for i in 0..n {
+                f(self.par_get(i));
+            }
+            return;
+        }
+        let it = &self;
+        let f = &f;
+        thread::scope(|s| {
+            for r in ranges(n, k) {
+                s.spawn(move || {
+                    for i in r {
+                        f(it.par_get(i));
+                    }
+                });
+            }
+        });
+    }
+
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+pub trait FromParallelIterator<T: Send>: Sized {
+    fn from_par_iter<I: IndexedParallelIterator<Item = T>>(it: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: IndexedParallelIterator<Item = T>>(it: I) -> Self {
+        let n = it.par_len();
+        let k = thread_count(n);
+        if k <= 1 {
+            return (0..n).map(|i| it.par_get(i)).collect();
+        }
+        let itr = &it;
+        let mut parts: Vec<Vec<T>> = Vec::new();
+        thread::scope(|s| {
+            let handles: Vec<_> = ranges(n, k)
+                .into_iter()
+                .map(|r| s.spawn(move || r.map(|i| itr.par_get(i)).collect::<Vec<T>>()))
+                .collect();
+            parts = handles
+                .into_iter()
+                .map(|h| h.join().expect("rayon stand-in worker panicked"))
+                .collect();
+        });
+        let mut out = Vec::with_capacity(n);
+        for p in parts {
+            out.extend(p);
+        }
+        out
+    }
+}
+
+pub struct ParIter<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn par_get(&self, i: usize) -> &'a T {
+        &self.slice[i]
+    }
+}
+
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, F, R> IndexedParallelIterator for Map<I, F>
+where
+    I: IndexedParallelIterator,
+    F: Fn(I::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, i: usize) -> R {
+        (self.f)(self.base.par_get(i))
+    }
+}
+
+pub struct Enumerate<I> {
+    base: I,
+}
+
+impl<I: IndexedParallelIterator> IndexedParallelIterator for Enumerate<I> {
+    type Item = (usize, I::Item);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn par_get(&self, i: usize) -> (usize, I::Item) {
+        (i, self.base.par_get(i))
+    }
+}
+
+pub struct Zip<I, U> {
+    base: I,
+    other: Vec<U>,
+}
+
+impl<I, U> IndexedParallelIterator for Zip<I, U>
+where
+    I: IndexedParallelIterator,
+    U: Clone + Send + Sync,
+{
+    type Item = (I::Item, U);
+
+    fn par_len(&self) -> usize {
+        self.base.par_len().min(self.other.len())
+    }
+
+    fn par_get(&self, i: usize) -> (I::Item, U) {
+        (self.base.par_get(i), self.other[i].clone())
+    }
+}
+
+pub trait ParallelSlice {
+    type Elem: Sync;
+    fn par_iter(&self) -> ParIter<'_, Self::Elem>;
+}
+
+impl<T: Sync> ParallelSlice for [T] {
+    type Elem = T;
+
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// Mutable chunking: the chunks are materialized up front (distinct
+/// non-overlapping borrows) and distributed across worker threads.
+pub struct ParChunksMut<'a, T> {
+    chunks: Vec<(usize, &'a mut [T])>,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    pub fn enumerate(self) -> Self {
+        self
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &'a mut [T])) + Sync,
+    {
+        let n = self.chunks.len();
+        let k = thread_count(n);
+        if k <= 1 {
+            for item in self.chunks {
+                f(item);
+            }
+            return;
+        }
+        let f = &f;
+        let mut chunks = self.chunks;
+        thread::scope(|s| {
+            // Split the chunk list into one contiguous group per worker.
+            for r in ranges(n, k).into_iter().rev() {
+                let group: Vec<(usize, &'a mut [T])> = chunks.split_off(r.start);
+                s.spawn(move || {
+                    for item in group {
+                        f(item);
+                    }
+                });
+            }
+        });
+    }
+}
+
+pub trait ParallelSliceMut {
+    type Elem: Send;
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, Self::Elem>;
+}
+
+impl<T: Send> ParallelSliceMut for [T] {
+    type Elem = T;
+
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        assert!(size > 0, "chunk size must be positive");
+        ParChunksMut {
+            chunks: self.chunks_mut(size).enumerate().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..10_000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..10_000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_zip_map() {
+        let xs: Vec<u32> = (0..1000).collect();
+        let picks: Vec<usize> = (0..1000).map(|i| i % 7).collect();
+        let out: Vec<usize> = xs
+            .par_iter()
+            .zip(picks)
+            .map(|(&x, p)| x as usize + p)
+            .collect();
+        for (i, &o) in out.iter().enumerate() {
+            assert_eq!(o, i + i % 7);
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerate() {
+        let mut data = vec![0.0f64; 1024];
+        data.par_chunks_mut(32).enumerate().for_each(|(i, chunk)| {
+            for (j, x) in chunk.iter_mut().enumerate() {
+                *x = (i * 32 + j) as f64;
+            }
+        });
+        for (i, &x) in data.iter().enumerate() {
+            assert_eq!(x, i as f64);
+        }
+    }
+
+    #[test]
+    fn par_for_each_runs_all() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        let xs: Vec<usize> = (1..=100).collect();
+        xs.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let xs: Vec<u8> = vec![];
+        let out: Vec<u8> = xs.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [41u8];
+        let out: Vec<u8> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+}

@@ -1,0 +1,386 @@
+//! A minimal, dependency-free stand-in for `serde`, built for offline use.
+//!
+//! The real serde crates cannot be fetched in this build environment, so
+//! this crate provides the subset of the API the workspace actually uses:
+//! `Serialize`/`Deserialize` traits over a self-describing [`Value`] data
+//! model, derive macros for named-field structs and unit enums (re-exported
+//! from `serde_derive`), and impls for the primitive/std types that appear
+//! in the workspace's serialized types.
+//!
+//! The sibling `serde_json` stand-in supplies the JSON text encoding on top
+//! of the same [`Value`] model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped object map. Deterministic (sorted) key order so serialized
+/// output is stable across runs.
+pub type Map = BTreeMap<String, Value>;
+
+/// The self-describing data model both traits speak.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Number(f64),
+    String(String),
+    Array(Vec<Value>),
+    Object(Map),
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// Object field lookup; `Null` when absent or not an object (matches
+    /// serde_json's `Value::index` semantics).
+    pub fn field(&self, name: &str) -> &Value {
+        match self {
+            Value::Object(m) => m.get(name).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        match self {
+            Value::Object(m) => m.get(name),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Number(_) => "number",
+            Value::String(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, name: &str) -> &Value {
+        self.field(name)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Serialization/deserialization error: a plain message with a field path.
+#[derive(Clone, Debug)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+
+    /// Prefix the error with the field it occurred in (derive uses this to
+    /// build a dotted path for nested failures).
+    pub fn in_field(mut self, field: &str) -> Self {
+        self.msg = format!("{field}: {}", self.msg);
+        self
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert a value into the [`Value`] data model.
+pub trait Serialize {
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruct a value from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    fn deserialize(v: &Value) -> Result<Self, Error>;
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::new(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| s.to_string())
+            .ok_or_else(|| Error::new(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Number(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        f64::deserialize(v).map(|x| x as f32)
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Number(*self as f64)
+            }
+        }
+
+        impl Deserialize for $t {
+            fn deserialize(v: &Value) -> Result<Self, Error> {
+                let n = v
+                    .as_f64()
+                    .ok_or_else(|| Error::new(format!("expected integer, got {}", v.kind())))?;
+                if n.fract() != 0.0 {
+                    return Err(Error::new(format!("expected integer, got {n}")));
+                }
+                if n < <$t>::MIN as f64 || n > <$t>::MAX as f64 {
+                    return Err(Error::new(format!(
+                        "integer {n} out of range for {}",
+                        stringify!($t)
+                    )));
+                }
+                Ok(n as $t)
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(x) => x.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        if v.is_null() {
+            Ok(None)
+        } else {
+            T::deserialize(v).map(Some)
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize()).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize()).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::new(format!("expected array, got {}", v.kind())))?;
+        arr.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Array(self.iter().map(|x| x.serialize()).collect())
+    }
+}
+
+impl<T: Deserialize + Copy + Default, const N: usize> Deserialize for [T; N] {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let arr = v
+            .as_array()
+            .ok_or_else(|| Error::new(format!("expected array, got {}", v.kind())))?;
+        if arr.len() != N {
+            return Err(Error::new(format!(
+                "expected array of length {N}, got {}",
+                arr.len()
+            )));
+        }
+        let mut out = [T::default(); N];
+        for (o, x) in out.iter_mut().zip(arr) {
+            *o = T::deserialize(x)?;
+        }
+        Ok(out)
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.clone(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn deserialize(v: &Value) -> Result<Self, Error> {
+        let obj = v
+            .as_object()
+            .ok_or_else(|| Error::new(format!("expected object, got {}", v.kind())))?;
+        obj.iter()
+            .map(|(k, x)| V::deserialize(x).map(|x| (k.clone(), x)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(u32::deserialize(&7u32.serialize()).unwrap(), 7);
+        assert!(u32::deserialize(&Value::Number(-1.0)).is_err());
+        assert!(u32::deserialize(&Value::Number(0.5)).is_err());
+        assert_eq!(Option::<f64>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(
+            Vec::<u8>::deserialize(&vec![1u8, 2, 3].serialize()).unwrap(),
+            vec![1, 2, 3]
+        );
+        let arr: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(<[f64; 4]>::deserialize(&arr.serialize()).unwrap(), arr);
+    }
+
+    #[test]
+    fn value_indexing() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::Number(1.0));
+        let v = Value::Object(m);
+        assert_eq!(v["a"], Value::Number(1.0));
+        assert!(v["missing"].is_null());
+        assert!(v["a"]["deeper"].is_null());
+    }
+}

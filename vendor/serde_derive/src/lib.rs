@@ -1,0 +1,220 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Supports exactly the shapes this workspace serializes: structs with
+//! named fields (any visibility, no generics) and enums whose variants are
+//! all unit variants (serialized as their name string). Implemented by
+//! walking the raw `TokenStream` directly so no syn/quote dependency is
+//! needed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Struct name + field names in declaration order.
+    Struct(String, Vec<String>),
+    /// Enum name + unit-variant names in declaration order.
+    Enum(String, Vec<String>),
+}
+
+/// Parse `struct Name { a: T, b: U }` or `enum Name { A, B }` out of the
+/// derive input, ignoring attributes and visibility modifiers.
+fn parse(input: TokenStream) -> Shape {
+    let mut iter = input.into_iter().peekable();
+    let mut kind: Option<&'static str> = None;
+    let mut name = String::new();
+    let mut body: Option<TokenStream> = None;
+    while let Some(tt) = iter.next() {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Skip the attribute's bracket group.
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    kind = Some(if s == "struct" { "struct" } else { "enum" });
+                    if let Some(TokenTree::Ident(n)) = iter.next() {
+                        name = n.to_string();
+                    }
+                }
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                body = Some(g.stream());
+            }
+            _ => {}
+        }
+    }
+    let body = body.unwrap_or_else(|| panic!("derive: no braced body found for `{name}`"));
+    match kind {
+        Some("struct") => Shape::Struct(name, parse_fields(body)),
+        Some("enum") => Shape::Enum(name, parse_variants(body)),
+        _ => panic!("derive: expected `struct` or `enum`"),
+    }
+}
+
+/// Field names of a named-field struct body. Tracks `<...>` nesting so
+/// commas inside generic types do not split fields.
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        let mut tt = match iter.next() {
+            Some(t) => t,
+            None => break,
+        };
+        loop {
+            match &tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    iter.next(); // the [...] group
+                }
+                TokenTree::Ident(id) if id.to_string() == "pub" => {
+                    // `pub(crate)` etc: skip the following paren group too.
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+            tt = match iter.next() {
+                Some(t) => t,
+                None => return fields,
+            };
+        }
+        let field = match tt {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("derive: expected field name, got `{other}`"),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field `{field}`, got {other:?}"),
+        }
+        fields.push(field);
+        // Consume the type up to the next top-level comma.
+        let mut angle = 0i32;
+        for tt in iter.by_ref() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    fields
+}
+
+/// Variant names of a unit-only enum body. Panics on data-carrying
+/// variants, which this stand-in does not support.
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                variants.push(id.to_string());
+                match iter.peek() {
+                    None => {}
+                    Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                        iter.next();
+                    }
+                    Some(other) => panic!(
+                        "derive: only unit enum variants are supported, got `{other}` after `{id}`"
+                    ),
+                }
+            }
+            other => panic!("derive: unexpected token `{other}` in enum body"),
+        }
+    }
+    variants
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct(name, fields) => {
+            let mut inserts = String::new();
+            for f in &fields {
+                inserts.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::serialize(&self.{f}));\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         let mut m = ::serde::Map::new();\n\
+                         {inserts}\
+                         ::serde::Value::Object(m)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => \"{v}\",\n"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::String(::std::string::String::from(match self {{\n\
+                             {arms}\
+                         }}))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Serialize impl parses")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse(input) {
+        Shape::Struct(name, fields) => {
+            let mut inits = String::new();
+            for f in &fields {
+                inits.push_str(&format!(
+                    "{f}: ::serde::Deserialize::deserialize(v.field(\"{f}\"))\
+                     .map_err(|e| e.in_field(\"{f}\"))?,\n"
+                ));
+            }
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         ::std::result::Result::Ok({name} {{\n\
+                             {inits}\
+                         }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum(name, variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let s = v.as_str().ok_or_else(|| \
+                             ::serde::Error::new(\"expected variant string\"))?;\n\
+                         match s {{\n\
+                             {arms}\
+                             other => ::std::result::Result::Err(::serde::Error::new(\
+                                 format!(\"unknown variant `{{other}}` for {name}\"))),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("generated Deserialize impl parses")
+}
