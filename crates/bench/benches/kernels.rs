@@ -1,20 +1,38 @@
 //! Micro-benchmarks of the nn compute kernels (the training hot path).
+//!
+//! Set `DBAT_BENCH_QUICK=1` to shrink sample counts for a fast smoke run
+//! (used by CI to make sure the benches still execute end-to-end).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dbat_nn::{
-    bmm, bmm_nt, bmm_tn, matmul2d, softmax_lastdim, Binder, Graph, InitRng, MultiHeadAttention,
-    Tensor,
+    bmm, bmm_nt, bmm_nt_naive, bmm_tn, matmul2d, matmul2d_naive, matmul2d_nt, softmax_lastdim,
+    Binder, Graph, InitRng, MultiHeadAttention, Tensor,
 };
 use std::hint::black_box;
 
+fn quick() -> bool {
+    std::env::var_os("DBAT_BENCH_QUICK").is_some()
+}
+
+fn samples(normal: usize) -> usize {
+    if quick() {
+        2
+    } else {
+        normal
+    }
+}
+
 fn bench_kernels(c: &mut Criterion) {
     let mut g = c.benchmark_group("kernels");
-    g.sample_size(20);
+    g.sample_size(samples(20));
 
     let a = Tensor::full(vec![512, 64], 0.3);
     let b = Tensor::full(vec![64, 64], 0.7);
     g.bench_function("matmul2d_512x64x64", |bch| {
         bch.iter(|| black_box(matmul2d(black_box(&a), black_box(&b))))
+    });
+    g.bench_function("matmul2d_naive_512x64x64", |bch| {
+        bch.iter(|| black_box(matmul2d_naive(black_box(&a), black_box(&b))))
     });
 
     let q = Tensor::full(vec![16, 128, 4], 0.5);
@@ -50,5 +68,37 @@ fn bench_kernels(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_kernels);
+/// Large GEMM shapes where the packed/blocked kernels should dominate the
+/// naive triple loop; the `_naive` pairs give the speedup denominator.
+fn bench_kernels_large(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernels_large");
+    g.sample_size(samples(10));
+
+    let a = Tensor::full(vec![256, 256], 0.3);
+    let b = Tensor::full(vec![256, 256], 0.7);
+    g.bench_function("matmul2d_256x256x256", |bch| {
+        bch.iter(|| black_box(matmul2d(black_box(&a), black_box(&b))))
+    });
+    g.bench_function("matmul2d_naive_256x256x256", |bch| {
+        bch.iter(|| black_box(matmul2d_naive(black_box(&a), black_box(&b))))
+    });
+
+    let bt = Tensor::full(vec![256, 256], 0.7);
+    g.bench_function("matmul2d_nt_256x256x256", |bch| {
+        bch.iter(|| black_box(matmul2d_nt(black_box(&a), black_box(&bt))))
+    });
+
+    let q = Tensor::full(vec![8, 256, 64], 0.5);
+    let k = Tensor::full(vec![8, 256, 64], 0.2);
+    g.bench_function("bmm_nt_8x256x64", |bch| {
+        bch.iter(|| black_box(bmm_nt(black_box(&q), black_box(&k))))
+    });
+    g.bench_function("bmm_nt_naive_8x256x64", |bch| {
+        bch.iter(|| black_box(bmm_nt_naive(black_box(&q), black_box(&k))))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels, bench_kernels_large);
 criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Training-throughput benchmark: full surrogate train steps (forward +
+//! backward + Adam) on a paper-shaped model, single-graph vs sharded
+//! data-parallel.
+//!
+//! Set `DBAT_BENCH_QUICK=1` to shrink sample counts for a fast smoke run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dbat_core::{Surrogate, SurrogateConfig};
+use dbat_nn::{Adam, Tensor};
+use std::hint::black_box;
+
+fn samples(normal: usize) -> usize {
+    if std::env::var_os("DBAT_BENCH_QUICK").is_some() {
+        2
+    } else {
+        normal
+    }
+}
+
+/// Deterministic pseudo-random batch of `n` training rows.
+fn batch(n: usize, cfg: &SurrogateConfig) -> (Tensor, Tensor, Tensor, Tensor) {
+    let gen = |len: usize, seed: usize| -> Vec<f64> {
+        (0..len)
+            .map(|i| (((i * 2654435761 + seed * 97) % 1000) as f64) / 1000.0 + 0.01)
+            .collect()
+    };
+    let seq = Tensor::new(vec![n, cfg.seq_len], gen(n * cfg.seq_len, 1));
+    let feats = Tensor::new(vec![n, cfg.n_features], gen(n * cfg.n_features, 2));
+    let targets = Tensor::new(vec![n, cfg.n_outputs], gen(n * cfg.n_outputs, 3));
+    let weights = Tensor::new(vec![n, cfg.n_outputs], vec![1.0; n * cfg.n_outputs]);
+    (seq, feats, targets, weights)
+}
+
+fn bench_train(c: &mut Criterion) {
+    let mut g = c.benchmark_group("train");
+    g.sample_size(samples(10));
+
+    let cfg = SurrogateConfig {
+        seq_len: 64,
+        ..SurrogateConfig::default()
+    };
+    let n = 32;
+    let (seq, feats, targets, weights) = batch(n, &cfg);
+
+    let mut model = Surrogate::new(cfg, 11);
+    let mut adam = Adam::new(1e-3);
+    g.bench_function("train_step_b32_single", |b| {
+        b.iter(|| {
+            black_box(model.train_step(
+                seq.clone(),
+                feats.clone(),
+                &targets,
+                &weights,
+                0.5,
+                1.0,
+                &mut adam,
+            ))
+        })
+    });
+
+    let mut model = Surrogate::new(cfg, 11);
+    let mut adam = Adam::new(1e-3);
+    g.bench_function("train_step_b32_sharded4", |b| {
+        b.iter(|| {
+            black_box(model.train_step_sharded(
+                seq.clone(),
+                feats.clone(),
+                &targets,
+                &weights,
+                0.5,
+                1.0,
+                &mut adam,
+                4,
+                true,
+            ))
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_train);
+criterion_main!(benches);

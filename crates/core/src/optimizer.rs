@@ -41,7 +41,10 @@ pub struct Decision {
     pub infer_s: f64,
 }
 
-/// DeepBAT's SLO/cost optimizer.
+/// DeepBAT's SLO/cost optimizer. The configuration grid is fixed at
+/// construction: the flattened config list and the `[C, 3]` raw feature
+/// tensor are cached here, so `predict_all` never rebuilds them per
+/// decision.
 #[derive(Clone, Debug)]
 pub struct DeepBatOptimizer {
     pub grid: ConfigGrid,
@@ -50,29 +53,37 @@ pub struct DeepBatOptimizer {
     pub percentile: f64,
     /// Robustness penalty γ: feasibility requires `p̂·(1+γ) ≤ SLO`.
     pub gamma: f64,
+    configs: Vec<LambdaConfig>,
+    grid_feats: Tensor,
 }
 
 impl DeepBatOptimizer {
     pub fn new(grid: ConfigGrid, slo: f64) -> Self {
+        let configs = grid.configs();
+        let mut feats = Vec::with_capacity(configs.len() * 3);
+        for c in &configs {
+            feats.extend_from_slice(&[c.memory_mb as f64, c.batch_size as f64, c.timeout_s]);
+        }
+        let grid_feats = Tensor::new(vec![configs.len(), 3], feats);
         DeepBatOptimizer {
             grid,
             slo,
             percentile: 95.0,
             gamma: 0.0,
+            configs,
+            grid_feats,
         }
     }
 
     /// Predict every grid configuration for one window: encode the sequence
-    /// once, sweep the feature branch.
+    /// once, sweep the cached feature grid through the cheap branch.
     pub fn predict_all(&self, model: &Surrogate, window: &[f64]) -> Vec<ConfigPrediction> {
+        let t = dbat_telemetry::global();
+        let start = std::time::Instant::now();
         let e1 = model.encode_window(window);
-        let configs = self.grid.configs();
-        let mut feats = Vec::with_capacity(configs.len() * 3);
-        for c in &configs {
-            feats.extend_from_slice(&[c.memory_mb as f64, c.batch_size as f64, c.timeout_s]);
-        }
-        let out = model.predict_encoded(&e1, &Tensor::new(vec![configs.len(), 3], feats));
-        configs
+        let out = model.predict_encoded(&e1, &self.grid_feats);
+        let preds = self
+            .configs
             .iter()
             .enumerate()
             .map(|(i, &config)| {
@@ -88,7 +99,12 @@ impl DeepBatOptimizer {
                     ],
                 }
             })
-            .collect()
+            .collect();
+        if t.is_enabled() {
+            t.histogram("controller.predict_all_s")
+                .record(start.elapsed().as_secs_f64());
+        }
+        preds
     }
 
     /// The 2-step optimisation (§III-D "Online Model Inference"): filter by

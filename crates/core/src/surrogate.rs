@@ -20,10 +20,12 @@
 //! re-solves matrix exponentials per configuration (§IV-F).
 
 use dbat_nn::{
-    add_positional, Adam, Binder, Checkpoint, Graph, InitRng, Linear, Module, MultiHeadAttention,
-    Standardizer, Tensor, TransformerEncoder, Var,
+    add_positional, tree_reduce_grads, Adam, Binder, Checkpoint, Graph, InitRng, Linear, Module,
+    MultiHeadAttention, Standardizer, Tensor, TransformerEncoder, Var,
 };
+use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// Floor added before the log transform of interarrival times.
 const LOG_EPS: f64 = 1e-6;
@@ -89,6 +91,11 @@ pub struct Surrogate {
     pub seq_std: Standardizer,
     /// Standardiser for the (M, B, T) features.
     pub feat_std: Standardizer,
+    /// Scratch autograd tape reused across forward passes; its buffer pool
+    /// makes repeated same-shaped predictions allocation-free.
+    scratch: Mutex<Graph>,
+    /// Per-shard scratch tapes for the data-parallel train step.
+    shard_graphs: Mutex<Vec<Graph>>,
 }
 
 impl Surrogate {
@@ -116,7 +123,19 @@ impl Surrogate {
                 mean: vec![0.0; cfg.n_features],
                 std: vec![1.0; cfg.n_features],
             },
+            scratch: Mutex::new(Graph::new()),
+            shard_graphs: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Run `f` on the reusable scratch tape, then reset the tape so its
+    /// buffers return to the pool. `f` must clone out anything it keeps.
+    fn with_scratch<R>(&self, f: impl FnOnce(&mut Graph) -> R) -> R {
+        let mut g = std::mem::take(&mut *self.scratch.lock().unwrap());
+        let out = f(&mut g);
+        g.reset();
+        *self.scratch.lock().unwrap() = g;
+        out
     }
 
     /// Log-transform raw interarrivals, then standardise. Input `[B, L]`.
@@ -170,12 +189,13 @@ impl Surrogate {
     pub fn predict(&self, seq_raw: &Tensor, feats_raw: &Tensor) -> Tensor {
         let seq = self.preprocess_seq(seq_raw);
         let feats = self.preprocess_feats(feats_raw);
-        let mut g = Graph::new();
-        let mut b = Binder::new(&mut g);
-        let sv = b.g.leaf(seq);
-        let fv = b.g.leaf(feats);
-        let (out, _) = self.forward(&mut b, sv, fv);
-        g.value(out).clone()
+        self.with_scratch(|g| {
+            let mut b = Binder::new(g);
+            let sv = b.g.leaf(seq);
+            let fv = b.g.leaf(feats);
+            let (out, _) = self.forward(&mut b, sv, fv);
+            b.g.value(out).clone()
+        })
     }
 
     /// Encode one raw window into its configuration-independent `E_1`
@@ -183,18 +203,19 @@ impl Surrogate {
     pub fn encode_window(&self, window_raw: &[f64]) -> Vec<f64> {
         assert_eq!(window_raw.len(), self.cfg.seq_len, "window length mismatch");
         let seq = self.preprocess_seq(&Tensor::new(vec![1, self.cfg.seq_len], window_raw.to_vec()));
-        let mut g = Graph::new();
-        let mut b = Binder::new(&mut g);
-        let sv = b.g.leaf(seq);
-        let s3 = b.g.reshape(sv, vec![1, self.cfg.seq_len, 1]);
-        let e_seq = self.embed.forward(&mut b, s3);
-        let e_pos = add_positional(&mut b, e_seq);
-        let e_trans = self.encoder.forward(&mut b, e_pos);
-        let e_p = b.g.mean_axis1(e_trans);
-        let e_p3 = b.g.reshape(e_p, vec![1, 1, self.cfg.dim]);
-        let e1 = self.pool_attn.forward(&mut b, e_p3);
-        let e1 = b.g.reshape(e1, vec![1, self.cfg.dim]);
-        g.value(e1).data().to_vec()
+        self.with_scratch(|g| {
+            let mut b = Binder::new(g);
+            let sv = b.g.leaf(seq);
+            let s3 = b.g.reshape(sv, vec![1, self.cfg.seq_len, 1]);
+            let e_seq = self.embed.forward(&mut b, s3);
+            let e_pos = add_positional(&mut b, e_seq);
+            let e_trans = self.encoder.forward(&mut b, e_pos);
+            let e_p = b.g.mean_axis1(e_trans);
+            let e_p3 = b.g.reshape(e_p, vec![1, 1, self.cfg.dim]);
+            let e1 = self.pool_attn.forward(&mut b, e_p3);
+            let e1 = b.g.reshape(e1, vec![1, self.cfg.dim]);
+            b.g.value(e1).data().to_vec()
+        })
     }
 
     /// Sweep many candidate configurations against one encoded window: the
@@ -202,24 +223,22 @@ impl Surrogate {
     /// `feats_raw: [C, F]` → `[C, O]`.
     pub fn predict_encoded(&self, e1: &[f64], feats_raw: &Tensor) -> Tensor {
         assert_eq!(e1.len(), self.cfg.dim);
-        let c = feats_raw.shape()[0];
         let feats = self.preprocess_feats(feats_raw);
-        let mut g = Graph::new();
-        let mut b = Binder::new(&mut g);
-        // Tile E1 across candidate rows.
-        let mut tiled = Vec::with_capacity(c * self.cfg.dim);
-        for _ in 0..c {
-            tiled.extend_from_slice(e1);
-        }
-        let e1v = b.g.constant(Tensor::new(vec![c, self.cfg.dim], tiled));
-        let fv = b.g.leaf(feats);
-        let e2 = self.feat_ff.forward(&mut b, fv);
-        let e2 = b.g.relu(e2);
-        let cat = b.g.concat_lastdim(e1v, e2);
-        let h = self.head1.forward(&mut b, cat);
-        let h = b.g.relu(h);
-        let out = self.head2.forward(&mut b, h);
-        g.value(out).clone()
+        self.with_scratch(|g| {
+            let mut b = Binder::new(g);
+            // E1 enters once as a single row and is broadcast across the
+            // candidate rows at the concat — no [C, dim] tile materialised.
+            let e1v =
+                b.g.constant(Tensor::new(vec![1, self.cfg.dim], e1.to_vec()));
+            let fv = b.g.leaf(feats);
+            let e2 = self.feat_ff.forward(&mut b, fv);
+            let e2 = b.g.relu(e2);
+            let cat = b.g.concat_broadcast_row(e1v, e2);
+            let h = self.head1.forward(&mut b, cat);
+            let h = b.g.relu(h);
+            let out = self.head2.forward(&mut b, h);
+            b.g.value(out).clone()
+        })
     }
 
     /// Mean encoder attention received by each sequence position for one raw
@@ -229,23 +248,25 @@ impl Surrogate {
         assert_eq!(window_raw.len(), l);
         let seq = self.preprocess_seq(&Tensor::new(vec![1, l], window_raw.to_vec()));
         let feats = Tensor::zeros(vec![1, self.cfg.n_features]);
-        let mut g = Graph::new();
-        let mut b = Binder::new(&mut g);
-        let sv = b.g.leaf(seq);
-        let fv = b.g.leaf(feats);
-        let (_, attn) = self.forward(&mut b, sv, fv);
-        let attn = attn.expect("encoder has at least one layer");
-        let t = g.value(attn); // [H, L, L] (batch 1)
-        let heads_x_rows = t.shape()[0] * t.shape()[1];
-        let mut profile = vec![0.0; l];
-        for row in t.data().chunks(l) {
-            for (p, &a) in profile.iter_mut().zip(row) {
-                *p += a;
+        let mut profile = self.with_scratch(|g| {
+            let mut b = Binder::new(g);
+            let sv = b.g.leaf(seq);
+            let fv = b.g.leaf(feats);
+            let (_, attn) = self.forward(&mut b, sv, fv);
+            let attn = attn.expect("encoder has at least one layer");
+            let t = b.g.value(attn); // [H, L, L] (batch 1)
+            let heads_x_rows = t.shape()[0] * t.shape()[1];
+            let mut profile = vec![0.0; l];
+            for row in t.data().chunks(l) {
+                for (p, &a) in profile.iter_mut().zip(row) {
+                    *p += a;
+                }
             }
-        }
-        for p in &mut profile {
-            *p /= heads_x_rows as f64;
-        }
+            for p in &mut profile {
+                *p /= heads_x_rows as f64;
+            }
+            profile
+        });
         // Normalise to max 1 for plotting.
         let max = profile.iter().cloned().fold(f64::MIN, f64::max).max(1e-12);
         profile.iter_mut().for_each(|p| *p /= max);
@@ -265,29 +286,148 @@ impl Surrogate {
         delta: f64,
         adam: &mut Adam,
     ) -> f64 {
-        let mut g = Graph::new();
-        let mut b = Binder::new(&mut g);
-        let sv = b.g.leaf(seq);
-        let fv = b.g.leaf(feats);
-        let (pred, _) = self.forward(&mut b, sv, fv);
-        let ml = b.g.mape_loss(pred, targets, weights);
-        let hl = b.g.huber_loss(pred, targets, weights, delta);
-        let ml_s = b.g.scale(ml, alpha);
-        let hl_s = b.g.scale(hl, 1.0 - alpha);
-        let loss = b.g.add(ml_s, hl_s);
-        let vars = b.vars.clone();
-        let loss_val = g.value(loss).item();
-        let grads = g.backward(loss);
-        let grad_tensors: Vec<Tensor> = vars
-            .iter()
-            .map(|v| {
-                grads[v.0]
-                    .clone()
-                    .unwrap_or_else(|| Tensor::zeros(g.value(*v).shape().to_vec()))
-            })
-            .collect();
+        let mut g = std::mem::take(&mut *self.scratch.lock().unwrap());
+        let (loss_val, grad_tensors) = shard_forward_backward(
+            self, &mut g, seq, feats, targets, weights, alpha, delta, None,
+        );
         let mut params = self.parameters_mut();
         adam.step(&mut params, &grad_tensors);
+        // Recycle the gradient buffers alongside the tape's tensors.
+        for t in grad_tensors {
+            g.pool_mut().put(t.into_data());
+        }
+        *self.scratch.lock().unwrap() = g;
+        loss_val
+    }
+
+    /// One Adam step with the mini-batch split into `shards` contiguous
+    /// row ranges trained data-parallel: each shard runs forward/backward on
+    /// its own graph, losses use the *global* weight normalisers (so shard
+    /// gradients sum exactly to the full-shard-set gradients), and the
+    /// per-shard gradients are combined by a fixed-order tree reduction
+    /// before the single optimizer step.
+    ///
+    /// Determinism contract: the result is a pure function of the inputs and
+    /// the shard count — `parallel` only changes scheduling, never the
+    /// bits. Loss curves reproduce at any thread count as long as `shards`
+    /// is held fixed.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_step_sharded(
+        &mut self,
+        seq: Tensor,
+        feats: Tensor,
+        targets: &Tensor,
+        weights: &Tensor,
+        alpha: f64,
+        delta: f64,
+        adam: &mut Adam,
+        shards: usize,
+        parallel: bool,
+    ) -> f64 {
+        let n = seq.shape()[0];
+        let s = shards.clamp(1, n.max(1));
+        if s <= 1 {
+            return self.train_step(seq, feats, targets, weights, alpha, delta, adam);
+        }
+        let l = seq.shape()[1];
+        let fdim = feats.shape()[1];
+        let odim = targets.shape()[1];
+        // Global normalisers shared by every shard's loss ops.
+        let norms = ShardNorms::of(targets, weights);
+
+        // One slot per shard: its scratch graph plus its contiguous row
+        // slice of every input. Graphs persist across steps in a pool.
+        struct Slot {
+            graph: Graph,
+            inputs: Option<(Tensor, Tensor, Tensor, Tensor)>,
+            loss: f64,
+            grads: Vec<Tensor>,
+        }
+        let mut graphs = {
+            let mut pool = self.shard_graphs.lock().unwrap();
+            while pool.len() < s {
+                pool.push(Graph::new());
+            }
+            std::mem::take(&mut *pool)
+        };
+        graphs.truncate(s);
+        let mut slots: Vec<Slot> = graphs
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut graph)| {
+                let (r0, r1) = (i * n / s, (i + 1) * n / s);
+                let rows = r1 - r0;
+                let mut slice = |src: &Tensor, width: usize| {
+                    let mut buf = graph.pool_mut().take(rows * width);
+                    buf.copy_from_slice(&src.data()[r0 * width..r1 * width]);
+                    Tensor::new(vec![rows, width], buf)
+                };
+                let inputs = Some((
+                    slice(&seq, l),
+                    slice(&feats, fdim),
+                    slice(targets, odim),
+                    slice(weights, odim),
+                ));
+                Slot {
+                    graph,
+                    inputs,
+                    loss: 0.0,
+                    grads: Vec::new(),
+                }
+            })
+            .collect();
+
+        let model: &Surrogate = self;
+        let run = |slot: &mut Slot| {
+            let (seq_s, feats_s, tgt_s, w_s) = slot.inputs.take().expect("slot runs once");
+            let (loss, grads) = shard_forward_backward(
+                model,
+                &mut slot.graph,
+                seq_s,
+                feats_s,
+                &tgt_s,
+                &w_s,
+                alpha,
+                delta,
+                Some(norms),
+            );
+            slot.graph.pool_mut().put(tgt_s.into_data());
+            slot.graph.pool_mut().put(w_s.into_data());
+            slot.loss = loss;
+            slot.grads = grads;
+        };
+        if parallel {
+            slots
+                .par_chunks_mut(1)
+                .enumerate()
+                .for_each(|(_, chunk)| run(&mut chunk[0]));
+        } else {
+            for slot in &mut slots {
+                run(slot);
+            }
+        }
+
+        // Fixed index-order loss sum and fixed-order gradient tree: both are
+        // independent of which thread ran which shard.
+        let loss_val: f64 = slots.iter().map(|sl| sl.loss).sum();
+        let per_shard: Vec<Vec<Tensor>> = slots
+            .iter_mut()
+            .map(|sl| std::mem::take(&mut sl.grads))
+            .collect();
+        let mut reduced = tree_reduce_grads(per_shard);
+        let mut params = self.parameters_mut();
+        adam.step(&mut params, &reduced);
+        let mut pool = self.shard_graphs.lock().unwrap();
+        for (i, slot) in slots.into_iter().enumerate() {
+            let mut graph = slot.graph;
+            if i == 0 {
+                // Recycle the reduced gradient buffers through one pool.
+                for t in reduced.drain(..) {
+                    graph.pool_mut().put(t.into_data());
+                }
+            }
+            pool.push(graph);
+        }
         loss_val
     }
 
@@ -301,14 +441,15 @@ impl Surrogate {
         alpha: f64,
         delta: f64,
     ) -> f64 {
-        let mut g = Graph::new();
-        let mut b = Binder::new(&mut g);
-        let sv = b.g.leaf(seq);
-        let fv = b.g.leaf(feats);
-        let (pred, _) = self.forward(&mut b, sv, fv);
-        let ml = b.g.mape_loss(pred, targets, weights);
-        let hl = b.g.huber_loss(pred, targets, weights, delta);
-        alpha * g.value(ml).item() + (1.0 - alpha) * g.value(hl).item()
+        self.with_scratch(|g| {
+            let mut b = Binder::new(g);
+            let sv = b.g.leaf(seq);
+            let fv = b.g.leaf(feats);
+            let (pred, _) = self.forward(&mut b, sv, fv);
+            let ml = b.g.mape_loss(pred, targets, weights);
+            let hl = b.g.huber_loss(pred, targets, weights, delta);
+            alpha * b.g.value(ml).item() + (1.0 - alpha) * b.g.value(hl).item()
+        })
     }
 
     /// Save to a JSON checkpoint (weights + config + standardisers).
@@ -336,6 +477,83 @@ impl Surrogate {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
         Ok(model)
     }
+}
+
+/// Global weight normalisers for sharded losses (see
+/// `Graph::huber_loss_norm`): computed over the full batch, shared by every
+/// shard so that shard gradients sum exactly to the full-batch gradients.
+#[derive(Clone, Copy)]
+struct ShardNorms {
+    huber_wsum: f64,
+    mape_wsum: f64,
+}
+
+impl ShardNorms {
+    fn of(targets: &Tensor, weights: &Tensor) -> Self {
+        ShardNorms {
+            huber_wsum: weights.data().iter().sum(),
+            mape_wsum: targets
+                .data()
+                .iter()
+                .zip(weights.data())
+                .filter(|&(&t, _)| t != 0.0)
+                .map(|(_, &w)| w)
+                .sum(),
+        }
+    }
+}
+
+/// Forward + combined loss + backward on one (shard of a) batch, returning
+/// the loss value and per-parameter gradients in binding order. The tape is
+/// reset (buffers repooled) before returning, ready for the next step.
+#[allow(clippy::too_many_arguments)]
+fn shard_forward_backward(
+    model: &Surrogate,
+    g: &mut Graph,
+    seq: Tensor,
+    feats: Tensor,
+    targets: &Tensor,
+    weights: &Tensor,
+    alpha: f64,
+    delta: f64,
+    norms: Option<ShardNorms>,
+) -> (f64, Vec<Tensor>) {
+    let (loss, vars, loss_val) = {
+        let mut b = Binder::new(g);
+        let sv = b.g.leaf(seq);
+        let fv = b.g.leaf(feats);
+        let (pred, _) = model.forward(&mut b, sv, fv);
+        let (ml, hl) = match norms {
+            Some(nm) => (
+                b.g.mape_loss_norm(pred, targets, weights, nm.mape_wsum),
+                b.g.huber_loss_norm(pred, targets, weights, delta, nm.huber_wsum),
+            ),
+            None => (
+                b.g.mape_loss(pred, targets, weights),
+                b.g.huber_loss(pred, targets, weights, delta),
+            ),
+        };
+        let ml_s = b.g.scale(ml, alpha);
+        let hl_s = b.g.scale(hl, 1.0 - alpha);
+        let loss = b.g.add(ml_s, hl_s);
+        let lv = b.g.value(loss).item();
+        (loss, b.vars, lv)
+    };
+    let mut grads = g.backward(loss);
+    let grad_tensors: Vec<Tensor> = vars
+        .iter()
+        .map(|v| {
+            grads[v.0]
+                .take()
+                .unwrap_or_else(|| Tensor::zeros(g.value(*v).shape().to_vec()))
+        })
+        .collect();
+    // Repool the remaining (input-leaf) gradients and the tape itself.
+    for t in grads.into_iter().flatten() {
+        g.pool_mut().put(t.into_data());
+    }
+    g.reset();
+    (loss_val, grad_tensors)
 }
 
 impl Module for Surrogate {
@@ -462,6 +680,105 @@ mod tests {
             last < first * 0.5,
             "training failed to reduce loss: {first} -> {last}"
         );
+    }
+
+    #[test]
+    fn sharded_train_step_parallel_matches_serial_bitwise() {
+        // Same data, same shard count: the parallel and serial execution
+        // paths must produce bit-identical losses and parameters, because
+        // shard order, loss summation order, and the gradient tree reduction
+        // are all fixed by the shard count alone.
+        let l = SurrogateConfig::tiny().seq_len;
+        let k = 12;
+        let mk_batch = || {
+            let mut seqs = Vec::new();
+            let mut feats = Vec::new();
+            let mut targets = Vec::new();
+            for i in 0..k {
+                seqs.extend(raw_window(l).iter().map(|x| x * (1.0 + i as f64 * 0.07)));
+                let f = [700.0 + 90.0 * i as f64, (i % 4 + 1) as f64, 0.02 * i as f64];
+                feats.extend_from_slice(&f);
+                let y = 0.002 * f[0] / 512.0 + 0.03 * f[1];
+                targets.extend_from_slice(&[y, 0.5 * y, 0.8 * y, y, 1.2 * y]);
+            }
+            (
+                Tensor::new(vec![k, l], seqs),
+                Tensor::new(vec![k, 3], feats),
+                Tensor::new(vec![k, 5], targets),
+                Tensor::full(vec![k, 5], 1.0),
+            )
+        };
+        let mut m_par = tiny();
+        let mut m_ser = tiny();
+        let mut adam_par = Adam::new(3e-3);
+        let mut adam_ser = Adam::new(3e-3);
+        for step in 0..4 {
+            let (seq, feats, tgt, w) = mk_batch();
+            let (seq2, feats2, tgt2, w2) = mk_batch();
+            let lp = m_par.train_step_sharded(
+                m_par.preprocess_seq(&seq),
+                m_par.preprocess_feats(&feats),
+                &tgt,
+                &w,
+                0.05,
+                1.0,
+                &mut adam_par,
+                4,
+                true,
+            );
+            let ls = m_ser.train_step_sharded(
+                m_ser.preprocess_seq(&seq2),
+                m_ser.preprocess_feats(&feats2),
+                &tgt2,
+                &w2,
+                0.05,
+                1.0,
+                &mut adam_ser,
+                4,
+                false,
+            );
+            assert_eq!(lp, ls, "losses diverged at step {step}");
+        }
+        for (a, b) in m_par.parameters().iter().zip(m_ser.parameters()) {
+            assert_eq!(a.data(), b.data(), "parameters diverged");
+        }
+    }
+
+    #[test]
+    fn sharded_single_shard_equals_plain_train_step() {
+        let l = SurrogateConfig::tiny().seq_len;
+        let seq = Tensor::new(vec![2, l], [raw_window(l), raw_window(l)].concat());
+        let feats = Tensor::new(vec![2, 3], vec![1024.0, 4.0, 0.05, 2048.0, 8.0, 0.1]);
+        let tgt = Tensor::new(vec![2, 5], vec![0.2; 10]);
+        let w = Tensor::full(vec![2, 5], 1.0);
+        let mut m1 = tiny();
+        let mut m2 = tiny();
+        let mut a1 = Adam::new(1e-3);
+        let mut a2 = Adam::new(1e-3);
+        let l1 = m1.train_step(
+            m1.preprocess_seq(&seq),
+            m1.preprocess_feats(&feats),
+            &tgt,
+            &w,
+            0.05,
+            1.0,
+            &mut a1,
+        );
+        let l2 = m2.train_step_sharded(
+            m2.preprocess_seq(&seq),
+            m2.preprocess_feats(&feats),
+            &tgt,
+            &w,
+            0.05,
+            1.0,
+            &mut a2,
+            1,
+            true,
+        );
+        assert_eq!(l1, l2);
+        for (a, b) in m1.parameters().iter().zip(m2.parameters()) {
+            assert_eq!(a.data(), b.data());
+        }
     }
 
     #[test]

@@ -26,6 +26,10 @@ pub struct TrainConfig {
     /// Fraction of the data held out for validation.
     pub val_fraction: f64,
     pub seed: u64,
+    /// Fixed shard count for the data-parallel train step. Results are a
+    /// pure function of this value — never of the thread count — so loss
+    /// curves reproduce on any machine as long as `shards` is unchanged.
+    pub shards: usize,
 }
 
 impl Default for TrainConfig {
@@ -40,6 +44,7 @@ impl Default for TrainConfig {
             latency_weight: 8.0,
             val_fraction: 0.1,
             seed: 1,
+            shards: 4,
         }
     }
 }
@@ -141,7 +146,7 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
         let mut batches = 0usize;
         for batch in shuffled_batches(train_rows.len(), tc.batch_size, &mut rng) {
             let rows: Vec<usize> = batch.iter().map(|&i| train_rows[i]).collect();
-            let loss = model.train_step(
+            let loss = model.train_step_sharded(
                 gather_rows(&seq, &rows),
                 gather_rows(&feats, &rows),
                 &gather_rows(&targets, &rows),
@@ -149,6 +154,8 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
                 tc.alpha,
                 tc.delta,
                 &mut adam,
+                tc.shards,
+                true,
             );
             epoch_loss += loss;
             batches += 1;
@@ -167,6 +174,8 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
             ));
         }
         if tel.is_enabled() {
+            let secs = epoch_t0.elapsed().as_secs_f64();
+            let throughput = n_train as f64 / secs.max(f64::MIN_POSITIVE);
             tel.emit(
                 "train.epoch",
                 serde_json::json!({
@@ -174,11 +183,12 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
                     "train_loss": train_losses.last().copied().unwrap_or(0.0),
                     "val_loss": val_losses.last().copied().unwrap_or(0.0),
                     "lr": adam.lr,
-                    "secs": epoch_t0.elapsed().as_secs_f64(),
+                    "secs": secs,
+                    "throughput": throughput,
                 }),
             );
-            tel.histogram("train.epoch_s")
-                .record(epoch_t0.elapsed().as_secs_f64());
+            tel.histogram("train.epoch_s").record(secs);
+            tel.histogram("train.throughput").record(throughput);
         }
     }
     let secs_per_epoch = t0.elapsed().as_secs_f64() / tc.epochs.max(1) as f64;
@@ -195,8 +205,10 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
             serde_json::json!({
                 "epochs": tc.epochs,
                 "samples": n,
+                "shards": tc.shards,
                 "final_val_mape": final_val_mape,
                 "secs_per_epoch": secs_per_epoch,
+                "throughput": n_train as f64 / secs_per_epoch.max(f64::MIN_POSITIVE),
             }),
         );
     }
@@ -231,7 +243,7 @@ pub fn fine_tune(
         let mut epoch_loss = 0.0;
         let mut batches = 0usize;
         for batch in shuffled_batches(data.len(), tc.batch_size, &mut rng) {
-            let loss = model.train_step(
+            let loss = model.train_step_sharded(
                 gather_rows(&seq, &batch),
                 gather_rows(&feats, &batch),
                 &gather_rows(&targets, &batch),
@@ -239,6 +251,8 @@ pub fn fine_tune(
                 tc.alpha,
                 tc.delta,
                 &mut adam,
+                tc.shards,
+                true,
             );
             epoch_loss += loss;
             batches += 1;

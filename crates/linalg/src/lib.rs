@@ -7,7 +7,10 @@
 //! and evaluates latency percentiles through transient CTMC analysis, i.e.
 //! repeated matrix exponentials. This crate provides exactly that machinery:
 //!
-//! * [`Mat`] — dense row-major `f64` matrices with rayon-parallel `matmul`;
+//! * [`Mat`] — dense row-major `f64` matrices whose `matmul` runs on the
+//!   packed [`gemm`] engine;
+//! * [`gemm`] — packed, register-tiled GEMM micro-kernels (normal and
+//!   transposed layouts) shared with the `dbat-nn` tensor kernels;
 //! * [`lu`] — LU factorisation, solves, inverses, determinants;
 //! * [`stationary`] — GTH-based stationary distributions (numerically robust
 //!   for rate matrices spanning many orders of magnitude);
@@ -17,12 +20,14 @@
 //!   generators.
 
 pub mod expm;
+pub mod gemm;
 pub mod kron;
 pub mod lu;
 pub mod matrix;
 pub mod stationary;
 
 pub use expm::{expm, Uniformizer};
+pub use gemm::{gemm, gemm_worthwhile, Layout};
 pub use kron::{kron, kron_sum};
 pub use lu::{inverse, solve, LinalgError, Lu};
 pub use matrix::Mat;

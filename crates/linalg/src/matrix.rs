@@ -139,9 +139,10 @@ impl Mat {
         self.map(|x| x * s)
     }
 
-    /// Matrix product `self * other`. Parallel over row blocks for large
-    /// operands; the inner loop is written `ikj` so the compiler vectorises
-    /// over contiguous output rows.
+    /// Matrix product `self * other`. Large operands run on the packed,
+    /// register-tiled [`crate::gemm`] engine (rayon-parallel over row
+    /// blocks); small ones keep a naive `ikj` loop whose inner dimension
+    /// the compiler vectorises.
     pub fn matmul(&self, other: &Mat) -> Mat {
         assert_eq!(
             self.cols, other.rows,
@@ -150,6 +151,48 @@ impl Mat {
         );
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = vec![0.0; m * n];
+        if crate::gemm::gemm_worthwhile(m, n, k) {
+            crate::gemm::gemm(
+                m,
+                n,
+                k,
+                &self.data,
+                crate::gemm::Layout::Normal,
+                &other.data,
+                crate::gemm::Layout::Normal,
+                &mut out,
+            );
+        } else {
+            self.matmul_naive_into(other, &mut out);
+        }
+        Mat {
+            rows: m,
+            cols: n,
+            data: out,
+        }
+    }
+
+    /// Reference triple-loop product into a zeroed buffer. Kept as the
+    /// correctness baseline the packed engine is tested against, and used
+    /// directly for operands too small to amortise packing.
+    pub fn matmul_naive(&self, other: &Mat) -> Mat {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        let (m, n) = (self.rows, other.cols);
+        let mut out = vec![0.0; m * n];
+        self.matmul_naive_into(other, &mut out);
+        Mat {
+            rows: m,
+            cols: n,
+            data: out,
+        }
+    }
+
+    fn matmul_naive_into(&self, other: &Mat, out: &mut [f64]) {
+        let (m, k, n) = (self.rows, self.cols, other.cols);
         let kernel = |i: usize, out_row: &mut [f64]| {
             for p in 0..k {
                 let a = self.data[i * k + p];
@@ -170,11 +213,6 @@ impl Mat {
             for (i, row) in out.chunks_mut(n).enumerate() {
                 kernel(i, row);
             }
-        }
-        Mat {
-            rows: m,
-            cols: n,
-            data: out,
         }
     }
 
@@ -370,6 +408,17 @@ mod tests {
             }
         }
         assert!(c.approx_eq(&expect, 1e-9));
+    }
+
+    #[test]
+    fn packed_matmul_matches_naive_on_ragged_shapes() {
+        for &(m, k, n) in &[(5, 9, 13), (33, 17, 66), (64, 3, 100), (70, 70, 70)] {
+            let a = Mat::from_vec(m, k, (0..m * k).map(|i| (i % 11) as f64 - 5.0).collect());
+            let b = Mat::from_vec(k, n, (0..k * n).map(|i| (i % 9) as f64 * 0.25).collect());
+            let fast = a.matmul(&b);
+            let slow = a.matmul_naive(&b);
+            assert!(fast.approx_eq(&slow, 1e-10), "mismatch at {m}x{k}x{n}");
+        }
     }
 
     #[test]

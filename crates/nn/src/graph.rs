@@ -6,17 +6,72 @@
 //! reverse creation order (a valid topological order by construction) and
 //! accumulates gradients, including into leaves — which is how parameters
 //! receive their updates.
+//!
+//! Allocation reuse: the graph owns a length-keyed [`BufferPool`]. Forward
+//! ops and backward closures draw their output buffers from it, and
+//! [`Graph::reset`] drains every node's backing buffer back into the pool,
+//! so repeated forward/backward cycles on same-shaped batches (the training
+//! loop, `predict_all` over a fixed grid) stop churning the allocator.
 
 use crate::tensor::{
-    bmm as bmm_kernel, bmm_nt as bmm_nt_kernel, bmm_tn as bmm_tn_kernel, matmul2d,
+    bmm_into, bmm_nt_into, bmm_tn_into, matmul2d_into, matmul2d_nt_into, matmul2d_tn_into,
     permute_0213 as permute_kernel, softmax_lastdim, transpose_last2 as transpose_kernel, Tensor,
 };
+use std::collections::HashMap;
 
 /// Handle to a node in the graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct Var(pub usize);
 
-type BackFn = Box<dyn Fn(&Tensor, &[&Tensor], &Tensor) -> Vec<Tensor>>;
+/// Length-keyed pool of `f64` buffers recycled across graph rebuilds.
+///
+/// `take(len)` hands back a zeroed buffer of exactly `len` elements, reusing
+/// a previously pooled allocation when one of that length exists. Lengths in
+/// a training loop are highly repetitive (fixed batch/grid shapes), so the
+/// hit rate approaches 100% after the first iteration.
+#[derive(Default)]
+pub struct BufferPool {
+    free: HashMap<usize, Vec<Vec<f64>>>,
+}
+
+/// Cap on pooled buffers per distinct length, bounding worst-case retention.
+const POOL_PER_LEN: usize = 64;
+
+impl BufferPool {
+    pub fn new() -> Self {
+        BufferPool::default()
+    }
+
+    /// A zeroed buffer of exactly `len` elements, pooled if available.
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        match self.free.get_mut(&len).and_then(|v| v.pop()) {
+            Some(mut buf) => {
+                buf.fill(0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Return a buffer to the pool for later reuse.
+    pub fn put(&mut self, buf: Vec<f64>) {
+        if buf.is_empty() {
+            return;
+        }
+        let slot = self.free.entry(buf.len()).or_default();
+        if slot.len() < POOL_PER_LEN {
+            slot.push(buf);
+        }
+    }
+
+    /// Number of buffers currently held.
+    pub fn pooled(&self) -> usize {
+        self.free.values().map(Vec::len).sum()
+    }
+}
+
+type BackFn =
+    Box<dyn Fn(&Tensor, &[&Tensor], &Tensor, &mut BufferPool) -> Vec<Tensor> + Send + Sync>;
 
 /// The autograd tape.
 #[derive(Default)]
@@ -24,6 +79,7 @@ pub struct Graph {
     values: Vec<Tensor>,
     parents: Vec<Vec<usize>>,
     back: Vec<Option<BackFn>>,
+    pool: BufferPool,
 }
 
 impl Graph {
@@ -44,11 +100,51 @@ impl Graph {
         &self.values[v.0]
     }
 
+    /// Clear the tape for rebuilding, recycling every node's backing buffer
+    /// into the pool and retaining the tape vectors' capacity. The next
+    /// forward pass over same-shaped inputs then allocates (almost) nothing.
+    pub fn reset(&mut self) {
+        for t in self.values.drain(..) {
+            self.pool.put(t.into_data());
+        }
+        self.parents.clear();
+        self.back.clear();
+    }
+
+    /// Direct access to the buffer pool (for callers staging inputs).
+    pub fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
     fn push(&mut self, value: Tensor, parents: Vec<usize>, back: Option<BackFn>) -> Var {
         self.values.push(value);
         self.parents.push(parents);
         self.back.push(back);
         Var(self.values.len() - 1)
+    }
+
+    /// Elementwise map into a pooled buffer.
+    fn map_pooled(&mut self, a: usize, f: impl Fn(f64) -> f64) -> Tensor {
+        let pool = &mut self.pool;
+        let src = &self.values[a];
+        let mut out = pool.take(src.numel());
+        for (o, &x) in out.iter_mut().zip(src.data()) {
+            *o = f(x);
+        }
+        Tensor::new(src.shape().to_vec(), out)
+    }
+
+    /// Elementwise zip into a pooled buffer (exact shape match).
+    fn zip_pooled(&mut self, a: usize, b: usize, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        let pool = &mut self.pool;
+        let av = &self.values[a];
+        let bv = &self.values[b];
+        assert_eq!(av.shape(), bv.shape(), "elementwise op shape mismatch");
+        let mut out = pool.take(av.numel());
+        for ((o, &x), &y) in out.iter_mut().zip(av.data()).zip(bv.data()) {
+            *o = f(x, y);
+        }
+        Tensor::new(av.shape().to_vec(), out)
     }
 
     /// Insert a leaf (parameter or input). Gradients accumulate into leaves.
@@ -63,31 +159,31 @@ impl Graph {
 
     /// Elementwise addition (exact shape match).
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x + y);
+        let v = self.zip_pooled(a.0, b.0, |x, y| x + y);
         self.push(
             v,
             vec![a.0, b.0],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.clone()])),
+            Some(Box::new(|g, _, _, _| vec![g.clone(), g.clone()])),
         )
     }
 
     /// Elementwise subtraction.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x - y);
+        let v = self.zip_pooled(a.0, b.0, |x, y| x - y);
         self.push(
             v,
             vec![a.0, b.0],
-            Some(Box::new(|g, _, _| vec![g.clone(), g.map(|x| -x)])),
+            Some(Box::new(|g, _, _, _| vec![g.clone(), g.map(|x| -x)])),
         )
     }
 
     /// Elementwise product.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let v = self.values[a.0].zip(&self.values[b.0], |x, y| x * y);
+        let v = self.zip_pooled(a.0, b.0, |x, y| x * y);
         self.push(
             v,
             vec![a.0, b.0],
-            Some(Box::new(|g, ps, _| {
+            Some(Box::new(|g, ps, _, _| {
                 vec![
                     g.zip(ps[1], |gi, bi| gi * bi),
                     g.zip(ps[0], |gi, ai| gi * ai),
@@ -98,21 +194,23 @@ impl Graph {
 
     /// Multiply by a compile-time constant.
     pub fn scale(&mut self, a: Var, c: f64) -> Var {
-        let v = self.values[a.0].map(|x| x * c);
+        let v = self.map_pooled(a.0, |x| x * c);
         self.push(
             v,
             vec![a.0],
-            Some(Box::new(move |g, _, _| vec![g.map(|x| x * c)])),
+            Some(Box::new(move |g, _, _, _| vec![g.map(|x| x * c)])),
         )
     }
 
     /// Broadcast-add a bias vector `[D]` to the last axis of `x` `[..., D]`.
     pub fn add_bias(&mut self, x: Var, b: Var) -> Var {
+        let pool = &mut self.pool;
         let xv = &self.values[x.0];
         let bv = &self.values[b.0];
         let d = *xv.shape().last().expect("add_bias needs >=1-D x");
         assert_eq!(bv.shape(), &[d], "bias must be [last_dim]");
-        let mut out = xv.data().to_vec();
+        let mut out = pool.take(xv.numel());
+        out.copy_from_slice(xv.data());
         for row in out.chunks_mut(d) {
             for (o, &bb) in row.iter_mut().zip(bv.data()) {
                 *o += bb;
@@ -122,8 +220,8 @@ impl Graph {
         self.push(
             v,
             vec![x.0, b.0],
-            Some(Box::new(move |g, _, _| {
-                let mut db = vec![0.0; d];
+            Some(Box::new(move |g, _, _, pool| {
+                let mut db = pool.take(d);
                 for row in g.data().chunks(d) {
                     for (acc, &gg) in db.iter_mut().zip(row) {
                         *acc += gg;
@@ -136,27 +234,53 @@ impl Graph {
 
     /// 2-D matrix multiply.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let v = matmul2d(&self.values[a.0], &self.values[b.0]);
+        let pool = &mut self.pool;
+        let av = &self.values[a.0];
+        let bv = &self.values[b.0];
+        let (m, n) = (av.shape()[0], bv.shape()[1]);
+        let mut out = pool.take(m * n);
+        matmul2d_into(av, bv, &mut out);
+        let v = Tensor::new(vec![m, n], out);
         self.push(
             v,
             vec![a.0, b.0],
-            Some(Box::new(|g, ps, _| {
-                let da = matmul2d(g, &transpose_kernel(ps[1]));
-                let db = matmul2d(&transpose_kernel(ps[0]), g);
-                vec![da, db]
+            Some(Box::new(|g, ps, _, pool| {
+                // dA = G·Bᵀ, dB = Aᵀ·G — transposed-layout kernels, no
+                // materialised transposes.
+                let mut da = pool.take(ps[0].numel());
+                matmul2d_nt_into(g, ps[1], &mut da);
+                let mut db = pool.take(ps[1].numel());
+                matmul2d_tn_into(ps[0], g, &mut db);
+                vec![
+                    Tensor::new(ps[0].shape().to_vec(), da),
+                    Tensor::new(ps[1].shape().to_vec(), db),
+                ]
             })),
         )
     }
 
     /// Batched matrix multiply `[N,a,b] @ [N,b,c]`.
     pub fn bmm(&mut self, a: Var, b: Var) -> Var {
-        let v = bmm_kernel(&self.values[a.0], &self.values[b.0]);
+        let pool = &mut self.pool;
+        let av = &self.values[a.0];
+        let bv = &self.values[b.0];
+        let (n, r, c) = (av.shape()[0], av.shape()[1], bv.shape()[2]);
+        let mut out = pool.take(n * r * c);
+        bmm_into(av, bv, &mut out);
+        let v = Tensor::new(vec![n, r, c], out);
         self.push(
             v,
             vec![a.0, b.0],
-            Some(Box::new(|g, ps, _| {
+            Some(Box::new(|g, ps, _, pool| {
                 // dA = G Bᵀ, dB = Aᵀ G — fused kernels, no transposes.
-                vec![bmm_nt_kernel(g, ps[1]), bmm_tn_kernel(ps[0], g)]
+                let mut da = pool.take(ps[0].numel());
+                bmm_nt_into(g, ps[1], &mut da);
+                let mut db = pool.take(ps[1].numel());
+                bmm_tn_into(ps[0], g, &mut db);
+                vec![
+                    Tensor::new(ps[0].shape().to_vec(), da),
+                    Tensor::new(ps[1].shape().to_vec(), db),
+                ]
             })),
         )
     }
@@ -164,13 +288,26 @@ impl Graph {
     /// Batched matmul against a transposed right operand:
     /// `[N,r,k] @ [N,c,k]ᵀ -> [N,r,c]` (attention scores `Q Kᵀ`).
     pub fn bmm_nt(&mut self, a: Var, b: Var) -> Var {
-        let v = bmm_nt_kernel(&self.values[a.0], &self.values[b.0]);
+        let pool = &mut self.pool;
+        let av = &self.values[a.0];
+        let bv = &self.values[b.0];
+        let (n, r, c) = (av.shape()[0], av.shape()[1], bv.shape()[1]);
+        let mut out = pool.take(n * r * c);
+        bmm_nt_into(av, bv, &mut out);
+        let v = Tensor::new(vec![n, r, c], out);
         self.push(
             v,
             vec![a.0, b.0],
-            Some(Box::new(|g, ps, _| {
+            Some(Box::new(|g, ps, _, pool| {
                 // S = A Bᵀ ⇒ dA = G B, dB = Gᵀ A.
-                vec![bmm_kernel(g, ps[1]), bmm_tn_kernel(g, ps[0])]
+                let mut da = pool.take(ps[0].numel());
+                bmm_into(g, ps[1], &mut da);
+                let mut db = pool.take(ps[1].numel());
+                bmm_tn_into(g, ps[0], &mut db);
+                vec![
+                    Tensor::new(ps[0].shape().to_vec(), da),
+                    Tensor::new(ps[1].shape().to_vec(), db),
+                ]
             })),
         )
     }
@@ -181,7 +318,7 @@ impl Graph {
         self.push(
             v,
             vec![a.0],
-            Some(Box::new(|g, _, _| vec![transpose_kernel(g)])),
+            Some(Box::new(|g, _, _, _| vec![transpose_kernel(g)])),
         )
     }
 
@@ -191,7 +328,7 @@ impl Graph {
         self.push(
             v,
             vec![a.0],
-            Some(Box::new(|g, _, _| vec![permute_kernel(g)])),
+            Some(Box::new(|g, _, _, _| vec![permute_kernel(g)])),
         )
     }
 
@@ -202,17 +339,19 @@ impl Graph {
         self.push(
             v,
             vec![a.0],
-            Some(Box::new(move |g, _, _| vec![g.reshape(old_shape.clone())])),
+            Some(Box::new(move |g, _, _, _| {
+                vec![g.reshape(old_shape.clone())]
+            })),
         )
     }
 
     /// ReLU.
     pub fn relu(&mut self, a: Var) -> Var {
-        let v = self.values[a.0].map(|x| x.max(0.0));
+        let v = self.map_pooled(a.0, |x| x.max(0.0));
         self.push(
             v,
             vec![a.0],
-            Some(Box::new(|g, ps, _| {
+            Some(Box::new(|g, ps, _, _| {
                 vec![g.zip(ps[0], |gi, xi| if xi > 0.0 { gi } else { 0.0 })]
             })),
         )
@@ -224,9 +363,9 @@ impl Graph {
         self.push(
             v,
             vec![a.0],
-            Some(Box::new(|g, _, out| {
+            Some(Box::new(|g, _, out, pool| {
                 let d = *out.shape().last().unwrap();
-                let mut dx = vec![0.0; out.numel()];
+                let mut dx = pool.take(out.numel());
                 for (i, (grow, yrow)) in g.data().chunks(d).zip(out.data().chunks(d)).enumerate() {
                     let dot: f64 = grow.iter().zip(yrow).map(|(&gi, &yi)| gi * yi).sum();
                     for j in 0..d {
@@ -240,13 +379,14 @@ impl Graph {
 
     /// Layer normalisation over the last axis with affine parameters.
     pub fn layer_norm(&mut self, x: Var, gamma: Var, beta: Var, eps: f64) -> Var {
+        let pool = &mut self.pool;
         let xv = &self.values[x.0];
         let d = *xv.shape().last().expect("layer_norm needs >=1-D");
         assert_eq!(self.values[gamma.0].shape(), &[d]);
         assert_eq!(self.values[beta.0].shape(), &[d]);
         let gv = self.values[gamma.0].data().to_vec();
         let bv = self.values[beta.0].data().to_vec();
-        let mut out = vec![0.0; xv.numel()];
+        let mut out = pool.take(xv.numel());
         for (row_idx, row) in xv.data().chunks(d).enumerate() {
             let mu: f64 = row.iter().sum::<f64>() / d as f64;
             let var: f64 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / d as f64;
@@ -260,14 +400,14 @@ impl Graph {
         self.push(
             v,
             vec![x.0, gamma.0, beta.0],
-            Some(Box::new(move |g, ps, _| {
+            Some(Box::new(move |g, ps, _, pool| {
                 let xv = ps[0];
                 let gv = ps[1].data();
                 let d = *xv.shape().last().unwrap();
                 let n = d as f64;
-                let mut dx = vec![0.0; xv.numel()];
-                let mut dgamma = vec![0.0; d];
-                let mut dbeta = vec![0.0; d];
+                let mut dx = pool.take(xv.numel());
+                let mut dgamma = pool.take(d);
+                let mut dbeta = pool.take(d);
                 for (row_idx, (row, grow)) in
                     xv.data().chunks(d).zip(g.data().chunks(d)).enumerate()
                 {
@@ -301,11 +441,12 @@ impl Graph {
 
     /// Mean over axis 1 of a 3-D tensor: `[B, S, D] -> [B, D]`.
     pub fn mean_axis1(&mut self, x: Var) -> Var {
+        let pool = &mut self.pool;
         let xv = &self.values[x.0];
         let s = xv.shape();
         assert_eq!(s.len(), 3, "mean_axis1 expects [B, S, D]");
         let (b, seq, d) = (s[0], s[1], s[2]);
-        let mut out = vec![0.0; b * d];
+        let mut out = pool.take(b * d);
         for bi in 0..b {
             for si in 0..seq {
                 let base = (bi * seq + si) * d;
@@ -321,8 +462,8 @@ impl Graph {
         self.push(
             v,
             vec![x.0],
-            Some(Box::new(move |g, _, _| {
-                let mut dx = vec![0.0; b * seq * d];
+            Some(Box::new(move |g, _, _, pool| {
+                let mut dx = pool.take(b * seq * d);
                 for bi in 0..b {
                     for si in 0..seq {
                         let base = (bi * seq + si) * d;
@@ -338,30 +479,76 @@ impl Graph {
 
     /// Concatenate two 2-D tensors along the last axis: `[R,A] ++ [R,B]`.
     pub fn concat_lastdim(&mut self, a: Var, b: Var) -> Var {
+        let pool = &mut self.pool;
         let av = &self.values[a.0];
         let bv = &self.values[b.0];
         assert_eq!(av.shape().len(), 2);
         assert_eq!(bv.shape().len(), 2);
         assert_eq!(av.shape()[0], bv.shape()[0], "row counts must match");
         let (r, ca, cb) = (av.shape()[0], av.shape()[1], bv.shape()[1]);
-        let mut out = Vec::with_capacity(r * (ca + cb));
+        let cw = ca + cb;
+        let mut out = pool.take(r * cw);
         for i in 0..r {
-            out.extend_from_slice(&av.data()[i * ca..(i + 1) * ca]);
-            out.extend_from_slice(&bv.data()[i * cb..(i + 1) * cb]);
+            out[i * cw..i * cw + ca].copy_from_slice(&av.data()[i * ca..(i + 1) * ca]);
+            out[i * cw + ca..(i + 1) * cw].copy_from_slice(&bv.data()[i * cb..(i + 1) * cb]);
         }
-        let v = Tensor::new(vec![r, ca + cb], out);
+        let v = Tensor::new(vec![r, cw], out);
         self.push(
             v,
             vec![a.0, b.0],
-            Some(Box::new(move |g, _, _| {
-                let mut da = Vec::with_capacity(r * ca);
-                let mut db = Vec::with_capacity(r * cb);
+            Some(Box::new(move |g, _, _, pool| {
+                let mut da = pool.take(r * ca);
+                let mut db = pool.take(r * cb);
                 for i in 0..r {
-                    let row = &g.data()[i * (ca + cb)..(i + 1) * (ca + cb)];
-                    da.extend_from_slice(&row[..ca]);
-                    db.extend_from_slice(&row[ca..]);
+                    let row = &g.data()[i * cw..(i + 1) * cw];
+                    da[i * ca..(i + 1) * ca].copy_from_slice(&row[..ca]);
+                    db[i * cb..(i + 1) * cb].copy_from_slice(&row[ca..]);
                 }
                 vec![Tensor::new(vec![r, ca], da), Tensor::new(vec![r, cb], db)]
+            })),
+        )
+    }
+
+    /// Prepend a single broadcast row `b` (`[B]` or `[1, B]`) to each row of
+    /// 2-D `a` `[R, A]`: `out[i] = b ++ a[i]`, shape `[R, B+A]`. Replaces
+    /// the tile-then-`concat_lastdim` pattern without materialising the
+    /// `[R, B]` tile; the backward for `b` sums the left slice over rows.
+    pub fn concat_broadcast_row(&mut self, b: Var, a: Var) -> Var {
+        let pool = &mut self.pool;
+        let av = &self.values[a.0];
+        let bv = &self.values[b.0];
+        assert_eq!(av.shape().len(), 2, "concat_broadcast_row rhs must be 2-D");
+        assert!(
+            bv.shape().len() == 1 || (bv.shape().len() == 2 && bv.shape()[0] == 1),
+            "broadcast row must be [B] or [1, B]"
+        );
+        let (r, ca) = (av.shape()[0], av.shape()[1]);
+        let cb = bv.numel();
+        let cw = cb + ca;
+        let mut out = pool.take(r * cw);
+        for i in 0..r {
+            out[i * cw..i * cw + cb].copy_from_slice(bv.data());
+            out[i * cw + cb..(i + 1) * cw].copy_from_slice(&av.data()[i * ca..(i + 1) * ca]);
+        }
+        let v = Tensor::new(vec![r, cw], out);
+        let bshape = bv.shape().to_vec();
+        self.push(
+            v,
+            vec![b.0, a.0],
+            Some(Box::new(move |g, _, _, pool| {
+                let mut db = pool.take(cb);
+                let mut da = pool.take(r * ca);
+                for i in 0..r {
+                    let row = &g.data()[i * cw..(i + 1) * cw];
+                    for (acc, &gg) in db.iter_mut().zip(&row[..cb]) {
+                        *acc += gg;
+                    }
+                    da[i * ca..(i + 1) * ca].copy_from_slice(&row[cb..]);
+                }
+                vec![
+                    Tensor::new(bshape.clone(), db),
+                    Tensor::new(vec![r, ca], da),
+                ]
             })),
         )
     }
@@ -373,7 +560,7 @@ impl Graph {
         self.push(
             Tensor::scalar(s),
             vec![a.0],
-            Some(Box::new(move |g, _, _| {
+            Some(Box::new(move |g, _, _, _| {
                 vec![Tensor::full(shape.clone(), g.item())]
             })),
         )
@@ -382,10 +569,27 @@ impl Graph {
     /// Weighted Huber loss (scalar): `Σ w_i·h_δ(p_i − t_i) / Σ w_i`.
     /// `target` and `weights` are plain tensors (non-differentiable).
     pub fn huber_loss(&mut self, pred: Var, target: &Tensor, weights: &Tensor, delta: f64) -> Var {
+        let wsum: f64 = weights.data().iter().sum();
+        self.huber_loss_norm(pred, target, weights, delta, wsum)
+    }
+
+    /// [`Graph::huber_loss`] normalised by an explicit weight sum instead of
+    /// the local one. Shards of a batch evaluated over disjoint row ranges
+    /// with `wsum` = Σw over the *full* batch produce losses (and gradients)
+    /// that sum exactly to the full-batch values — the contract the
+    /// data-parallel trainer relies on for bit-identical results.
+    pub fn huber_loss_norm(
+        &mut self,
+        pred: Var,
+        target: &Tensor,
+        weights: &Tensor,
+        delta: f64,
+        wsum: f64,
+    ) -> Var {
         let pv = &self.values[pred.0];
         assert_eq!(pv.numel(), target.numel(), "huber target size mismatch");
         assert_eq!(pv.numel(), weights.numel(), "huber weight size mismatch");
-        let wsum: f64 = weights.data().iter().sum::<f64>().max(f64::MIN_POSITIVE);
+        let wsum = wsum.max(f64::MIN_POSITIVE);
         let mut loss = 0.0;
         for ((&p, &t), &w) in pv.data().iter().zip(target.data()).zip(weights.data()) {
             let e = p - t;
@@ -400,15 +604,15 @@ impl Graph {
         self.push(
             Tensor::scalar(loss / wsum),
             vec![pred.0],
-            Some(Box::new(move |g, ps, _| {
+            Some(Box::new(move |g, ps, _, pool| {
                 let scale = g.item() / wsum;
-                let dp: Vec<f64> = ps[0]
-                    .data()
-                    .iter()
-                    .zip(target.data())
-                    .zip(weights.data())
-                    .map(|((&p, &t), &w)| w * scale * (p - t).clamp(-delta, delta))
-                    .collect();
+                let mut dp = pool.take(ps[0].numel());
+                for (o, ((&p, &t), &w)) in dp
+                    .iter_mut()
+                    .zip(ps[0].data().iter().zip(target.data()).zip(weights.data()))
+                {
+                    *o = w * scale * (p - t).clamp(-delta, delta);
+                }
                 vec![Tensor::new(ps[0].shape().to_vec(), dp)]
             })),
         )
@@ -417,38 +621,54 @@ impl Graph {
     /// Weighted MAPE loss in percent (scalar):
     /// `100 · Σ w_i·|p_i − t_i|/|t_i| / Σ w_i`, skipping `t_i = 0`.
     pub fn mape_loss(&mut self, pred: Var, target: &Tensor, weights: &Tensor) -> Var {
+        let wsum: f64 = target
+            .data()
+            .iter()
+            .zip(weights.data())
+            .filter(|(&t, _)| t != 0.0)
+            .map(|(_, &w)| w)
+            .sum();
+        self.mape_loss_norm(pred, target, weights, wsum)
+    }
+
+    /// [`Graph::mape_loss`] normalised by an explicit weight sum
+    /// (`wsum` = Σ w_i over the *full* batch where `t_i ≠ 0`) — the sharded
+    /// counterpart, see [`Graph::huber_loss_norm`].
+    pub fn mape_loss_norm(
+        &mut self,
+        pred: Var,
+        target: &Tensor,
+        weights: &Tensor,
+        wsum: f64,
+    ) -> Var {
         let pv = &self.values[pred.0];
         assert_eq!(pv.numel(), target.numel(), "mape target size mismatch");
         assert_eq!(pv.numel(), weights.numel(), "mape weight size mismatch");
-        let mut wsum = 0.0;
+        let wsum = wsum.max(f64::MIN_POSITIVE);
         let mut loss = 0.0;
         for ((&p, &t), &w) in pv.data().iter().zip(target.data()).zip(weights.data()) {
             if t != 0.0 {
-                wsum += w;
                 loss += w * ((p - t) / t).abs();
             }
         }
-        let wsum = wsum.max(f64::MIN_POSITIVE);
         let target = target.clone();
         let weights = weights.clone();
         self.push(
             Tensor::scalar(100.0 * loss / wsum),
             vec![pred.0],
-            Some(Box::new(move |g, ps, _| {
+            Some(Box::new(move |g, ps, _, pool| {
                 let scale = 100.0 * g.item() / wsum;
-                let dp: Vec<f64> = ps[0]
-                    .data()
-                    .iter()
-                    .zip(target.data())
-                    .zip(weights.data())
-                    .map(|((&p, &t), &w)| {
-                        if t == 0.0 {
-                            0.0
-                        } else {
-                            w * scale * (p - t).signum() / t.abs()
-                        }
-                    })
-                    .collect();
+                let mut dp = pool.take(ps[0].numel());
+                for (o, ((&p, &t), &w)) in dp
+                    .iter_mut()
+                    .zip(ps[0].data().iter().zip(target.data()).zip(weights.data()))
+                {
+                    *o = if t == 0.0 {
+                        0.0
+                    } else {
+                        w * scale * (p - t).signum() / t.abs()
+                    };
+                }
                 vec![Tensor::new(ps[0].shape().to_vec(), dp)]
             })),
         )
@@ -456,7 +676,12 @@ impl Graph {
 
     /// Run reverse-mode accumulation from `root` (which must be scalar) and
     /// return per-node gradients (None where no gradient flowed).
-    pub fn backward(&self, root: Var) -> Vec<Option<Tensor>> {
+    ///
+    /// Interior-node gradients are recycled into the pool as soon as their
+    /// backward closure has consumed them; only leaf gradients (and
+    /// gradients that never propagated further) survive in the returned
+    /// vector — which is all any caller reads.
+    pub fn backward(&mut self, root: Var) -> Vec<Option<Tensor>> {
         assert_eq!(
             self.values[root.0].numel(),
             1,
@@ -465,19 +690,24 @@ impl Graph {
         let mut grads: Vec<Option<Tensor>> = vec![None; self.values.len()];
         grads[root.0] = Some(Tensor::scalar(1.0));
         for idx in (0..=root.0).rev() {
-            let Some(ref g) = grads[idx] else { continue };
-            let Some(ref f) = self.back[idx] else {
+            if grads[idx].is_none() || self.back[idx].is_none() {
                 continue;
-            };
+            }
+            let g = grads[idx].as_ref().unwrap();
+            let f = self.back[idx].as_ref().unwrap();
             let parent_vals: Vec<&Tensor> =
                 self.parents[idx].iter().map(|&p| &self.values[p]).collect();
-            let parent_grads = f(g, &parent_vals, &self.values[idx]);
+            let parent_grads = f(g, &parent_vals, &self.values[idx], &mut self.pool);
             debug_assert_eq!(parent_grads.len(), self.parents[idx].len());
             for (p, pg) in self.parents[idx].clone().into_iter().zip(parent_grads) {
                 match &mut grads[p] {
                     Some(acc) => acc.add_assign(&pg),
                     slot @ None => *slot = Some(pg),
                 }
+            }
+            // This interior gradient is fully consumed — recycle its buffer.
+            if let Some(t) = grads[idx].take() {
+                self.pool.put(t.into_data());
             }
         }
         grads
@@ -688,6 +918,50 @@ mod tests {
     }
 
     #[test]
+    fn grad_concat_broadcast_row() {
+        // Gradient w.r.t. the matrix operand.
+        let row = t(&[3], &[0.4, -0.7, 0.2]);
+        grad_check(
+            {
+                let row = row.clone();
+                move |g, x| {
+                    let b = g.constant(row.clone());
+                    let c = g.concat_broadcast_row(b, x); // [2, 5]
+                    let c2 = g.mul(c, c);
+                    g.sum_all(c2)
+                }
+            },
+            t(&[2, 2], &[0.5, -1.0, 2.0, 0.3]),
+            1e-5,
+        );
+        // Gradient w.r.t. the broadcast row (summed over rows).
+        let a0 = t(&[3, 2], &[0.1, 0.2, -0.3, 0.4, 0.5, -0.6]);
+        grad_check(
+            move |g, b| {
+                let a = g.constant(a0.clone());
+                let c = g.concat_broadcast_row(b, a);
+                let c2 = g.mul(c, c);
+                g.sum_all(c2)
+            },
+            row,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn concat_broadcast_row_matches_tile_then_concat() {
+        let mut g = Graph::new();
+        let b = g.leaf(t(&[1, 2], &[7.0, 8.0]));
+        let a = g.leaf(t(&[2, 3], &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]));
+        let c = g.concat_broadcast_row(b, a);
+        assert_eq!(g.value(c).shape(), &[2, 5]);
+        assert_eq!(
+            g.value(c).data(),
+            &[7.0, 8.0, 1.0, 2.0, 3.0, 7.0, 8.0, 4.0, 5.0, 6.0]
+        );
+    }
+
+    #[test]
     fn grad_add_bias_permute_reshape() {
         grad_check(
             |g, x| {
@@ -750,6 +1024,83 @@ mod tests {
     }
 
     #[test]
+    fn sharded_norm_losses_sum_to_full_batch() {
+        // Split a batch in two; with the *global* normaliser, per-element
+        // gradients are bitwise identical to the full-batch ones (same
+        // formula, same normaliser), and shard losses sum to the full-batch
+        // loss up to reassociation rounding (~1e-16 relative).
+        let preds = [1.2, 1.5, 6.0, -1.0, 2.5, 3.0];
+        let targets = [1.0, 2.0, 3.0, 4.0, 2.0, 0.0];
+        let weights = [1.0, 2.0, 1.0, 0.5, 1.5, 1.0];
+        let full_wsum: f64 = weights.iter().sum();
+        let mape_wsum: f64 = targets
+            .iter()
+            .zip(&weights)
+            .filter(|(&t, _)| t != 0.0)
+            .map(|(_, &w)| w)
+            .sum();
+
+        let full = {
+            let mut g = Graph::new();
+            let p = g.leaf(t(&[6], &preds));
+            let l = g.huber_loss(p, &t(&[6], &targets), &t(&[6], &weights), 1.0);
+            let lv = g.value(l).item();
+            let grads = g.backward(l);
+            (lv, grads[p.0].clone().unwrap())
+        };
+        let mut shard_loss = 0.0;
+        let mut shard_grad = Vec::new();
+        for range in [0..3, 3..6] {
+            let mut g = Graph::new();
+            let p = g.leaf(t(&[3], &preds[range.clone()]));
+            let l = g.huber_loss_norm(
+                p,
+                &t(&[3], &targets[range.clone()]),
+                &t(&[3], &weights[range.clone()]),
+                1.0,
+                full_wsum,
+            );
+            shard_loss += g.value(l).item();
+            let grads = g.backward(l);
+            shard_grad.extend_from_slice(grads[p.0].as_ref().unwrap().data());
+        }
+        assert!(
+            (shard_loss - full.0).abs() <= 1e-12 * (1.0 + full.0.abs()),
+            "huber shard losses must sum to the full-batch loss"
+        );
+        assert_eq!(shard_grad, full.1.data(), "huber shard grads must match");
+
+        let full = {
+            let mut g = Graph::new();
+            let p = g.leaf(t(&[6], &preds));
+            let l = g.mape_loss(p, &t(&[6], &targets), &t(&[6], &weights));
+            let lv = g.value(l).item();
+            let grads = g.backward(l);
+            (lv, grads[p.0].clone().unwrap())
+        };
+        let mut shard_loss = 0.0;
+        let mut shard_grad = Vec::new();
+        for range in [0..3, 3..6] {
+            let mut g = Graph::new();
+            let p = g.leaf(t(&[3], &preds[range.clone()]));
+            let l = g.mape_loss_norm(
+                p,
+                &t(&[3], &targets[range.clone()]),
+                &t(&[3], &weights[range.clone()]),
+                mape_wsum,
+            );
+            shard_loss += g.value(l).item();
+            let grads = g.backward(l);
+            shard_grad.extend_from_slice(grads[p.0].as_ref().unwrap().data());
+        }
+        assert!(
+            (shard_loss - full.0).abs() <= 1e-12 * (1.0 + full.0.abs()),
+            "mape shard losses must sum to the full-batch loss"
+        );
+        assert_eq!(shard_grad, full.1.data(), "mape shard grads must match");
+    }
+
+    #[test]
     fn gradient_accumulates_across_uses() {
         // y = x + x => dy/dx = 2
         let mut g = Graph::new();
@@ -767,5 +1118,46 @@ mod tests {
         let y = g.mul(x, x);
         let grads = g.backward(y);
         assert!(grads[unrelated.0].is_none());
+    }
+
+    #[test]
+    fn reset_recycles_buffers_and_results_are_identical() {
+        let build = |g: &mut Graph| {
+            let x = g.leaf(t(&[2, 3], &[0.5, -1.0, 2.0, 0.3, 0.7, -0.2]));
+            let w = g.leaf(t(&[3, 2], &[0.3, -0.1, 0.5, 0.2, 0.7, -0.4]));
+            let y = g.matmul(x, w);
+            let y2 = g.mul(y, y);
+            let l = g.sum_all(y2);
+            let lv = g.value(l).item();
+            let grads = g.backward(l);
+            (lv, grads[w.0].clone().unwrap())
+        };
+        let mut g = Graph::new();
+        let (l1, gw1) = build(&mut g);
+        g.reset();
+        assert!(g.is_empty());
+        assert!(
+            g.pool_mut().pooled() > 0,
+            "reset must repool tensor buffers"
+        );
+        let (l2, gw2) = build(&mut g);
+        assert_eq!(l1, l2);
+        assert_eq!(gw1.data(), gw2.data());
+    }
+
+    #[test]
+    fn buffer_pool_reuses_exact_lengths() {
+        let mut pool = BufferPool::new();
+        let mut b = pool.take(16);
+        b[3] = 7.0;
+        pool.put(b);
+        assert_eq!(pool.pooled(), 1);
+        let b2 = pool.take(16);
+        assert_eq!(b2.len(), 16);
+        assert!(b2.iter().all(|&x| x == 0.0), "reused buffers are zeroed");
+        assert_eq!(pool.pooled(), 0);
+        // Different length misses the pool.
+        let b3 = pool.take(8);
+        assert_eq!(b3.len(), 8);
     }
 }

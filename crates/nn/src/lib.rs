@@ -23,14 +23,15 @@ pub mod serialize;
 pub mod tensor;
 
 pub use data::{gather_rows, shuffled_batches, Standardizer};
-pub use graph::{Graph, Var};
+pub use graph::{BufferPool, Graph, Var};
 pub use init::{normal_init, xavier_uniform, InitRng};
 pub use layers::{
     add_positional, positional_encoding, Binder, EncoderLayer, LayerNorm, Linear, Module,
     MultiHeadAttention, TransformerEncoder,
 };
-pub use optim::Adam;
+pub use optim::{tree_reduce_grads, Adam};
 pub use serialize::{load_into, Checkpoint};
 pub use tensor::{
-    bmm, bmm_nt, bmm_tn, matmul2d, permute_0213, softmax_lastdim, transpose_last2, Tensor,
+    bmm, bmm_naive, bmm_nt, bmm_nt_naive, bmm_tn, bmm_tn_naive, matmul2d, matmul2d_naive,
+    matmul2d_nt, matmul2d_tn, permute_0213, softmax_lastdim, transpose_last2, Tensor,
 };

@@ -1,7 +1,33 @@
 //! Optimisers: Adam (Kingma & Ba), as used by the paper (lr 1e-3), with
-//! optional global-norm gradient clipping.
+//! optional global-norm gradient clipping, plus the fixed-order gradient
+//! tree reduction used by the data-parallel trainer.
 
 use crate::tensor::Tensor;
+
+/// Reduce per-shard gradient sets (`shards[s][p]` = shard `s`'s gradient for
+/// parameter `p`) into their sum by pairwise rounds in fixed shard order:
+/// `(0+1), (2+3), …` then again on the halved list. The reduction order
+/// depends only on the shard count — never on thread scheduling — so the
+/// summed gradients are bit-identical whether the shards ran serially or in
+/// parallel.
+pub fn tree_reduce_grads(mut shards: Vec<Vec<Tensor>>) -> Vec<Tensor> {
+    assert!(!shards.is_empty(), "tree_reduce_grads needs >=1 shard");
+    while shards.len() > 1 {
+        let mut next = Vec::with_capacity(shards.len().div_ceil(2));
+        let mut it = shards.into_iter();
+        while let Some(mut a) = it.next() {
+            if let Some(b) = it.next() {
+                assert_eq!(a.len(), b.len(), "shard gradient sets must align");
+                for (x, y) in a.iter_mut().zip(&b) {
+                    x.add_assign(y);
+                }
+            }
+            next.push(a);
+        }
+        shards = next;
+    }
+    shards.pop().unwrap()
+}
 
 /// Adam with bias correction.
 pub struct Adam {
@@ -161,5 +187,40 @@ mod tests {
         let mut x = Tensor::scalar(0.0);
         let mut adam = Adam::new(0.1);
         adam.step(&mut [&mut x], &[]);
+    }
+
+    #[test]
+    fn tree_reduce_sums_all_shards() {
+        // 5 shards (odd count exercises the carry-over branch), 2 params.
+        let shards: Vec<Vec<Tensor>> = (0..5)
+            .map(|s| {
+                vec![
+                    Tensor::from_vec(vec![s as f64, 2.0 * s as f64]),
+                    Tensor::scalar(10.0 * s as f64),
+                ]
+            })
+            .collect();
+        let sum = tree_reduce_grads(shards);
+        assert_eq!(sum[0].data(), &[10.0, 20.0]); // 0+1+2+3+4
+        assert_eq!(sum[1].item(), 100.0);
+    }
+
+    #[test]
+    fn tree_reduce_order_is_shard_count_only() {
+        // The same shard values always reduce through the same tree, so the
+        // result is a pure function of the shard list.
+        let mk = || {
+            (0..4)
+                .map(|s| {
+                    vec![Tensor::from_vec(vec![
+                        0.1 * s as f64 + 0.7,
+                        1e-9 * s as f64,
+                    ])]
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = tree_reduce_grads(mk());
+        let b = tree_reduce_grads(mk());
+        assert_eq!(a[0].data(), b[0].data());
     }
 }

@@ -1,8 +1,16 @@
 //! Dense row-major `f64` tensors and the raw compute kernels the autograd
-//! graph wraps. Kernels are deliberately simple loops written so the
-//! compiler can vectorise the innermost dimension; the batched matmul —
-//! the transformer's hot path — parallelises over the batch with rayon.
+//! graph wraps.
+//!
+//! Matmul-family kernels (`matmul2d`, `bmm`, `bmm_nt`, `bmm_tn`) dispatch
+//! to the packed, register-tiled [`dbat_linalg::gemm`] engine when the
+//! problem is large enough to amortise packing, falling back to the naive
+//! triple loops for tiny operands. The naive loops are kept as `*_naive`
+//! reference implementations: the property-test suite asserts the packed
+//! path matches them within 1e-12 across ragged shapes. `*_into` variants
+//! write into caller-provided buffers so the autograd graph can recycle
+//! allocations across forward passes.
 
+use dbat_linalg::gemm::{gemm, gemm_worthwhile, Layout};
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -70,6 +78,11 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consume the tensor and return its backing buffer (for pooled reuse).
+    pub fn into_data(self) -> Vec<f64> {
+        self.data
+    }
+
     /// The single value of a scalar tensor.
     pub fn item(&self) -> f64 {
         assert_eq!(self.numel(), 1, "item() requires a single-element tensor");
@@ -125,14 +138,135 @@ impl Tensor {
     }
 }
 
-/// 2-D matmul: `[m, k] @ [k, n] -> [m, n]`, rayon-parallel over row chunks
-/// for larger operands.
-pub fn matmul2d(a: &Tensor, b: &Tensor) -> Tensor {
+fn matmul2d_dims(a: &Tensor, b: &Tensor) -> (usize, usize, usize) {
     assert_eq!(a.shape().len(), 2, "matmul2d lhs must be 2-D");
     assert_eq!(b.shape().len(), 2, "matmul2d rhs must be 2-D");
     let (m, k) = (a.shape()[0], a.shape()[1]);
     let (k2, n) = (b.shape()[0], b.shape()[1]);
     assert_eq!(k, k2, "matmul2d inner dimensions differ: {k} vs {k2}");
+    (m, n, k)
+}
+
+/// 2-D matmul: `[m, k] @ [k, n] -> [m, n]`. Packed register-tiled kernel
+/// (rayon-parallel over row blocks) above a size threshold, naive below.
+pub fn matmul2d(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n, _) = matmul2d_dims(a, b);
+    let mut out = vec![0.0; m * n];
+    matmul2d_into(a, b, &mut out);
+    Tensor::new(vec![m, n], out)
+}
+
+/// As [`matmul2d`], writing into a zeroed caller buffer of length `m * n`.
+pub fn matmul2d_into(a: &Tensor, b: &Tensor, out: &mut [f64]) {
+    let (m, n, k) = matmul2d_dims(a, b);
+    assert_eq!(out.len(), m * n, "matmul2d output buffer size mismatch");
+    if gemm_worthwhile(m, n, k) {
+        gemm(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::Normal,
+            b.data(),
+            Layout::Normal,
+            out,
+        );
+    } else {
+        naive_gemm_acc(m, n, k, a.data(), b.data(), out);
+    }
+}
+
+/// 2-D matmul with the right operand transposed: `[m, k] @ [n, k]ᵀ`.
+/// The `dA = G·Bᵀ` backward of [`matmul2d`], without materialising `Bᵀ`.
+pub fn matmul2d_nt(a: &Tensor, bt: &Tensor) -> Tensor {
+    let m = a.shape()[0];
+    let n = bt.shape()[0];
+    let mut out = vec![0.0; m * n];
+    matmul2d_nt_into(a, bt, &mut out);
+    Tensor::new(vec![m, n], out)
+}
+
+/// As [`matmul2d_nt`], writing into a zeroed caller buffer of length `m * n`.
+pub fn matmul2d_nt_into(a: &Tensor, bt: &Tensor, out: &mut [f64]) {
+    assert_eq!(a.shape().len(), 2, "matmul2d_nt lhs must be 2-D");
+    assert_eq!(bt.shape().len(), 2, "matmul2d_nt rhs must be 2-D");
+    let (m, k) = (a.shape()[0], a.shape()[1]);
+    let (n, k2) = (bt.shape()[0], bt.shape()[1]);
+    assert_eq!(k, k2, "matmul2d_nt inner dimensions differ: {k} vs {k2}");
+    assert_eq!(out.len(), m * n, "matmul2d_nt output buffer size mismatch");
+    if gemm_worthwhile(m, n, k) {
+        gemm(
+            m,
+            n,
+            k,
+            a.data(),
+            Layout::Normal,
+            bt.data(),
+            Layout::Transposed,
+            out,
+        );
+    } else {
+        // Dot products over contiguous rows of A and Bᵀ.
+        for (i, orow) in out.chunks_mut(n.max(1)).enumerate().take(m) {
+            let arow = &a.data()[i * k..(i + 1) * k];
+            for (o, brow) in orow.iter_mut().zip(bt.data().chunks_exact(k.max(1))) {
+                *o = arow.iter().zip(brow).map(|(&x, &y)| x * y).sum();
+            }
+        }
+    }
+}
+
+/// 2-D matmul with the left operand transposed: `[k, m]ᵀ @ [k, n]`.
+/// The `dB = Aᵀ·G` backward of [`matmul2d`], without materialising `Aᵀ`.
+pub fn matmul2d_tn(at: &Tensor, b: &Tensor) -> Tensor {
+    let m = at.shape()[1];
+    let n = b.shape()[1];
+    let mut out = vec![0.0; m * n];
+    matmul2d_tn_into(at, b, &mut out);
+    Tensor::new(vec![m, n], out)
+}
+
+/// As [`matmul2d_tn`], writing into a zeroed caller buffer of length `m * n`.
+pub fn matmul2d_tn_into(at: &Tensor, b: &Tensor, out: &mut [f64]) {
+    assert_eq!(at.shape().len(), 2, "matmul2d_tn lhs must be 2-D");
+    assert_eq!(b.shape().len(), 2, "matmul2d_tn rhs must be 2-D");
+    let (k, m) = (at.shape()[0], at.shape()[1]);
+    let (k2, n) = (b.shape()[0], b.shape()[1]);
+    assert_eq!(k, k2, "matmul2d_tn inner dimensions differ: {k} vs {k2}");
+    assert_eq!(out.len(), m * n, "matmul2d_tn output buffer size mismatch");
+    if gemm_worthwhile(m, n, k) {
+        gemm(
+            m,
+            n,
+            k,
+            at.data(),
+            Layout::Transposed,
+            b.data(),
+            Layout::Normal,
+            out,
+        );
+    } else {
+        // Sum of rank-1 updates with contiguous inner rows.
+        for p in 0..k {
+            let arow = &at.data()[p * m..(p + 1) * m];
+            let brow = &b.data()[p * n..(p + 1) * n];
+            for (i, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut out[i * n..(i + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+}
+
+/// Reference 2-D matmul: the naive rayon-parallel `ikj` triple loop the
+/// packed kernel is property-tested against.
+pub fn matmul2d_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, n, k) = matmul2d_dims(a, b);
     let mut out = vec![0.0; m * n];
     let ad = a.data();
     let bd = b.data();
@@ -160,106 +294,221 @@ pub fn matmul2d(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::new(vec![m, n], out)
 }
 
-/// Batched matmul: `[N, a, b] @ [N, b, c] -> [N, a, c]`, parallel over `N`.
+/// Naive accumulating `ikj` kernel into a zeroed buffer (serial).
+fn naive_gemm_acc(m: usize, n: usize, k: usize, ad: &[f64], bd: &[f64], out: &mut [f64]) {
+    for (i, row) in out.chunks_mut(n.max(1)).enumerate().take(m) {
+        for p in 0..k {
+            let aip = ad[i * k + p];
+            if aip == 0.0 {
+                continue;
+            }
+            let brow = &bd[p * n..(p + 1) * n];
+            for (o, &bv) in row.iter_mut().zip(brow) {
+                *o += aip * bv;
+            }
+        }
+    }
+}
+
+fn bmm_dims(a: &Tensor, b: &Tensor, name: &str) -> (usize, usize, usize, usize) {
+    assert_eq!(a.shape().len(), 3, "{name} lhs must be 3-D");
+    assert_eq!(b.shape().len(), 3, "{name} rhs must be 3-D");
+    let n = a.shape()[0];
+    assert_eq!(n, b.shape()[0], "{name} batch dimensions differ");
+    (n, a.shape()[1], a.shape()[2], b.shape()[2])
+}
+
+/// Batched matmul: `[N, r, k] @ [N, k, c] -> [N, r, c]`, parallel over `N`,
+/// each batch on the packed kernel when large enough.
 pub fn bmm(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().len(), 3, "bmm lhs must be 3-D");
-    assert_eq!(b.shape().len(), 3, "bmm rhs must be 3-D");
-    let (n, r, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
-    let (n2, k2, c) = (b.shape()[0], b.shape()[1], b.shape()[2]);
-    assert_eq!(n, n2, "bmm batch dimensions differ");
-    assert_eq!(k, k2, "bmm inner dimensions differ");
+    let (n, r, k, c) = bmm_dims(a, b, "bmm");
+    assert_eq!(k, b.shape()[1], "bmm inner dimensions differ");
     let mut out = vec![0.0; n * r * c];
+    bmm_into(a, b, &mut out);
+    Tensor::new(vec![n, r, c], out)
+}
+
+/// As [`bmm`], writing into a zeroed caller buffer of length `N * r * c`.
+pub fn bmm_into(a: &Tensor, b: &Tensor, out: &mut [f64]) {
+    let (n, r, k, c) = bmm_dims(a, b, "bmm");
+    assert_eq!(k, b.shape()[1], "bmm inner dimensions differ");
+    assert_eq!(out.len(), n * r * c, "bmm output buffer size mismatch");
     let ad = a.data();
     let bd = b.data();
-    out.par_chunks_mut(r * c)
+    let packed = gemm_worthwhile(r, c, k);
+    out.par_chunks_mut((r * c).max(1))
         .enumerate()
         .for_each(|(i, chunk)| {
             let ab = &ad[i * r * k..(i + 1) * r * k];
             let bb = &bd[i * k * c..(i + 1) * k * c];
-            for row in 0..r {
-                let orow = &mut chunk[row * c..(row + 1) * c];
-                for p in 0..k {
-                    let av = ab[row * k + p];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let brow = &bb[p * c..(p + 1) * c];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
-                    }
-                }
+            if packed {
+                gemm(r, c, k, ab, Layout::Normal, bb, Layout::Normal, chunk);
+            } else {
+                naive_gemm_acc(r, c, k, ab, bb, chunk);
             }
         });
-    Tensor::new(vec![n, r, c], out)
 }
 
 /// Batched matmul with the right operand transposed:
-/// `[N, r, k] @ [N, c, k]ᵀ -> [N, r, c]`. The inner loop is a dot product
-/// over two contiguous rows — the preferred kernel for attention scores
-/// (`Q Kᵀ`) and for the `dA = G Bᵀ` backward, avoiding materialised
-/// transposes.
+/// `[N, r, k] @ [N, c, k]ᵀ -> [N, r, c]` — attention scores (`Q Kᵀ`) and
+/// the `dA = G Bᵀ` backward, without materialised transposes.
 pub fn bmm_nt(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().len(), 3, "bmm_nt lhs must be 3-D");
-    assert_eq!(b.shape().len(), 3, "bmm_nt rhs must be 3-D");
-    let (n, r, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
-    let (n2, c, k2) = (b.shape()[0], b.shape()[1], b.shape()[2]);
-    assert_eq!(n, n2, "bmm_nt batch dimensions differ");
-    assert_eq!(k, k2, "bmm_nt inner dimensions differ");
+    let (n, r, k, _) = bmm_dims(a, b, "bmm_nt");
+    let c = b.shape()[1];
+    assert_eq!(k, b.shape()[2], "bmm_nt inner dimensions differ");
     let mut out = vec![0.0; n * r * c];
+    bmm_nt_into(a, b, &mut out);
+    Tensor::new(vec![n, r, c], out)
+}
+
+/// As [`bmm_nt`], writing into a zeroed caller buffer.
+pub fn bmm_nt_into(a: &Tensor, b: &Tensor, out: &mut [f64]) {
+    let (n, r, k, _) = bmm_dims(a, b, "bmm_nt");
+    let c = b.shape()[1];
+    assert_eq!(k, b.shape()[2], "bmm_nt inner dimensions differ");
+    assert_eq!(out.len(), n * r * c, "bmm_nt output buffer size mismatch");
     let ad = a.data();
     let bd = b.data();
-    out.par_chunks_mut(r * c)
+    let packed = gemm_worthwhile(r, c, k);
+    out.par_chunks_mut((r * c).max(1))
         .enumerate()
         .for_each(|(i, chunk)| {
             let ab = &ad[i * r * k..(i + 1) * r * k];
             let bb = &bd[i * c * k..(i + 1) * c * k];
-            for row in 0..r {
-                let arow = &ab[row * k..(row + 1) * k];
-                let orow = &mut chunk[row * c..(row + 1) * c];
-                for (o, brow) in orow.iter_mut().zip(bb.chunks_exact(k)) {
-                    let mut acc = 0.0;
-                    for (&x, &y) in arow.iter().zip(brow) {
-                        acc += x * y;
+            if packed {
+                gemm(r, c, k, ab, Layout::Normal, bb, Layout::Transposed, chunk);
+            } else {
+                for row in 0..r {
+                    let arow = &ab[row * k..(row + 1) * k];
+                    let orow = &mut chunk[row * c..(row + 1) * c];
+                    for (o, brow) in orow.iter_mut().zip(bb.chunks_exact(k.max(1))) {
+                        let mut acc = 0.0;
+                        for (&x, &y) in arow.iter().zip(brow) {
+                            acc += x * y;
+                        }
+                        *o = acc;
                     }
-                    *o = acc;
                 }
             }
         });
+}
+
+/// Reference batched `A·Bᵀ`: row-dot-product loops, kept for equivalence
+/// testing against the packed path.
+pub fn bmm_nt_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, r, k, _) = bmm_dims(a, b, "bmm_nt");
+    let c = b.shape()[1];
+    assert_eq!(k, b.shape()[2], "bmm_nt inner dimensions differ");
+    let mut out = vec![0.0; n * r * c];
+    let ad = a.data();
+    let bd = b.data();
+    for (i, chunk) in out.chunks_mut((r * c).max(1)).enumerate() {
+        let ab = &ad[i * r * k..(i + 1) * r * k];
+        let bb = &bd[i * c * k..(i + 1) * c * k];
+        for row in 0..r {
+            let arow = &ab[row * k..(row + 1) * k];
+            let orow = &mut chunk[row * c..(row + 1) * c];
+            for (o, brow) in orow.iter_mut().zip(bb.chunks_exact(k.max(1))) {
+                let mut acc = 0.0;
+                for (&x, &y) in arow.iter().zip(brow) {
+                    acc += x * y;
+                }
+                *o = acc;
+            }
+        }
+    }
     Tensor::new(vec![n, r, c], out)
 }
 
 /// Batched matmul with the left operand transposed:
-/// `[N, k, r]ᵀ @ [N, k, c] -> [N, r, c]`, computed as a sum of rank-1
-/// updates with a contiguous inner loop — the `dB = Aᵀ G` backward kernel.
+/// `[N, k, r]ᵀ @ [N, k, c] -> [N, r, c]` — the `dB = Aᵀ G` backward kernel.
 pub fn bmm_tn(a: &Tensor, b: &Tensor) -> Tensor {
-    assert_eq!(a.shape().len(), 3, "bmm_tn lhs must be 3-D");
-    assert_eq!(b.shape().len(), 3, "bmm_tn rhs must be 3-D");
-    let (n, k, r) = (a.shape()[0], a.shape()[1], a.shape()[2]);
-    let (n2, k2, c) = (b.shape()[0], b.shape()[1], b.shape()[2]);
-    assert_eq!(n, n2, "bmm_tn batch dimensions differ");
-    assert_eq!(k, k2, "bmm_tn inner dimensions differ");
+    let (n, k, r, c) = bmm_dims(a, b, "bmm_tn");
+    assert_eq!(k, b.shape()[1], "bmm_tn inner dimensions differ");
     let mut out = vec![0.0; n * r * c];
+    bmm_tn_into(a, b, &mut out);
+    Tensor::new(vec![n, r, c], out)
+}
+
+/// As [`bmm_tn`], writing into a zeroed caller buffer.
+pub fn bmm_tn_into(a: &Tensor, b: &Tensor, out: &mut [f64]) {
+    let (n, k, r, c) = bmm_dims(a, b, "bmm_tn");
+    assert_eq!(k, b.shape()[1], "bmm_tn inner dimensions differ");
+    assert_eq!(out.len(), n * r * c, "bmm_tn output buffer size mismatch");
     let ad = a.data();
     let bd = b.data();
-    out.par_chunks_mut(r * c)
+    let packed = gemm_worthwhile(r, c, k);
+    out.par_chunks_mut((r * c).max(1))
         .enumerate()
         .for_each(|(i, chunk)| {
             let ab = &ad[i * k * r..(i + 1) * k * r];
             let bb = &bd[i * k * c..(i + 1) * k * c];
-            for kk in 0..k {
-                let arow = &ab[kk * r..(kk + 1) * r];
-                let brow = &bb[kk * c..(kk + 1) * c];
-                for (row, &av) in arow.iter().enumerate() {
-                    if av == 0.0 {
-                        continue;
-                    }
-                    let orow = &mut chunk[row * c..(row + 1) * c];
-                    for (o, &bv) in orow.iter_mut().zip(brow) {
-                        *o += av * bv;
+            if packed {
+                gemm(r, c, k, ab, Layout::Transposed, bb, Layout::Normal, chunk);
+            } else {
+                for kk in 0..k {
+                    let arow = &ab[kk * r..(kk + 1) * r];
+                    let brow = &bb[kk * c..(kk + 1) * c];
+                    for (row, &av) in arow.iter().enumerate() {
+                        if av == 0.0 {
+                            continue;
+                        }
+                        let orow = &mut chunk[row * c..(row + 1) * c];
+                        for (o, &bv) in orow.iter_mut().zip(brow) {
+                            *o += av * bv;
+                        }
                     }
                 }
             }
         });
+}
+
+/// Reference batched `Aᵀ·B`: rank-1 update loops, kept for equivalence
+/// testing against the packed path.
+pub fn bmm_tn_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, k, r, c) = bmm_dims(a, b, "bmm_tn");
+    assert_eq!(k, b.shape()[1], "bmm_tn inner dimensions differ");
+    let mut out = vec![0.0; n * r * c];
+    let ad = a.data();
+    let bd = b.data();
+    for (i, chunk) in out.chunks_mut((r * c).max(1)).enumerate() {
+        let ab = &ad[i * k * r..(i + 1) * k * r];
+        let bb = &bd[i * k * c..(i + 1) * k * c];
+        for kk in 0..k {
+            let arow = &ab[kk * r..(kk + 1) * r];
+            let brow = &bb[kk * c..(kk + 1) * c];
+            for (row, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let orow = &mut chunk[row * c..(row + 1) * c];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+    }
+    Tensor::new(vec![n, r, c], out)
+}
+
+/// Reference batched matmul: naive loops over every batch, kept for
+/// equivalence testing against the packed path.
+pub fn bmm_naive(a: &Tensor, b: &Tensor) -> Tensor {
+    let (n, r, k, c) = bmm_dims(a, b, "bmm");
+    assert_eq!(k, b.shape()[1], "bmm inner dimensions differ");
+    let mut out = vec![0.0; n * r * c];
+    let ad = a.data();
+    let bd = b.data();
+    for (i, chunk) in out.chunks_mut((r * c).max(1)).enumerate() {
+        naive_gemm_acc(
+            r,
+            c,
+            k,
+            &ad[i * r * k..(i + 1) * r * k],
+            &bd[i * k * c..(i + 1) * k * c],
+            chunk,
+        );
+    }
     Tensor::new(vec![n, r, c], out)
 }
 

@@ -1,14 +1,61 @@
 //! Property-based tests for tensors, kernels, and autograd invariants.
 
 use dbat_nn::{
-    bmm, bmm_nt, bmm_tn, matmul2d, softmax_lastdim, transpose_last2, Binder, Graph, InitRng,
-    LayerNorm, Linear, Module, Standardizer, Tensor,
+    bmm, bmm_naive, bmm_nt, bmm_nt_naive, bmm_tn, bmm_tn_naive, matmul2d, matmul2d_naive,
+    matmul2d_nt, matmul2d_tn, softmax_lastdim, transpose_last2, Binder, Graph, InitRng, LayerNorm,
+    Linear, Module, Standardizer, Tensor,
 };
 use proptest::prelude::*;
 
 fn tensor(shape: Vec<usize>) -> impl Strategy<Value = Tensor> {
     let n: usize = shape.iter().product();
     prop::collection::vec(-3.0f64..3.0, n).prop_map(move |v| Tensor::new(shape.clone(), v))
+}
+
+/// Ragged matmul operand pair `[m,k] x [k,n]`: dims straddle the packed
+/// kernel's register-tile sizes (MR=4, NR=8) and the `gemm_worthwhile`
+/// dispatch threshold, so both the packed and the naive path get exercised.
+fn matmul_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (
+        1usize..48,
+        1usize..24,
+        1usize..24,
+        prop::collection::vec(-3.0f64..3.0, 48 * 24 + 24 * 24),
+    )
+        .prop_map(|(m, n, k, data)| {
+            let a = Tensor::new(vec![m, k], data[..m * k].to_vec());
+            let b = Tensor::new(vec![k, n], data[m * k..m * k + k * n].to_vec());
+            (a, b)
+        })
+}
+
+/// Ragged batched operand pair `[b,r,k] x [b,k,c]` for bmm.
+fn bmm_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
+    (
+        1usize..5,
+        1usize..20,
+        1usize..12,
+        1usize..12,
+        prop::collection::vec(-3.0f64..3.0, 4 * 19 * 11 + 4 * 11 * 11),
+    )
+        .prop_map(|(b, r, k, c, data)| {
+            let a = Tensor::new(vec![b, r, k], data[..b * r * k].to_vec());
+            let bb = Tensor::new(
+                vec![b, k, c],
+                data[b * r * k..b * r * k + b * k * c].to_vec(),
+            );
+            (a, bb)
+        })
+}
+
+fn assert_close(packed: &Tensor, naive: &Tensor, tol: f64) {
+    assert_eq!(packed.shape(), naive.shape());
+    for (x, y) in packed.data().iter().zip(naive.data()) {
+        assert!(
+            (x - y).abs() <= tol * (1.0 + y.abs()),
+            "packed {x} vs naive {y}"
+        );
+    }
 }
 
 proptest! {
@@ -123,11 +170,85 @@ proptest! {
     }
 
     #[test]
+    fn packed_matmul2d_matches_naive(ab in matmul_pair()) {
+        let (a, b) = ab;
+        assert_close(&matmul2d(&a, &b), &matmul2d_naive(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn packed_matmul2d_nt_matches_naive(ab in matmul_pair()) {
+        // [m,k] @ [n,k]ᵀ — build the NT operand by transposing b.
+        let (a, b) = ab;
+        let bt = transpose_last2(&b);
+        assert_close(&matmul2d_nt(&a, &bt), &matmul2d_naive(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn packed_matmul2d_tn_matches_naive(ab in matmul_pair()) {
+        // [k,m]ᵀ @ [k,n] — build the TN operand by transposing a.
+        let (a, b) = ab;
+        let at = transpose_last2(&a);
+        assert_close(&matmul2d_tn(&at, &b), &matmul2d_naive(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn packed_bmm_matches_naive(ab in bmm_pair()) {
+        let (a, b) = ab;
+        assert_close(&bmm(&a, &b), &bmm_naive(&a, &b), 1e-12);
+    }
+
+    #[test]
+    fn packed_bmm_nt_matches_naive(ab in bmm_pair()) {
+        let (a, b) = ab;
+        let bt = transpose_last2(&b);
+        assert_close(&bmm_nt(&a, &bt), &bmm_nt_naive(&a, &bt), 1e-12);
+    }
+
+    #[test]
+    fn packed_bmm_tn_matches_naive(ab in bmm_pair()) {
+        let (a, b) = ab;
+        let at = transpose_last2(&a);
+        assert_close(&bmm_tn(&at, &b), &bmm_tn_naive(&at, &b), 1e-12);
+    }
+
+    #[test]
     fn module_param_order_stable(seed in 0u64..1000) {
         let lin = Linear::new(3, 2, &mut InitRng::new(seed));
         let params = lin.parameters();
         prop_assert_eq!(params[0].shape(), &[3, 2]);
         prop_assert_eq!(params[1].shape(), &[2]);
         prop_assert_eq!(lin.num_parameters(), 8);
+    }
+}
+
+/// Deterministic sweep over dims that sit exactly on and around the packed
+/// kernel's tile edges (MR=4, NR=8 full panels, NR4=4 narrow panels), so
+/// every remainder-handling branch is covered regardless of what proptest
+/// happens to generate.
+#[test]
+fn packed_kernels_match_naive_on_tile_edges() {
+    let dims = [1usize, 3, 4, 5, 7, 8, 9, 16, 17, 33];
+    let fill = |shape: Vec<usize>, seed: usize| {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|i| (((i * 2654435761 + seed * 40503) % 1000) as f64 - 500.0) / 250.0)
+            .collect();
+        Tensor::new(shape, data)
+    };
+    for &m in &dims {
+        for &n in &dims {
+            for &k in &dims {
+                let a = fill(vec![m, k], m + 7 * n);
+                let b = fill(vec![k, n], k + 13 * m);
+                let packed = matmul2d(&a, &b);
+                let naive = matmul2d_naive(&a, &b);
+                for (x, y) in packed.data().iter().zip(naive.data()) {
+                    assert!(
+                        (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
+                        "matmul2d {m}x{k}x{n}: packed {x} vs naive {y}"
+                    );
+                }
+            }
+        }
     }
 }
