@@ -91,9 +91,12 @@ pub struct Surrogate {
     pub seq_std: Standardizer,
     /// Standardiser for the (M, B, T) features.
     pub feat_std: Standardizer,
-    /// Scratch autograd tape reused across forward passes; its buffer pool
-    /// makes repeated same-shaped predictions allocation-free.
-    scratch: Mutex<Graph>,
+    /// Pool of scratch autograd tapes reused across forward passes; each
+    /// caller checks one out for the duration of its pass, so concurrent
+    /// inference keeps every warmed buffer pool instead of the last writer
+    /// overwriting the rest. Repeated same-shaped predictions are
+    /// allocation-free once a tape is warm.
+    scratch: Mutex<Vec<Graph>>,
     /// Per-shard scratch tapes for the data-parallel train step.
     shard_graphs: Mutex<Vec<Graph>>,
 }
@@ -123,18 +126,21 @@ impl Surrogate {
                 mean: vec![0.0; cfg.n_features],
                 std: vec![1.0; cfg.n_features],
             },
-            scratch: Mutex::new(Graph::new()),
+            scratch: Mutex::new(Vec::new()),
             shard_graphs: Mutex::new(Vec::new()),
         }
     }
 
-    /// Run `f` on the reusable scratch tape, then reset the tape so its
-    /// buffers return to the pool. `f` must clone out anything it keeps.
+    /// Run `f` on a scratch tape checked out of the pool (a fresh tape if
+    /// the pool is empty), then reset it and return it to the pool so its
+    /// buffers survive for the next call. `f` must clone out anything it
+    /// keeps. The lock is held only around the pop/push, never across `f`,
+    /// so concurrent callers each get their own tape.
     fn with_scratch<R>(&self, f: impl FnOnce(&mut Graph) -> R) -> R {
-        let mut g = std::mem::take(&mut *self.scratch.lock().unwrap());
+        let mut g = self.scratch.lock().unwrap().pop().unwrap_or_default();
         let out = f(&mut g);
         g.reset();
-        *self.scratch.lock().unwrap() = g;
+        self.scratch.lock().unwrap().push(g);
         out
     }
 
@@ -286,7 +292,7 @@ impl Surrogate {
         delta: f64,
         adam: &mut Adam,
     ) -> f64 {
-        let mut g = std::mem::take(&mut *self.scratch.lock().unwrap());
+        let mut g = self.scratch.lock().unwrap().pop().unwrap_or_default();
         let (loss_val, grad_tensors) = shard_forward_backward(
             self, &mut g, seq, feats, targets, weights, alpha, delta, None,
         );
@@ -296,7 +302,7 @@ impl Surrogate {
         for t in grad_tensors {
             g.pool_mut().put(t.into_data());
         }
-        *self.scratch.lock().unwrap() = g;
+        self.scratch.lock().unwrap().push(g);
         loss_val
     }
 

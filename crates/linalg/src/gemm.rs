@@ -52,6 +52,13 @@ pub enum Layout {
     Transposed,
 }
 
+/// `DBAT_GEMM_FORCE_SCALAR=1` (any value other than `0`) disables the FMA
+/// micro-kernels so the portable scalar path can be exercised on x86-64
+/// hardware — CI uses this to run the equivalence suites on both paths.
+fn force_scalar_env() -> bool {
+    std::env::var_os("DBAT_GEMM_FORCE_SCALAR").is_some_and(|v| v != "0")
+}
+
 #[inline]
 fn use_fma() -> bool {
     #[cfg(target_arch = "x86_64")]
@@ -62,7 +69,8 @@ fn use_fma() -> bool {
             1 => true,
             2 => false,
             _ => {
-                let ok = std::arch::is_x86_feature_detected!("avx2")
+                let ok = !force_scalar_env()
+                    && std::arch::is_x86_feature_detected!("avx2")
                     && std::arch::is_x86_feature_detected!("fma");
                 CACHED.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
                 ok
@@ -71,6 +79,7 @@ fn use_fma() -> bool {
     }
     #[cfg(not(target_arch = "x86_64"))]
     {
+        let _ = force_scalar_env;
         false
     }
 }
@@ -139,35 +148,42 @@ fn pack_a(a: &[f64], layout: Layout, m: usize, k: usize, i0: usize, panel: &mut 
 }
 
 /// Scalar `MR × 8` micro-kernel: plain mul+add so the compiler can
-/// autovectorise at the target's native width.
+/// autovectorise at the target's native width. Like the FMA kernels it
+/// *overwrites* `acc` (accumulation happens in a local zero-initialised
+/// tile), so callers never need to re-zero between tiles.
 #[inline]
 fn mk_scalar_4x8(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; MR * NR]) {
+    let mut c = [0.0; MR * NR];
     for p in 0..k {
         let a = &ap[p * MR..p * MR + MR];
         let b = &bp[p * NR..p * NR + NR];
         for ir in 0..MR {
             let av = a[ir];
-            let row = &mut acc[ir * NR..ir * NR + NR];
+            let row = &mut c[ir * NR..ir * NR + NR];
             for (o, &bv) in row.iter_mut().zip(b) {
                 *o += av * bv;
             }
         }
     }
+    *acc = c;
 }
 
+/// Scalar `MR × 4` micro-kernel; overwrites `acc` like [`mk_scalar_4x8`].
 #[inline]
 fn mk_scalar_4x4(k: usize, ap: &[f64], bp: &[f64], acc: &mut [f64; MR * NR4]) {
+    let mut c = [0.0; MR * NR4];
     for p in 0..k {
         let a = &ap[p * MR..p * MR + MR];
         let b = &bp[p * NR4..p * NR4 + NR4];
         for ir in 0..MR {
             let av = a[ir];
-            let row = &mut acc[ir * NR4..ir * NR4 + NR4];
+            let row = &mut c[ir * NR4..ir * NR4 + NR4];
             for (o, &bv) in row.iter_mut().zip(b) {
                 *o += av * bv;
             }
         }
     }
+    *acc = c;
 }
 
 /// AVX2+FMA `4 × 8` micro-kernel: 8 ymm accumulators, 2 panel loads and 4
@@ -326,6 +342,23 @@ pub fn gemm(
     b_layout: Layout,
     out: &mut [f64],
 ) {
+    gemm_with(m, n, k, a, a_layout, b, b_layout, out, use_fma());
+}
+
+/// [`gemm`] with the micro-kernel choice pinned, so tests can exercise
+/// the scalar path on hardware where runtime detection would pick FMA.
+#[allow(clippy::too_many_arguments)]
+fn gemm_with(
+    m: usize,
+    n: usize,
+    k: usize,
+    a: &[f64],
+    a_layout: Layout,
+    b: &[f64],
+    b_layout: Layout,
+    out: &mut [f64],
+    fma: bool,
+) {
     debug_assert_eq!(out.len(), m * n);
     if m == 0 || n == 0 {
         return;
@@ -348,7 +381,6 @@ pub fn gemm(
             &mut bpack[jb * k * nr..(jb + 1) * k * nr],
         );
     }
-    let fma = use_fma();
     if m * n * k > PAR_FLOPS && m > ROW_BLOCK {
         let bpack = &bpack;
         out.par_chunks_mut(ROW_BLOCK * n)
@@ -413,19 +445,24 @@ mod tests {
             .collect()
     }
 
-    #[test]
-    fn all_layouts_match_naive_across_ragged_shapes() {
-        for &(m, n, k) in &[
-            (1, 1, 1),
-            (3, 5, 7),
-            (4, 8, 16),
-            (5, 9, 3),
-            (17, 13, 11),
-            (64, 64, 64),
-            (70, 33, 29),
-            (128, 4, 128),
-            (2, 100, 1),
-        ] {
+    /// Shapes spanning single-tile, ragged-edge, and multi-tile/multi-panel
+    /// cases (the latter catch kernels that leak state between tiles).
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (4, 8, 16),
+        (5, 9, 3),
+        (17, 13, 11),
+        (64, 64, 64),
+        (70, 33, 29),
+        (128, 4, 128),
+        (2, 100, 1),
+    ];
+
+    fn check_all_layouts(
+        run: impl Fn(usize, usize, usize, &[f64], Layout, &[f64], Layout) -> Vec<f64>,
+    ) {
+        for &(m, n, k) in SHAPES {
             let a = fill(m * k, 1 + m as u64);
             let b = fill(k * n, 2 + n as u64);
             let expect = naive(m, n, k, &a, &b);
@@ -433,8 +470,7 @@ mod tests {
             let bt = transpose(&b, k, n);
             for (al, aa) in [(Layout::Normal, &a), (Layout::Transposed, &at)] {
                 for (bl, bb) in [(Layout::Normal, &b), (Layout::Transposed, &bt)] {
-                    let mut out = vec![0.0; m * n];
-                    gemm(m, n, k, aa, al, bb, bl, &mut out);
+                    let out = run(m, n, k, aa, al, bb, bl);
                     for (x, y) in out.iter().zip(&expect) {
                         assert!(
                             (x - y).abs() <= 1e-12 * (1.0 + y.abs()),
@@ -444,6 +480,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn all_layouts_match_naive_across_ragged_shapes() {
+        check_all_layouts(|m, n, k, a, al, b, bl| {
+            let mut out = vec![0.0; m * n];
+            gemm(m, n, k, a, al, b, bl, &mut out);
+            out
+        });
+    }
+
+    /// The scalar micro-kernels must match the naive reference even when
+    /// the host CPU would normally dispatch to the FMA kernels — this is
+    /// the path every non-AVX2 target (e.g. aarch64) takes.
+    #[test]
+    fn forced_scalar_kernels_match_naive_across_ragged_shapes() {
+        check_all_layouts(|m, n, k, a, al, b, bl| {
+            let mut out = vec![0.0; m * n];
+            gemm_with(m, n, k, a, al, b, bl, &mut out, false);
+            out
+        });
     }
 
     #[test]
