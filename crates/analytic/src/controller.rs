@@ -4,7 +4,7 @@
 //! is exactly what Figs. 7–12 measure.
 
 use crate::optimizer::optimize_from_interarrivals;
-use dbat_sim::{ConfigGrid, LambdaConfig, SimParams};
+use dbat_sim::{ConfigGrid, Controller, DecisionContext, DecisionRecord, LambdaConfig, SimParams};
 use dbat_workload::Trace;
 use std::time::{Duration, Instant};
 
@@ -21,7 +21,8 @@ pub struct PlannedInterval {
     pub solve_time: Duration,
 }
 
-/// BATCH's control loop parameters.
+/// BATCH's control loop parameters, plus the closed-loop state the
+/// [`Controller`] implementation tracks between decisions.
 #[derive(Clone, Debug)]
 pub struct BatchController {
     pub params: SimParams,
@@ -30,6 +31,12 @@ pub struct BatchController {
     pub percentile: f64,
     /// Re-fit cadence in seconds (the paper uses one hour).
     pub refit_interval: f64,
+    // Closed-loop state (trait-based use only).
+    current: Option<LambdaConfig>,
+    fitted_idx: Option<usize>,
+    last_refit_ok: bool,
+    last_window_len: usize,
+    records: Vec<DecisionRecord>,
 }
 
 impl BatchController {
@@ -40,6 +47,11 @@ impl BatchController {
             slo,
             percentile: 95.0,
             refit_interval: 3_600.0,
+            current: None,
+            fitted_idx: None,
+            last_refit_ok: false,
+            last_window_len: 0,
+            records: Vec::new(),
         }
     }
 
@@ -99,6 +111,73 @@ impl BatchController {
     }
 }
 
+/// Closed-loop BATCH: decisions follow the same schedule as
+/// [`BatchController::plan`] — re-fit at every `refit_interval` boundary on
+/// the previous refit-interval's arrivals (interval 0 profiles its own) —
+/// but driven incrementally by `dbat_sim::run_controller`, so BATCH can be
+/// compared head-to-head with DeepBAT and the fault-injected runs.
+impl Controller for BatchController {
+    fn name(&self) -> &'static str {
+        "batch"
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> DecisionRecord {
+        let r_idx = (ctx.start / self.refit_interval).floor() as usize;
+        let mut solve_s = 0.0;
+        if self.fitted_idx != Some(r_idx) {
+            let (fs, fe) = if r_idx == 0 {
+                (0.0, self.refit_interval.min(ctx.trace.horizon()))
+            } else {
+                (
+                    (r_idx - 1) as f64 * self.refit_interval,
+                    r_idx as f64 * self.refit_interval,
+                )
+            };
+            let t0 = Instant::now();
+            let ia = ctx.trace.slice(fs, fe).interarrivals();
+            self.last_window_len = ia.len();
+            let solved = optimize_from_interarrivals(
+                &ia,
+                &self.grid,
+                &self.params,
+                self.slo,
+                self.percentile,
+            );
+            solve_s = t0.elapsed().as_secs_f64();
+            self.last_refit_ok = solved.is_some();
+            self.current = Some(match solved {
+                Some((best, _)) => best.config,
+                None => self
+                    .current
+                    .unwrap_or_else(|| LambdaConfig::new(2048, 1, 0.0)),
+            });
+            self.fitted_idx = Some(r_idx);
+        }
+        let config = self.current.expect("fitted above");
+        let mut rec = DecisionRecord::new(
+            ctx.index,
+            ctx.start,
+            ctx.end,
+            config,
+            self.slo,
+            self.percentile,
+        );
+        rec.grid_size = self.grid.len();
+        rec.fallback = !self.last_refit_ok;
+        rec.window_len = self.last_window_len;
+        rec.infer_s = solve_s;
+        rec
+    }
+
+    fn audit(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    fn audit_mut(&mut self) -> &mut Vec<DecisionRecord> {
+        &mut self.records
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -133,6 +212,33 @@ mod tests {
         let c = BatchController::config_at(&plan, 70.0).unwrap();
         assert_eq!(c, plan[1].config);
         assert!(BatchController::config_at(&plan, 1e9).is_none());
+    }
+
+    #[test]
+    fn closed_loop_matches_offline_plan() {
+        let trace = short_trace(20.0, 300.0);
+        let mut offline = BatchController::new(ConfigGrid::tiny(), 0.1);
+        offline.refit_interval = 60.0;
+        let plan = offline.plan(&trace);
+
+        let mut online = offline.clone();
+        let opts = dbat_sim::SimConfig::builder()
+            .slo(0.1)
+            .decision_interval(30.0)
+            .build()
+            .unwrap();
+        let out = dbat_sim::run_controller(&mut online, &trace, 0.0, 300.0, &opts);
+        assert_eq!(out.records.len(), 10);
+        for rec in &out.records {
+            let expected = BatchController::config_at(&plan, rec.start).unwrap();
+            assert_eq!(
+                rec.config, expected,
+                "closed loop diverged from plan() at t = {}",
+                rec.start
+            );
+            assert!(!rec.fallback);
+        }
+        assert_eq!(online.audit().len(), 10);
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! MAP fitting: the front half of the BATCH baseline.
 //!
 //! BATCH must fit the observed arrival stream to a Markovian Arrival Process
-//! before its analytic model can run (the paper cites KPC-toolbox [54]).
+//! before its analytic model can run (the paper cites KPC-toolbox \[54\]).
 //! We implement moment-based MMPP(2) fitting: match the mean rate exactly,
 //! then search the remaining parameters to match the interarrival SCV and
 //! lag-1 autocorrelation. When the stream shows no overdispersion the fit

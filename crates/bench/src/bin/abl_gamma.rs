@@ -7,11 +7,12 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::estimate_gamma;
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let s = ExpSettings::from_env();
     let _telemetry = s.init_telemetry("abl_gamma");
-    let model = s.ensure_finetuned(TraceKind::SyntheticMap);
+    let model = Arc::new(s.ensure_finetuned(TraceKind::SyntheticMap));
     let trace = s.trace(TraceKind::SyntheticMap);
     let hours = s.eval_hours.min((trace.horizon() / HOUR) as usize).min(6);
     let t1 = hours as f64 * HOUR;
@@ -25,9 +26,9 @@ fn main() {
     );
     let mut rows = Vec::new();
     for gamma in [0.0, 0.1, gamma_est, 0.5, 1.0] {
-        let sched = compare::deepbat_schedule(&model, &trace, &s, 0.0, t1, gamma);
-        let m = compare::measure(&trace, &sched, &s);
-        let mut row = compare::summary_row(&format!("gamma={gamma:.3}"), &m);
+        let mut ctl = compare::deepbat(model.clone(), &s, gamma);
+        let out = compare::run_policy(&mut ctl, &trace, &s, 0.0, t1);
+        let mut row = compare::summary_row(&format!("gamma={gamma:.3}"), &out.measurements);
         // Mark the estimated operating point.
         if (gamma - gamma_est).abs() < 1e-12 {
             row[0] = format!("gamma={gamma:.3} (est.)");

@@ -7,11 +7,12 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::estimate_gamma;
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let s = ExpSettings::from_env();
     let _telemetry = s.init_telemetry("fig06_cost_azure");
-    let model = s.ensure_base_model();
+    let model = Arc::new(s.ensure_base_model());
     let azure = s.trace(TraceKind::AzureLike);
 
     // Snapshot window: 19:40–19:50 on the full trace; scaled down in fast mode.
@@ -34,12 +35,16 @@ fn main() {
         "Fig 6",
         "Azure snapshot: per-interval cost, BATCH vs DeepBAT vs oracle",
     );
-    let db = compare::deepbat_schedule(&model, &azure, &s, w0, w1, gamma);
-    let bt = compare::batch_schedule(&azure, &s, w0, w1);
-    let or = compare::oracle_schedule(&azure, &s, w0, w1);
-    let mdb = compare::measure(&azure, &db, &s);
-    let mbt = compare::measure(&azure, &bt, &s);
-    let mor = compare::measure(&azure, &or, &s);
+    let mdb = compare::run_policy(
+        &mut compare::deepbat(model.clone(), &s, gamma),
+        &azure,
+        &s,
+        w0,
+        w1,
+    )
+    .measurements;
+    let mbt = compare::run_policy(&mut compare::batch(&s), &azure, &s, w0, w1).measurements;
+    let mor = compare::run_policy(&mut compare::oracle(&s), &azure, &s, w0, w1).measurements;
 
     let rows: Vec<Vec<String>> = mdb
         .iter()
@@ -86,10 +91,15 @@ fn main() {
         "Obs #1 (zero-shot)",
         "Twitter-like trace, same model, no fine-tuning",
     );
-    let db = compare::deepbat_schedule(&model, &twitter, &s, 0.0, t1, gamma);
-    let bt = compare::batch_schedule(&twitter, &s, 0.0, t1);
-    let mdb = compare::measure(&twitter, &db, &s);
-    let mbt = compare::measure(&twitter, &bt, &s);
+    let mdb = compare::run_policy(
+        &mut compare::deepbat(model.clone(), &s, gamma),
+        &twitter,
+        &s,
+        0.0,
+        t1,
+    )
+    .measurements;
+    let mbt = compare::run_policy(&mut compare::batch(&s), &twitter, &s, 0.0, t1).measurements;
     report::table(
         &compare::SUMMARY_HEADERS,
         &[

@@ -8,11 +8,12 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::estimate_gamma;
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let s = ExpSettings::from_env();
     let _telemetry = s.init_telemetry("fig07_alibaba_hour");
-    let model = s.ensure_finetuned(TraceKind::AlibabaLike);
+    let model = Arc::new(s.ensure_finetuned(TraceKind::AlibabaLike));
     let trace = s.trace(TraceKind::AlibabaLike);
     // The paper shows hour 5-6; our regenerated trace's "flat hour followed
     // by an unpredicted peak" lands at hour 4 (see fig08's VCR table), so
@@ -28,10 +29,15 @@ fn main() {
     let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 77);
     println!("robustness penalty gamma = {gamma:.3}");
 
-    let db = compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma);
-    let bt = compare::batch_schedule(&trace, &s, w0, w1);
-    let mdb = compare::measure(&trace, &db, &s);
-    let mbt = compare::measure(&trace, &bt, &s);
+    let mdb = compare::run_policy(
+        &mut compare::deepbat(model.clone(), &s, gamma),
+        &trace,
+        &s,
+        w0,
+        w1,
+    )
+    .measurements;
+    let mbt = compare::run_policy(&mut compare::batch(&s), &trace, &s, w0, w1).measurements;
 
     report::banner(
         "Fig 7a",

@@ -6,6 +6,7 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::{estimate_gamma, hourly_vcr};
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let s = ExpSettings::from_env();
@@ -14,23 +15,17 @@ fn main() {
     let hours = s.eval_hours.min((trace.horizon() / HOUR) as usize);
     let t1 = hours as f64 * HOUR;
 
-    let ft = s.ensure_finetuned(TraceKind::AlibabaLike);
-    let base = s.ensure_base_model();
+    let ft = Arc::new(s.ensure_finetuned(TraceKind::AlibabaLike));
+    let base = Arc::new(s.ensure_base_model());
     let first_hour = trace.slice(0.0, HOUR.min(trace.horizon()));
     let gamma = estimate_gamma(&ft, &first_hour, &s.grid, &s.params, 24, 78);
     println!("gamma = {gamma:.3}; evaluating {hours} hours");
 
-    let m_ft = compare::measure(
-        &trace,
-        &compare::deepbat_schedule(&ft, &trace, &s, 0.0, t1, gamma),
-        &s,
-    );
-    let m_base = compare::measure(
-        &trace,
-        &compare::deepbat_schedule(&base, &trace, &s, 0.0, t1, 0.0),
-        &s,
-    );
-    let m_bt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, 0.0, t1), &s);
+    let m_ft =
+        compare::run_policy(&mut compare::deepbat(ft, &s, gamma), &trace, &s, 0.0, t1).measurements;
+    let m_base =
+        compare::run_policy(&mut compare::deepbat(base, &s, 0.0), &trace, &s, 0.0, t1).measurements;
+    let m_bt = compare::run_policy(&mut compare::batch(&s), &trace, &s, 0.0, t1).measurements;
 
     let v_ft = hourly_vcr(&m_ft, hours, HOUR);
     let v_base = hourly_vcr(&m_base, hours, HOUR);

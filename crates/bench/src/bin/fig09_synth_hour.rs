@@ -6,11 +6,12 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::estimate_gamma;
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let s = ExpSettings::from_env();
     let _telemetry = s.init_telemetry("fig09_synth_hour");
-    let model = s.ensure_finetuned(TraceKind::SyntheticMap);
+    let model = Arc::new(s.ensure_finetuned(TraceKind::SyntheticMap));
     let trace = s.trace(TraceKind::SyntheticMap);
     // Paper: hour 3-4. Our synthetic trace's sharpest previous-hour
     // mismatch is hour 2 (fig10's VCR table), the equivalent showcase.
@@ -21,12 +22,15 @@ fn main() {
     let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 79);
     println!("gamma = {gamma:.3}");
 
-    let mdb = compare::measure(
+    let mdb = compare::run_policy(
+        &mut compare::deepbat(model.clone(), &s, gamma),
         &trace,
-        &compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma),
         &s,
-    );
-    let mbt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, w0, w1), &s);
+        w0,
+        w1,
+    )
+    .measurements;
+    let mbt = compare::run_policy(&mut compare::batch(&s), &trace, &s, w0, w1).measurements;
 
     report::banner(
         "Fig 9a",

@@ -5,6 +5,7 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::{estimate_gamma, hourly_vcr};
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let s = ExpSettings::from_env();
@@ -13,17 +14,14 @@ fn main() {
     let hours = s.eval_hours.min((trace.horizon() / HOUR) as usize);
     let t1 = hours as f64 * HOUR;
 
-    let model = s.ensure_finetuned(TraceKind::SyntheticMap);
+    let model = Arc::new(s.ensure_finetuned(TraceKind::SyntheticMap));
     let first_hour = trace.slice(0.0, HOUR.min(trace.horizon()));
     let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 80);
     println!("gamma = {gamma:.3}; evaluating {hours} hours");
 
-    let m_db = compare::measure(
-        &trace,
-        &compare::deepbat_schedule(&model, &trace, &s, 0.0, t1, gamma),
-        &s,
-    );
-    let m_bt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, 0.0, t1), &s);
+    let m_db = compare::run_policy(&mut compare::deepbat(model, &s, gamma), &trace, &s, 0.0, t1)
+        .measurements;
+    let m_bt = compare::run_policy(&mut compare::batch(&s), &trace, &s, 0.0, t1).measurements;
     let v_db = hourly_vcr(&m_db, hours, HOUR);
     let v_bt = hourly_vcr(&m_bt, hours, HOUR);
 

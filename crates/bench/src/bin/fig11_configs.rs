@@ -8,11 +8,12 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::estimate_gamma;
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let s = ExpSettings::from_env();
     let _telemetry = s.init_telemetry("fig11_configs");
-    let model = s.ensure_finetuned(TraceKind::SyntheticMap);
+    let model = Arc::new(s.ensure_finetuned(TraceKind::SyntheticMap));
     let trace = s.trace(TraceKind::SyntheticMap);
     let h0 = if s.fast { 1.0 } else { 2.0 };
     let (w0, w1) = (h0 * HOUR, ((h0 + 1.0) * HOUR).min(trace.horizon()));
@@ -20,9 +21,27 @@ fn main() {
     let first_hour = trace.slice(0.0, HOUR.min(trace.horizon()));
     let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 81);
 
-    let db = compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma);
-    let bt = compare::batch_schedule(&trace, &s, w0, w1);
-    let or = compare::oracle_schedule(&trace, &s, w0, w1);
+    let db = compare::schedule_of(&compare::run_policy(
+        &mut compare::deepbat(model, &s, gamma),
+        &trace,
+        &s,
+        w0,
+        w1,
+    ));
+    let bt = compare::schedule_of(&compare::run_policy(
+        &mut compare::batch(&s),
+        &trace,
+        &s,
+        w0,
+        w1,
+    ));
+    let or = compare::schedule_of(&compare::run_policy(
+        &mut compare::oracle(&s),
+        &trace,
+        &s,
+        w0,
+        w1,
+    ));
 
     report::banner(
         "Fig 11",

@@ -9,11 +9,12 @@
 use dbat_bench::{compare, report, ExpSettings};
 use dbat_core::estimate_gamma;
 use dbat_workload::{TraceKind, HOUR};
+use std::sync::Arc;
 
 fn main() {
     let mut s = ExpSettings::from_env();
     let _telemetry = s.init_telemetry("fig12_slo_variation");
-    let model = s.ensure_finetuned(TraceKind::SyntheticMap);
+    let model = Arc::new(s.ensure_finetuned(TraceKind::SyntheticMap));
     let trace = s.trace(TraceKind::SyntheticMap);
     // Paper: hour 2-3 with varied SLOs; hour 5 is our equivalent interval
     // with a strong previous-hour mismatch (fig10), keeping the showcase
@@ -31,13 +32,16 @@ fn main() {
     for slo in slos {
         s.slo = slo;
         let gamma = estimate_gamma(&model, &first_hour, &s.grid, &s.params, 24, 82);
-        let mdb = compare::measure(
+        let mdb = compare::run_policy(
+            &mut compare::deepbat(model.clone(), &s, gamma),
             &trace,
-            &compare::deepbat_schedule(&model, &trace, &s, w0, w1, gamma),
             &s,
-        );
-        let mbt = compare::measure(&trace, &compare::batch_schedule(&trace, &s, w0, w1), &s);
-        let mor = compare::measure(&trace, &compare::oracle_schedule(&trace, &s, w0, w1), &s);
+            w0,
+            w1,
+        )
+        .measurements;
+        let mbt = compare::run_policy(&mut compare::batch(&s), &trace, &s, w0, w1).measurements;
+        let mor = compare::run_policy(&mut compare::oracle(&s), &trace, &s, w0, w1).measurements;
 
         report::banner(
             "Fig 12",

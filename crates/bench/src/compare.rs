@@ -1,79 +1,104 @@
-//! Shared machinery for the head-to-head figures (Figs. 6–12): build
-//! DeepBAT / BATCH / clairvoyant-oracle configuration schedules over a trace
-//! region and measure them on the same decision-interval grid.
+//! Shared machinery for the head-to-head figures (Figs. 6–12): build the
+//! closed-loop policies — DeepBAT, BATCH, the clairvoyant oracle, a fixed
+//! static config — as [`Controller`] values, and drive any of them with
+//! the one generic [`run_policy`] loop (optionally fault-injected).
 
 use crate::settings::ExpSettings;
 use dbat_analytic::BatchController;
-use dbat_core::{
-    measure_schedule, DeepBatController, IntervalMeasurement, ScheduleEntry, Surrogate,
+use dbat_core::{DeepBatController, Surrogate};
+use dbat_sim::{
+    run_controller, Controller, FaultPlan, IntervalMeasurement, LambdaConfig, OracleController,
+    RunOutcome, ScheduleEntry, SimConfig, StaticController,
 };
-use dbat_sim::{ground_truth, LambdaConfig};
 use dbat_workload::Trace;
+use std::sync::Arc;
 
-/// DeepBAT's schedule over `[t0, t1)` (decision every
+/// DeepBAT as a closed-loop policy (decisions every
 /// `settings.decision_interval`, SLO-feasibility tightened by `gamma`).
-pub fn deepbat_schedule(
-    model: &Surrogate,
-    trace: &Trace,
-    s: &ExpSettings,
-    t0: f64,
-    t1: f64,
-    gamma: f64,
-) -> Vec<ScheduleEntry> {
+pub fn deepbat(model: Arc<Surrogate>, s: &ExpSettings, gamma: f64) -> DeepBatController {
     let mut ctl = DeepBatController::new(s.grid.clone(), s.slo);
     ctl.params = s.params;
     ctl.decision_interval = s.decision_interval;
     ctl.optimizer.percentile = s.percentile;
     ctl.optimizer.gamma = gamma;
-    ctl.schedule(model, trace, t0, t1)
+    ctl.with_model(model)
 }
 
-/// BATCH's schedule over `[t0, t1)`: the hourly plan (fit on the previous
-/// hour, §IV-B) chopped onto the same decision-interval grid so VCR counts
-/// are comparable.
-pub fn batch_schedule(trace: &Trace, s: &ExpSettings, t0: f64, t1: f64) -> Vec<ScheduleEntry> {
+/// BATCH as a closed-loop policy: hourly refit on the previous hour's
+/// arrivals (§IV-B), held constant across the decision-interval grid.
+pub fn batch(s: &ExpSettings) -> BatchController {
     let mut ctl = BatchController::new(s.grid.clone(), s.slo);
     ctl.params = s.params;
     ctl.percentile = s.percentile;
-    let plan = ctl.plan(trace);
-    chop(t0, t1, s.decision_interval, |t| {
-        BatchController::config_at(&plan, t).unwrap_or_else(|| LambdaConfig::new(2048, 1, 0.0))
-    })
+    ctl
 }
 
-/// The clairvoyant ground-truth schedule: for each decision interval, the
-/// cheapest SLO-feasible configuration found by exhaustively simulating the
-/// interval's *own* arrivals (§IV-A "Ground Truth").
-pub fn oracle_schedule(trace: &Trace, s: &ExpSettings, t0: f64, t1: f64) -> Vec<ScheduleEntry> {
-    chop(t0, t1, s.decision_interval, |t| {
-        let slice = trace.slice(t, (t + s.decision_interval).min(trace.horizon()));
-        if slice.is_empty() {
-            return LambdaConfig::new(512, 1, 0.0);
-        }
-        ground_truth(slice.timestamps(), &s.grid, &s.params, s.slo, s.percentile)
-            .map(|e| e.config)
-            .expect("non-empty grid")
-    })
+/// The clairvoyant ground truth: per interval, the cheapest SLO-feasible
+/// configuration found by exhaustively simulating the interval's *own*
+/// arrivals (§IV-A "Ground Truth").
+pub fn oracle(s: &ExpSettings) -> OracleController {
+    let mut ctl = OracleController::new(s.grid.clone(), s.slo);
+    ctl.params = s.params;
+    ctl.percentile = s.percentile;
+    ctl
 }
 
-fn chop(t0: f64, t1: f64, dt: f64, config_at: impl Fn(f64) -> LambdaConfig) -> Vec<ScheduleEntry> {
-    let mut out = Vec::new();
-    let mut t = t0;
-    while t < t1 {
-        let end = (t + dt).min(t1);
-        out.push((t, end, config_at(t)));
-        t = end;
-    }
-    out
+/// A fixed configuration applied to every interval.
+pub fn fixed(s: &ExpSettings, config: LambdaConfig) -> StaticController {
+    let mut ctl = StaticController::new(config, s.slo);
+    ctl.percentile = s.percentile;
+    ctl
 }
 
-/// Measure a schedule with the experiment's SLO/percentile.
-pub fn measure(
+/// The simulation options the figures run under (fault-free).
+pub fn sim_config(s: &ExpSettings) -> SimConfig {
+    sim_config_faulted(s, FaultPlan::default())
+}
+
+/// Same, with an explicit fault plan for the fault-injection ablation.
+pub fn sim_config_faulted(s: &ExpSettings, faults: FaultPlan) -> SimConfig {
+    SimConfig::builder()
+        .params(s.params)
+        .slo(s.slo)
+        .percentile(s.percentile)
+        .decision_interval(s.decision_interval)
+        .faults(faults)
+        .build()
+        .expect("experiment settings are valid")
+}
+
+/// Drive any policy over `[t0, t1)` of the trace and measure every
+/// decision interval. Fault-free; bit-identical to the pre-trait
+/// schedule-then-measure pipeline.
+pub fn run_policy(
+    ctl: &mut dyn Controller,
     trace: &Trace,
-    schedule: &[ScheduleEntry],
     s: &ExpSettings,
-) -> Vec<IntervalMeasurement> {
-    measure_schedule(trace, schedule, &s.params, s.slo, s.percentile)
+    t0: f64,
+    t1: f64,
+) -> RunOutcome {
+    run_controller(ctl, trace, t0, t1, &sim_config(s))
+}
+
+/// Drive any policy with injected faults.
+pub fn run_policy_faulted(
+    ctl: &mut dyn Controller,
+    trace: &Trace,
+    s: &ExpSettings,
+    t0: f64,
+    t1: f64,
+    faults: FaultPlan,
+) -> RunOutcome {
+    run_controller(ctl, trace, t0, t1, &sim_config_faulted(s, faults))
+}
+
+/// The applied-configuration schedule of a finished run (for the
+/// per-interval configuration figures).
+pub fn schedule_of(out: &RunOutcome) -> Vec<ScheduleEntry> {
+    out.records
+        .iter()
+        .map(|r| (r.start, r.end, r.config))
+        .collect()
 }
 
 /// Aggregate a measurement set into a summary row:
@@ -106,6 +131,31 @@ pub const SUMMARY_HEADERS: [&str; 5] = [
     "cost_u$_per_req",
 ];
 
+/// Summary row for a fault-injected run:
+/// [label, VCR %, cost µ$/req, degraded %, cold starts, retries, lost].
+pub fn fault_row(label: &str, out: &RunOutcome) -> Vec<String> {
+    vec![
+        label.to_string(),
+        crate::report::f(out.vcr(), 1),
+        crate::report::f(out.cost_per_request() * 1e6, 4),
+        crate::report::f(out.degraded_rate(), 1),
+        out.counts.cold_starts.to_string(),
+        out.counts.retries.to_string(),
+        out.counts.lost_requests().to_string(),
+    ]
+}
+
+/// Headers matching [`fault_row`].
+pub const FAULT_HEADERS: [&str; 7] = [
+    "policy",
+    "VCR_%",
+    "cost_u$_per_req",
+    "degraded_%",
+    "cold_starts",
+    "retries",
+    "lost",
+];
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,33 +168,35 @@ mod tests {
     }
 
     #[test]
-    fn oracle_schedule_covers_range_and_is_feasible() {
+    fn oracle_run_covers_range_and_is_feasible() {
         let mut s = ExpSettings::from_env();
         s.grid = dbat_sim::ConfigGrid::tiny();
         s.decision_interval = 30.0;
         let tr = trace(40.0, 120.0);
-        let sched = oracle_schedule(&tr, &s, 0.0, 120.0);
-        assert_eq!(sched.len(), 4);
-        assert_eq!(sched[0].0, 0.0);
-        assert_eq!(sched[3].1, 120.0);
+        let mut ctl = oracle(&s);
+        let out = run_policy(&mut ctl, &tr, &s, 0.0, 120.0);
+        assert_eq!(out.records.len(), 4);
+        assert_eq!(out.records[0].start, 0.0);
+        assert_eq!(out.records[3].end, 120.0);
         // Clairvoyant choices must actually meet the SLO when measured.
-        let ms = measure(&tr, &sched, &s);
         assert!(
-            ms.iter().all(|m| !m.violation),
+            out.measurements.iter().all(|m| !m.violation),
             "oracle violated its own SLO"
         );
+        assert_eq!(schedule_of(&out).len(), 4);
     }
 
     #[test]
-    fn batch_schedule_holds_config_within_refit_interval() {
+    fn batch_run_holds_config_within_refit_interval() {
         let mut s = ExpSettings::from_env();
         s.grid = dbat_sim::ConfigGrid::tiny();
         s.decision_interval = 60.0;
         let tr = trace(30.0, 2.0 * 3600.0);
-        let sched = batch_schedule(&tr, &s, 0.0, 7200.0);
-        assert_eq!(sched.len(), 120);
+        let mut ctl = batch(&s);
+        let out = run_policy(&mut ctl, &tr, &s, 0.0, 7200.0);
+        assert_eq!(out.records.len(), 120);
         // Within one BATCH hour, the config must be constant.
-        let first_hour: Vec<_> = sched.iter().take(60).map(|e| e.2).collect();
+        let first_hour: Vec<_> = out.records.iter().take(60).map(|r| r.config).collect();
         assert!(first_hour.windows(2).all(|w| w[0] == w[1]));
     }
 
@@ -159,6 +211,9 @@ mod tests {
             cost_per_request: cost,
             requests,
             violation,
+            cold_starts: 0,
+            retries: 0,
+            lost: 0,
         };
         // 100 requests at 1µ$ + 300 at 2µ$ => 1.75 µ$/req weighted.
         let row = summary_row("x", &[mk(100, 1e-6, true), mk(300, 2e-6, false)]);

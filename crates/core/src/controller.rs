@@ -1,154 +1,38 @@
-//! The online DeepBAT control loop (Fig. 2) and the shared measurement
-//! harness the evaluation figures use to score *any* configuration schedule
-//! (DeepBAT's, BATCH's, or the ground truth's) against actual arrivals.
+//! The online DeepBAT control loop (Fig. 2), now speaking the workspace's
+//! unified [`Controller`] trait, plus the graceful-degradation wrapper
+//! that guards any policy with a [`HealthMonitor`].
+//!
+//! The shared measurement machinery (`IntervalMeasurement`,
+//! `DecisionRecord`, `measure_schedule`, VCR aggregation, the generic
+//! closed-loop driver) lives in `dbat_sim::controller` so that the
+//! analytic BATCH baseline can implement the same trait without a crate
+//! cycle; everything is re-exported here so existing `deepbat::core::*`
+//! paths keep working.
 
-use crate::drift::WindowStats;
+use crate::drift::{HealthMonitor, WindowStats};
 use crate::optimizer::DeepBatOptimizer;
 use crate::surrogate::Surrogate;
 use crate::traindata::{label, window_to_arrivals};
-use dbat_sim::{simulate_batching, ConfigGrid, LambdaConfig, LatencySummary, SimParams};
+use dbat_sim::{simulate_batching, ConfigGrid, LambdaConfig, SimParams};
 use dbat_workload::{sample_windows, window_at_time, Rng, Trace};
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
+use std::sync::Arc;
 
-/// A configuration active over `[start, end)`.
-pub type ScheduleEntry = (f64, f64, LambdaConfig);
-
-/// Measured outcome of serving one interval of the trace with one config.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct IntervalMeasurement {
-    pub start: f64,
-    pub end: f64,
-    pub config: LambdaConfig,
-    pub summary: LatencySummary,
-    pub cost_per_request: f64,
-    pub requests: usize,
-    /// Measured `percentile(p) > SLO` for this interval (the VCR numerator).
-    pub violation: bool,
-}
-
-/// The decision-audit record: everything the controller knew and chose at
-/// one decision interval, plus (when measured) what actually happened.
-/// One of these is emitted per interval as a `controller.decision`
-/// telemetry event; the JSONL stream is the controller's audit trail.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
-pub struct DecisionRecord {
-    /// Zero-based decision index within the run.
-    pub index: usize,
-    /// Interval `[start, end)` the decision governs (trace seconds).
-    pub start: f64,
-    pub end: f64,
-    /// Interarrivals available to the parser at decision time (0 before
-    /// the window warms up).
-    pub window_len: usize,
-    /// Log-scale summary of the decision window (`None` at bootstrap).
-    pub window_stats: Option<WindowStats>,
-    /// Number of candidate configurations the optimizer scored.
-    pub grid_size: usize,
-    /// True when the parser had no history and the bootstrap config was
-    /// applied without consulting the surrogate.
-    pub bootstrap: bool,
-    /// True when no candidate met the (γ-tightened) SLO and the
-    /// lowest-latency fallback was chosen.
-    pub fallback: bool,
-    /// The configuration applied over the interval.
-    pub config: LambdaConfig,
-    /// Surrogate-predicted [p50, p90, p95, p99] for `config` (`None` at
-    /// bootstrap).
-    pub predicted_percentiles: Option<[f64; 4]>,
-    /// Surrogate-predicted cost (µ$/req) for `config` (`None` at bootstrap).
-    pub predicted_cost_micro: Option<f64>,
-    /// Wall-clock seconds of surrogate inference + grid search.
-    pub infer_s: f64,
-    /// Ground-truth latency summary for the interval; `None` until the
-    /// interval is measured or when it contained no arrivals.
-    pub measured: Option<LatencySummary>,
-    /// Measured cost per request (`None` like `measured`).
-    pub measured_cost_per_request: Option<f64>,
-    /// Requests served in the interval (0 until measured / when empty).
-    pub requests: usize,
-    /// Measured SLO violation flag (`None` until measured).
-    pub violation: Option<bool>,
-    /// The SLO and percentile the decision optimised for.
-    pub slo: f64,
-    pub percentile: f64,
-}
-
-impl DecisionRecord {
-    /// Absolute percentage error of the predicted constrained percentile
-    /// against the measurement — the per-interval term of the online MAPE.
-    /// `None` until measured, at bootstrap, or when the measured value is 0.
-    pub fn online_ape(&self) -> Option<f64> {
-        let pred = dbat_workload::stats::interp_tracked_percentile(
-            &dbat_sim::PERCENTILE_KEYS,
-            &self.predicted_percentiles?,
-            self.percentile,
-        );
-        let truth = self.measured?.percentile(self.percentile);
-        if truth > 0.0 {
-            Some((pred - truth).abs() / truth * 100.0)
-        } else {
-            None
-        }
-    }
-}
-
-/// Replay a schedule against the trace: each interval's arrivals are served
-/// with that interval's configuration by the ground-truth simulator.
-/// Empty intervals are skipped (they can neither cost nor violate).
-pub fn measure_schedule(
-    trace: &Trace,
-    schedule: &[ScheduleEntry],
-    params: &SimParams,
-    slo: f64,
-    percentile: f64,
-) -> Vec<IntervalMeasurement> {
-    let mut out = Vec::with_capacity(schedule.len());
-    for &(start, end, config) in schedule {
-        let slice = trace.slice(start, end.min(trace.horizon()));
-        if slice.is_empty() {
-            continue;
-        }
-        let sim = simulate_batching(slice.timestamps(), &config, params, None);
-        let summary = sim.summary();
-        out.push(IntervalMeasurement {
-            start,
-            end,
-            config,
-            summary,
-            cost_per_request: sim.cost_per_request(),
-            requests: sim.requests.len(),
-            violation: summary.percentile(percentile) > slo,
-        });
-    }
-    out
-}
-
-/// VCR (Eq. 11) over a set of interval measurements.
-pub fn vcr_of(measurements: &[IntervalMeasurement]) -> f64 {
-    let flags: Vec<bool> = measurements.iter().map(|m| m.violation).collect();
-    dbat_sim::vcr(&flags)
-}
-
-/// Per-hour VCR series (Figs. 8 and 10).
-pub fn hourly_vcr(measurements: &[IntervalMeasurement], hours: usize, hour_s: f64) -> Vec<f64> {
-    (0..hours)
-        .map(|h| {
-            let lo = h as f64 * hour_s;
-            let hi = (h + 1) as f64 * hour_s;
-            let flags: Vec<bool> = measurements
-                .iter()
-                .filter(|m| m.start >= lo && m.start < hi)
-                .map(|m| m.violation)
-                .collect();
-            dbat_sim::vcr(&flags)
-        })
-        .collect()
-}
+pub use dbat_sim::controller::{
+    hourly_vcr, measure_schedule, run_controller, vcr_of, Controller, DecisionContext,
+    DecisionRecord, IntervalMeasurement, OracleController, RunOutcome, ScheduleEntry,
+    StaticController,
+};
 
 /// The DeepBAT control loop: every `decision_interval` seconds, read the
 /// most recent window from the trace, run the surrogate-driven optimizer,
 /// and apply the chosen configuration until the next decision.
-#[derive(Clone, Debug)]
+///
+/// The explicit-model methods ([`DeepBatController::schedule`],
+/// [`DeepBatController::run_audited`], …) take the surrogate as an
+/// argument; to drive it through the generic [`Controller`] trait instead,
+/// attach the model once with [`DeepBatController::with_model`].
+#[derive(Clone)]
 pub struct DeepBatController {
     pub optimizer: DeepBatOptimizer,
     pub params: SimParams,
@@ -156,6 +40,22 @@ pub struct DeepBatController {
     pub decision_interval: f64,
     /// Configuration used before the parser warms up.
     pub bootstrap: LambdaConfig,
+    /// The surrogate consulted by the trait-based closed loop (`None`
+    /// until [`DeepBatController::with_model`]).
+    model: Option<Arc<Surrogate>>,
+    records: Vec<DecisionRecord>,
+}
+
+impl std::fmt::Debug for DeepBatController {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeepBatController")
+            .field("optimizer", &self.optimizer)
+            .field("decision_interval", &self.decision_interval)
+            .field("bootstrap", &self.bootstrap)
+            .field("model", &self.model.as_ref().map(|_| "Surrogate"))
+            .field("records", &self.records.len())
+            .finish()
+    }
 }
 
 impl DeepBatController {
@@ -165,6 +65,61 @@ impl DeepBatController {
             params: SimParams::default(),
             decision_interval: 60.0,
             bootstrap: LambdaConfig::new(3008, 1, 0.0),
+            model: None,
+            records: Vec::new(),
+        }
+    }
+
+    /// Attach the surrogate the [`Controller`] implementation consults.
+    pub fn with_model(mut self, model: Arc<Surrogate>) -> Self {
+        self.model = Some(model);
+        self
+    }
+
+    /// One decision: what the controller would choose for
+    /// `[start, end)` given the trace so far.
+    fn decide_at(
+        &self,
+        model: &Surrogate,
+        trace: &Trace,
+        index: usize,
+        start: f64,
+        end: f64,
+    ) -> DecisionRecord {
+        let l = model.cfg.seq_len;
+        match window_at_time(trace, start, l, 1.0) {
+            Some(w) => {
+                let decision = self.optimizer.choose(model, &w.interarrivals);
+                let mut rec = DecisionRecord::new(
+                    index,
+                    start,
+                    end,
+                    decision.chosen.config,
+                    self.optimizer.slo,
+                    self.optimizer.percentile,
+                );
+                rec.window_len = w.interarrivals.len();
+                rec.window_stats = Some(WindowStats::from_window(&w.interarrivals));
+                rec.grid_size = self.optimizer.grid.len();
+                rec.fallback = decision.fallback;
+                rec.predicted_percentiles = Some(decision.chosen.percentiles);
+                rec.predicted_cost_micro = Some(decision.chosen.cost_micro);
+                rec.infer_s = decision.infer_s;
+                rec
+            }
+            None => {
+                let mut rec = DecisionRecord::new(
+                    index,
+                    start,
+                    end,
+                    self.bootstrap,
+                    self.optimizer.slo,
+                    self.optimizer.percentile,
+                );
+                rec.bootstrap = true;
+                rec.grid_size = self.optimizer.grid.len();
+                rec
+            }
         }
     }
 
@@ -190,58 +145,12 @@ impl DeepBatController {
         t0: f64,
         t1: f64,
     ) -> (Vec<ScheduleEntry>, Vec<DecisionRecord>) {
-        let l = model.cfg.seq_len;
         let mut entries = Vec::new();
         let mut records = Vec::new();
         let mut t = t0;
         while t < t1 {
             let end = (t + self.decision_interval).min(t1);
-            let index = entries.len();
-            let record = match window_at_time(trace, t, l, 1.0) {
-                Some(w) => {
-                    let decision = self.optimizer.choose(model, &w.interarrivals);
-                    DecisionRecord {
-                        index,
-                        start: t,
-                        end,
-                        window_len: w.interarrivals.len(),
-                        window_stats: Some(WindowStats::from_window(&w.interarrivals)),
-                        grid_size: self.optimizer.grid.len(),
-                        bootstrap: false,
-                        fallback: decision.fallback,
-                        config: decision.chosen.config,
-                        predicted_percentiles: Some(decision.chosen.percentiles),
-                        predicted_cost_micro: Some(decision.chosen.cost_micro),
-                        infer_s: decision.infer_s,
-                        measured: None,
-                        measured_cost_per_request: None,
-                        requests: 0,
-                        violation: None,
-                        slo: self.optimizer.slo,
-                        percentile: self.optimizer.percentile,
-                    }
-                }
-                None => DecisionRecord {
-                    index,
-                    start: t,
-                    end,
-                    window_len: 0,
-                    window_stats: None,
-                    grid_size: self.optimizer.grid.len(),
-                    bootstrap: true,
-                    fallback: false,
-                    config: self.bootstrap,
-                    predicted_percentiles: None,
-                    predicted_cost_micro: None,
-                    infer_s: 0.0,
-                    measured: None,
-                    measured_cost_per_request: None,
-                    requests: 0,
-                    violation: None,
-                    slo: self.optimizer.slo,
-                    percentile: self.optimizer.percentile,
-                },
-            };
+            let record = self.decide_at(model, trace, entries.len(), t, end);
             entries.push((t, end, record.config));
             records.push(record);
             t = end;
@@ -327,10 +236,7 @@ impl DeepBatController {
         for rec in &mut records {
             if let Some(m) = mi.peek() {
                 if m.start == rec.start {
-                    rec.measured = Some(m.summary);
-                    rec.measured_cost_per_request = Some(m.cost_per_request);
-                    rec.requests = m.requests;
-                    rec.violation = Some(m.violation);
+                    rec.record_measurement(m);
                     mi.next();
                 }
             }
@@ -343,6 +249,127 @@ impl DeepBatController {
             t.flush();
         }
         (measured, records)
+    }
+}
+
+impl Controller for DeepBatController {
+    fn name(&self) -> &'static str {
+        "deepbat"
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> DecisionRecord {
+        let model = self.model.clone().expect(
+            "DeepBatController: attach a surrogate with with_model() before closed-loop use",
+        );
+        self.decide_at(&model, ctx.trace, ctx.index, ctx.start, ctx.end)
+    }
+
+    fn audit(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    fn audit_mut(&mut self) -> &mut Vec<DecisionRecord> {
+        &mut self.records
+    }
+}
+
+/// Telemetry payload for degraded-mode transitions.
+#[derive(Clone, Copy, Debug, Serialize)]
+struct DegradationEvent {
+    index: usize,
+    at: f64,
+    engaged: bool,
+}
+
+/// Graceful degradation for any policy: while the wrapped controller's
+/// predictions are healthy it is transparent, but once the
+/// [`HealthMonitor`] trips (violation streak or persistent online-APE
+/// drift) the wrapper stops consulting the inner policy and applies a
+/// safe configuration — high memory, no batching, no wait — until
+/// enough clean intervals re-arm it. Every overridden decision carries
+/// `degraded = true` in the audit trail, and each engage/disengage is
+/// emitted as a `controller.degradation` telemetry event.
+#[derive(Clone, Debug)]
+pub struct GracefulController<C: Controller> {
+    pub inner: C,
+    pub monitor: HealthMonitor,
+    /// Applied while degraded. Default: the paper grid's fastest point
+    /// (max memory, B = 1, T = 0) — the latency-safest choice, bought
+    /// with cost.
+    pub safe: LambdaConfig,
+    pub slo: f64,
+    pub percentile: f64,
+    records: Vec<DecisionRecord>,
+}
+
+impl<C: Controller> GracefulController<C> {
+    pub fn new(inner: C, slo: f64) -> Self {
+        GracefulController {
+            inner,
+            monitor: HealthMonitor::default(),
+            safe: LambdaConfig::new(4096, 1, 0.0),
+            slo,
+            percentile: 95.0,
+            records: Vec::new(),
+        }
+    }
+
+    /// Currently overriding the inner policy?
+    pub fn is_degraded(&self) -> bool {
+        self.monitor.is_degraded()
+    }
+}
+
+impl<C: Controller> Controller for GracefulController<C> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn decide(&mut self, ctx: &DecisionContext<'_>) -> DecisionRecord {
+        if self.monitor.is_degraded() {
+            let mut rec = DecisionRecord::new(
+                ctx.index,
+                ctx.start,
+                ctx.end,
+                self.safe,
+                self.slo,
+                self.percentile,
+            );
+            rec.degraded = true;
+            rec
+        } else {
+            self.inner.decide(ctx)
+        }
+    }
+
+    fn observe(&mut self, measurement: &IntervalMeasurement) {
+        self.inner.observe(measurement);
+    }
+
+    fn commit(&mut self, record: DecisionRecord) {
+        let violated = record.violation.unwrap_or(false);
+        if let Some(engaged) = self.monitor.observe(violated, record.online_ape()) {
+            let t = dbat_telemetry::global();
+            if t.is_enabled() {
+                t.emit(
+                    "controller.degradation",
+                    serde_json::to_value(&DegradationEvent {
+                        index: record.index,
+                        at: record.end,
+                        engaged,
+                    }),
+                );
+            }
+        }
+        self.records.push(record);
+    }
+
+    fn audit(&self) -> &[DecisionRecord] {
+        &self.records
+    }
+
+    fn audit_mut(&mut self) -> &mut Vec<DecisionRecord> {
+        &mut self.records
     }
 }
 
@@ -421,23 +448,6 @@ mod tests {
     }
 
     #[test]
-    fn measure_schedule_covers_intervals() {
-        let tr = trace();
-        let cfg = LambdaConfig::new(2048, 4, 0.05);
-        let schedule: Vec<ScheduleEntry> = (0..10)
-            .map(|i| (i as f64 * 60.0, (i + 1) as f64 * 60.0, cfg))
-            .collect();
-        let m = measure_schedule(&tr, &schedule, &SimParams::default(), 0.1, 95.0);
-        assert_eq!(m.len(), 10);
-        let total_requests: usize = m.iter().map(|x| x.requests).sum();
-        assert_eq!(total_requests, tr.len());
-        for x in &m {
-            assert!(x.cost_per_request > 0.0);
-            assert_eq!(x.violation, x.summary.p95 > 0.1);
-        }
-    }
-
-    #[test]
     fn controller_schedule_spans_range() {
         let tr = trace();
         let ctl = DeepBatController::new(ConfigGrid::tiny(), 0.1);
@@ -490,22 +500,65 @@ mod tests {
     }
 
     #[test]
-    fn hourly_vcr_buckets() {
-        let cfg = LambdaConfig::new(1024, 1, 0.0);
-        let mk = |start: f64, violation: bool| IntervalMeasurement {
-            start,
-            end: start + 60.0,
-            config: cfg,
-            summary: LatencySummary::from_latencies(&[0.01]),
-            cost_per_request: 1e-6,
-            requests: 1,
-            violation,
+    fn trait_run_matches_explicit_model_run() {
+        let tr = trace();
+        let m = Arc::new(model());
+        let ctl = DeepBatController::new(ConfigGrid::tiny(), 0.1);
+        let (_, explicit) = ctl.run(&m, &tr, 0.0, 240.0);
+
+        let mut generic = ctl.clone().with_model(m.clone());
+        let opts = dbat_sim::SimConfig::new(0.1);
+        let out = run_controller(&mut generic, &tr, 0.0, 240.0, &opts);
+        assert_eq!(out.measurements.len(), explicit.len());
+        for (a, b) in out.measurements.iter().zip(&explicit) {
+            assert_eq!(a.config, b.config);
+            assert_eq!(a.summary.p95.to_bits(), b.summary.p95.to_bits());
+            assert_eq!(a.cost_per_request.to_bits(), b.cost_per_request.to_bits());
+        }
+        assert_eq!(generic.audit().len(), 4);
+    }
+
+    #[test]
+    fn graceful_wrapper_engages_and_recovers() {
+        let safe_slo = 0.1;
+        let mut ctl = GracefulController::new(
+            StaticController::new(LambdaConfig::new(512, 32, 5.0), safe_slo),
+            safe_slo,
+        );
+        // Hand-drive the decide/commit protocol with synthetic outcomes.
+        static EMPTY_TRACE: std::sync::LazyLock<Trace> =
+            std::sync::LazyLock::new(|| Trace::new(vec![], 1.0));
+        let ctx = |i: usize| DecisionContext {
+            trace: &EMPTY_TRACE,
+            start: i as f64 * 60.0,
+            end: (i + 1) as f64 * 60.0,
+            index: i,
         };
-        let ms = vec![mk(0.0, true), mk(100.0, false), mk(3700.0, false)];
-        let v = hourly_vcr(&ms, 2, 3600.0);
-        assert_eq!(v.len(), 2);
-        assert!((v[0] - 50.0).abs() < 1e-12);
-        assert_eq!(v[1], 0.0);
+        for i in 0..3 {
+            let mut rec = ctl.decide(&ctx(i));
+            assert!(!rec.degraded);
+            rec.violation = Some(true);
+            ctl.commit(rec);
+        }
+        assert!(ctl.is_degraded(), "three violations must engage fallback");
+        // While degraded the safe config is applied without consulting
+        // the inner policy.
+        let rec = ctl.decide(&ctx(3));
+        assert!(rec.degraded);
+        assert_eq!(rec.config, ctl.safe);
+        // Three clean intervals re-arm.
+        for i in 3..6 {
+            let mut rec = ctl.decide(&ctx(i));
+            rec.violation = Some(false);
+            ctl.commit(rec);
+        }
+        assert!(!ctl.is_degraded());
+        let rec = ctl.decide(&ctx(6));
+        assert!(!rec.degraded);
+        assert_eq!(rec.config, LambdaConfig::new(512, 32, 5.0));
+        // The audit trail kept every decision, flagged appropriately.
+        assert_eq!(ctl.audit().len(), 6);
+        assert_eq!(ctl.audit().iter().filter(|r| r.degraded).count(), 3);
     }
 
     #[test]

@@ -1,31 +1,119 @@
-//! Out-of-distribution drift detection (§III-D): the paper fine-tunes the
+//! Out-of-distribution drift detection (§III-D) and the runtime health
+//! monitor behind graceful degradation. The paper fine-tunes the
 //! surrogate "if there is a noticeable performance drop observed due to
 //! differences in data distributions" between the training data and the
-//! incoming arrival process. This module makes that trigger concrete: it
-//! summarises the training distribution of window statistics and scores
-//! incoming windows against it.
+//! incoming arrival process; [`DriftDetector`] makes that trigger
+//! concrete, and [`HealthMonitor`] turns the same prediction-health
+//! signals (violation streaks, online APE) into an engage/disengage
+//! switch for the safe fallback configuration.
 
 use serde::{Deserialize, Serialize};
 
-/// Summary of a window of interarrival times used for drift scoring.
-#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
-pub struct WindowStats {
-    /// Mean of log-interarrivals (log-rate proxy).
-    pub log_mean: f64,
-    /// Standard deviation of log-interarrivals (burstiness proxy).
-    pub log_std: f64,
+// `WindowStats` moved to `dbat-workload` so the sim-level audit records
+// can carry it; re-exported here to keep existing paths working.
+pub use dbat_workload::WindowStats;
+
+/// Tracks whether the controller's predictions can still be trusted.
+/// Two independent triggers engage degraded mode:
+///
+/// * a streak of `max_violation_streak` consecutive SLO-violating
+///   decision intervals, or
+/// * a rolling mean online APE (prediction vs. measurement of the
+///   constrained percentile) above `ape_threshold` over a full
+///   `ape_window` of measured intervals.
+///
+/// Once degraded, `recovery_intervals` consecutive violation-free
+/// intervals re-arm the controller. The asymmetry is deliberate: falling
+/// back must be fast (violations are user-visible), recovery can be
+/// cautious.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct HealthMonitor {
+    /// Consecutive violating intervals that trigger degradation.
+    pub max_violation_streak: usize,
+    /// Rolling mean online-APE (%) above which predictions are unhealthy.
+    pub ape_threshold: f64,
+    /// Number of APE observations the rolling mean is taken over.
+    pub ape_window: usize,
+    /// Consecutive clean intervals needed to leave degraded mode.
+    pub recovery_intervals: usize,
+    streak: usize,
+    apes: Vec<f64>,
+    degraded: bool,
+    clean: usize,
+    engagements: usize,
 }
 
-impl WindowStats {
-    pub fn from_window(window: &[f64]) -> Self {
-        assert!(!window.is_empty(), "window must be non-empty");
-        let logs: Vec<f64> = window.iter().map(|&x| (x + 1e-6).ln()).collect();
-        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
-        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
-        WindowStats {
-            log_mean: mean,
-            log_std: var.sqrt(),
+impl Default for HealthMonitor {
+    fn default() -> Self {
+        HealthMonitor {
+            max_violation_streak: 3,
+            ape_threshold: 50.0,
+            ape_window: 8,
+            recovery_intervals: 3,
+            streak: 0,
+            apes: Vec::new(),
+            degraded: false,
+            clean: 0,
+            engagements: 0,
         }
+    }
+}
+
+impl HealthMonitor {
+    pub fn new() -> Self {
+        HealthMonitor::default()
+    }
+
+    /// Currently in degraded (fallback) mode?
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// Times degraded mode has engaged so far.
+    pub fn engagements(&self) -> usize {
+        self.engagements
+    }
+
+    /// Feed one measured interval: its violation flag and (when the
+    /// policy predicted) its online APE. Returns `Some(new_state)` when
+    /// the degraded state flips, `None` otherwise.
+    pub fn observe(&mut self, violated: bool, online_ape: Option<f64>) -> Option<bool> {
+        if !self.degraded {
+            self.streak = if violated { self.streak + 1 } else { 0 };
+            if let Some(a) = online_ape {
+                self.apes.push(a);
+                if self.apes.len() > self.ape_window {
+                    self.apes.remove(0);
+                }
+            }
+            let ape_unhealthy = self.apes.len() >= self.ape_window
+                && self.apes.iter().sum::<f64>() / self.apes.len() as f64 > self.ape_threshold;
+            if self.streak >= self.max_violation_streak || ape_unhealthy {
+                self.degraded = true;
+                self.engagements += 1;
+                self.streak = 0;
+                self.clean = 0;
+                self.apes.clear();
+                return Some(true);
+            }
+            None
+        } else {
+            self.clean = if violated { 0 } else { self.clean + 1 };
+            if self.clean >= self.recovery_intervals {
+                self.degraded = false;
+                self.clean = 0;
+                return Some(false);
+            }
+            None
+        }
+    }
+
+    /// Forget all history (state, not thresholds).
+    pub fn reset(&mut self) {
+        self.streak = 0;
+        self.apes.clear();
+        self.degraded = false;
+        self.clean = 0;
     }
 }
 
@@ -212,5 +300,63 @@ mod tests {
         det.reset();
         assert_eq!(det.drift_fraction(), 0.0);
         assert!(!det.should_fine_tune());
+    }
+
+    #[test]
+    fn health_monitor_engages_on_violation_streak() {
+        let mut hm = HealthMonitor::default();
+        assert!(!hm.is_degraded());
+        assert_eq!(hm.observe(true, None), None);
+        assert_eq!(hm.observe(true, None), None);
+        assert_eq!(hm.observe(true, None), Some(true));
+        assert!(hm.is_degraded());
+        assert_eq!(hm.engagements(), 1);
+    }
+
+    #[test]
+    fn health_monitor_streak_resets_on_clean_interval() {
+        let mut hm = HealthMonitor::default();
+        hm.observe(true, None);
+        hm.observe(true, None);
+        hm.observe(false, None);
+        hm.observe(true, None);
+        hm.observe(true, None);
+        assert!(!hm.is_degraded(), "broken streak must not engage");
+    }
+
+    #[test]
+    fn health_monitor_engages_on_bad_ape() {
+        let mut hm = HealthMonitor {
+            ape_window: 4,
+            ape_threshold: 30.0,
+            ..HealthMonitor::default()
+        };
+        for _ in 0..3 {
+            assert_eq!(hm.observe(false, Some(80.0)), None);
+        }
+        assert_eq!(hm.observe(false, Some(80.0)), Some(true));
+        assert!(hm.is_degraded());
+    }
+
+    #[test]
+    fn health_monitor_recovers_after_clean_run() {
+        let mut hm = HealthMonitor::default();
+        for _ in 0..3 {
+            hm.observe(true, None);
+        }
+        assert!(hm.is_degraded());
+        hm.observe(false, None);
+        hm.observe(true, None); // relapse resets the clean counter
+        hm.observe(false, None);
+        hm.observe(false, None);
+        assert!(hm.is_degraded());
+        assert_eq!(hm.observe(false, None), Some(false));
+        assert!(!hm.is_degraded());
+        // It can engage again later.
+        for _ in 0..3 {
+            hm.observe(true, None);
+        }
+        assert!(hm.is_degraded());
+        assert_eq!(hm.engagements(), 2);
     }
 }

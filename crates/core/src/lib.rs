@@ -8,7 +8,7 @@
 //! * [`parser`] — the Workload Parser (raw interarrivals, no MAP fitting);
 //! * [`buffer`] — the reconfigurable batching Buffer;
 //! * [`surrogate`] — the deep surrogate model (Fig. 3 architecture);
-//! * [`traindata`] / [`train`] — offline training on simulator-labelled
+//! * [`traindata`] / [`mod@train`] — offline training on simulator-labelled
 //!   windows, plus OOD fine-tuning;
 //! * [`optimizer`] — the 2-step SLO/cost optimizer with the γ penalty;
 //! * [`controller`] — the online control loop and the measurement harness
@@ -25,10 +25,11 @@ pub mod traindata;
 
 pub use buffer::{Buffer, ReleaseReason, ReleasedBatch};
 pub use controller::{
-    estimate_gamma, hourly_vcr, measure_schedule, vcr_of, window_violates, DecisionRecord,
-    DeepBatController, IntervalMeasurement, ScheduleEntry,
+    estimate_gamma, hourly_vcr, measure_schedule, run_controller, vcr_of, window_violates,
+    Controller, DecisionContext, DecisionRecord, DeepBatController, GracefulController,
+    IntervalMeasurement, OracleController, RunOutcome, ScheduleEntry, StaticController,
 };
-pub use drift::{DriftDetector, WindowStats};
+pub use drift::{DriftDetector, HealthMonitor, WindowStats};
 pub use optimizer::{ConfigPrediction, Decision, DeepBatOptimizer};
 pub use parser::WorkloadParser;
 pub use surrogate::{Surrogate, SurrogateConfig};

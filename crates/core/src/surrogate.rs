@@ -23,6 +23,7 @@ use dbat_nn::{
     add_positional, tree_reduce_grads, Adam, Binder, Checkpoint, Graph, InitRng, Linear, Module,
     MultiHeadAttention, Standardizer, Tensor, TransformerEncoder, Var,
 };
+use dbat_workload::DbatError;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::sync::Mutex;
@@ -469,18 +470,19 @@ impl Surrogate {
         Checkpoint::new("deepbat-surrogate", params, meta).save(path)
     }
 
-    /// Load from a JSON checkpoint.
-    pub fn load(path: impl AsRef<std::path::Path>) -> std::io::Result<Self> {
+    /// Load from a JSON checkpoint. I/O problems surface as
+    /// [`DbatError::Io`]; malformed checkpoints as [`DbatError::Parse`].
+    pub fn load(path: impl AsRef<std::path::Path>) -> Result<Self, DbatError> {
         let ck = Checkpoint::load(path)?;
         let cfg: SurrogateConfig = serde_json::from_value(ck.meta["config"].clone())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            .map_err(|e| DbatError::Parse(format!("surrogate checkpoint config: {e}")))?;
         let mut model = Surrogate::new(cfg, 0);
         model.seq_std = serde_json::from_value(ck.meta["seq_std"].clone())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            .map_err(|e| DbatError::Parse(format!("surrogate checkpoint seq_std: {e}")))?;
         model.feat_std = serde_json::from_value(ck.meta["feat_std"].clone())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            .map_err(|e| DbatError::Parse(format!("surrogate checkpoint feat_std: {e}")))?;
         dbat_nn::load_into(ck.params, model.parameters_mut())
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+            .map_err(|e| DbatError::Parse(format!("surrogate checkpoint weights: {e}")))?;
         Ok(model)
     }
 }

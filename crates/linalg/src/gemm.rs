@@ -25,7 +25,7 @@
 //! results match the reference within a few ULPs (FMA keeps intermediate
 //! products unrounded — it is *more* accurate, not differently ordered).
 //!
-//! Row-blocks dispatch over rayon above [`PAR_FLOPS`] (each worker packs
+//! Row-blocks dispatch over rayon above `PAR_FLOPS` (each worker packs
 //! its own A panels; the shared B pack is read-only).
 
 use rayon::prelude::*;

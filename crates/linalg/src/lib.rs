@@ -8,15 +8,15 @@
 //! repeated matrix exponentials. This crate provides exactly that machinery:
 //!
 //! * [`Mat`] — dense row-major `f64` matrices whose `matmul` runs on the
-//!   packed [`gemm`] engine;
-//! * [`gemm`] — packed, register-tiled GEMM micro-kernels (normal and
+//!   packed [`mod@gemm`] engine;
+//! * [`mod@gemm`] — packed, register-tiled GEMM micro-kernels (normal and
 //!   transposed layouts) shared with the `dbat-nn` tensor kernels;
 //! * [`lu`] — LU factorisation, solves, inverses, determinants;
 //! * [`stationary`] — GTH-based stationary distributions (numerically robust
 //!   for rate matrices spanning many orders of magnitude);
-//! * [`expm`] — Padé scaling-and-squaring `exp(A)` and a [`Uniformizer`] for
+//! * [`mod@expm`] — Padé scaling-and-squaring `exp(A)` and a [`Uniformizer`] for
 //!   the repeated action `v·exp(Qt)` on time grids;
-//! * [`kron`] — Kronecker products/sums for expanded (phase × level)
+//! * [`mod@kron`] — Kronecker products/sums for expanded (phase × level)
 //!   generators.
 
 pub mod expm;

@@ -140,7 +140,7 @@ impl Mat {
     }
 
     /// Matrix product `self * other`. Large operands run on the packed,
-    /// register-tiled [`crate::gemm`] engine (rayon-parallel over row
+    /// register-tiled [`crate::gemm()`] engine (rayon-parallel over row
     /// blocks); small ones keep a naive `ikj` loop whose inner dimension
     /// the compiler vectorises.
     pub fn matmul(&self, other: &Mat) -> Mat {

@@ -2,7 +2,7 @@
 //! graph wraps.
 //!
 //! Matmul-family kernels (`matmul2d`, `bmm`, `bmm_nt`, `bmm_tn`) dispatch
-//! to the packed, register-tiled [`dbat_linalg::gemm`] engine when the
+//! to the packed, register-tiled [`dbat_linalg::gemm()`] engine when the
 //! problem is large enough to amortise packing, falling back to the naive
 //! triple loops for tiny operands. The naive loops are kept as `*_naive`
 //! reference implementations: the property-test suite asserts the packed

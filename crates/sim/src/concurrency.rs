@@ -13,6 +13,68 @@ use crate::config::LambdaConfig;
 use crate::engine::{run, Scheduler};
 use std::collections::VecDeque;
 
+/// Warm-container bookkeeping for the cold-start fault model
+/// ([`crate::faults`]): each entry is the time a container became idle.
+/// A container can serve a new invocation at time `t` if it went idle no
+/// later than `t` and has not sat idle longer than the keep-alive window.
+/// Reuse is LIFO (most-recently-idle first), matching observed Lambda
+/// behaviour, and the container count is unbounded — capacity limits are
+/// the throttle channel's job, not the pool's.
+#[derive(Clone, Debug)]
+pub struct ContainerPool {
+    keep_alive_s: f64,
+    /// Idle-since times; a container released with a future time is still
+    /// busy until then.
+    idle_since: Vec<f64>,
+}
+
+impl ContainerPool {
+    pub fn new(keep_alive_s: f64) -> Self {
+        assert!(keep_alive_s >= 0.0, "keep-alive must be >= 0");
+        ContainerPool {
+            keep_alive_s,
+            idle_since: Vec::new(),
+        }
+    }
+
+    /// Try to take a warm container at time `t`. Returns `true` on a warm
+    /// hit (the container leaves the pool) and `false` when a cold
+    /// container must be provisioned. Expired containers are pruned.
+    pub fn acquire(&mut self, t: f64) -> bool {
+        self.idle_since
+            .retain(|&since| since + self.keep_alive_s >= t);
+        // LIFO over the eligible (already idle) containers.
+        let best = self
+            .idle_since
+            .iter()
+            .enumerate()
+            .filter(|&(_, &since)| since <= t)
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i);
+        match best {
+            Some(i) => {
+                self.idle_since.swap_remove(i);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Hand a container (warm or freshly provisioned) back to the pool;
+    /// it is idle — and reusable — from `idle_at` on.
+    pub fn release(&mut self, idle_at: f64) {
+        self.idle_since.push(idle_at);
+    }
+
+    /// Containers that could serve an invocation arriving at `t`.
+    pub fn warm_count(&self, t: f64) -> usize {
+        self.idle_since
+            .iter()
+            .filter(|&&since| since <= t && since + self.keep_alive_s >= t)
+            .count()
+    }
+}
+
 /// Simulate batching with at most `max_concurrency` simultaneously running
 /// invocations; further batches wait in a FIFO dispatch queue. With
 /// `max_concurrency = usize::MAX` this reduces exactly to

@@ -1,5 +1,9 @@
-//! Serverless configurations `(M, B, T)` and the search grid over them.
+//! Serverless configurations `(M, B, T)`, the search grid over them, and
+//! the validated simulation/run settings bundle ([`SimConfig`]).
 
+use crate::batching::SimParams;
+use crate::faults::FaultPlan;
+use dbat_workload::DbatError;
 use serde::{Deserialize, Serialize};
 
 /// AWS Lambda memory bounds (MB), per the paper's Eq. (10e).
@@ -19,27 +23,35 @@ pub struct LambdaConfig {
 
 impl LambdaConfig {
     pub fn new(memory_mb: u32, batch_size: u32, timeout_s: f64) -> Self {
+        LambdaConfig::try_new(memory_mb, batch_size, timeout_s).expect("invalid configuration")
+    }
+
+    /// Fallible constructor: validates Eq. (10c)–(10e) instead of
+    /// panicking.
+    pub fn try_new(memory_mb: u32, batch_size: u32, timeout_s: f64) -> Result<Self, DbatError> {
         let c = LambdaConfig {
             memory_mb,
             batch_size,
             timeout_s,
         };
-        c.validate().expect("invalid configuration");
-        c
+        c.validate()?;
+        Ok(c)
     }
 
     /// Check the constraint set of the paper's Eq. (10c)–(10e).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), DbatError> {
         if self.batch_size < 1 {
-            return Err("batch size must be >= 1 (Eq. 10c)".into());
+            return Err(DbatError::config("batch size must be >= 1 (Eq. 10c)"));
         }
         if self.timeout_s < 0.0 || !self.timeout_s.is_finite() {
-            return Err("timeout must be finite and >= 0 (Eq. 10d)".into());
+            return Err(DbatError::config(
+                "timeout must be finite and >= 0 (Eq. 10d)",
+            ));
         }
         if !(MEMORY_MIN_MB..=MEMORY_MAX_MB).contains(&self.memory_mb) {
-            return Err(format!(
+            return Err(DbatError::config(format!(
                 "memory must be in [{MEMORY_MIN_MB}, {MEMORY_MAX_MB}] MB (Eq. 10e)"
-            ));
+            )));
         }
         Ok(())
     }
@@ -110,6 +122,104 @@ impl ConfigGrid {
     }
 }
 
+/// Everything a closed-loop run needs besides the policy itself: the
+/// simulator parameters, the SLO target, the decision cadence, and the
+/// fault-injection plan. `Default` is the paper setting (0.1 s SLO on
+/// p95, 60 s decisions, no faults); [`SimConfig::builder`] validates.
+#[derive(Clone, Debug)]
+pub struct SimConfig {
+    pub params: SimParams,
+    /// Latency SLO (seconds) on the constrained percentile.
+    pub slo: f64,
+    /// The constrained percentile (the paper uses p95).
+    pub percentile: f64,
+    /// Seconds between controller decisions.
+    pub decision_interval: f64,
+    /// Fault-injection plan (inert by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            params: SimParams::default(),
+            slo: 0.1,
+            percentile: 95.0,
+            decision_interval: 60.0,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+impl SimConfig {
+    pub fn new(slo: f64) -> Self {
+        SimConfig {
+            slo,
+            ..SimConfig::default()
+        }
+    }
+
+    pub fn builder() -> SimConfigBuilder {
+        SimConfigBuilder {
+            cfg: SimConfig::default(),
+        }
+    }
+
+    pub fn validate(&self) -> Result<(), DbatError> {
+        if !(self.slo > 0.0 && self.slo.is_finite()) {
+            return Err(DbatError::config("SLO must be finite and > 0"));
+        }
+        if !(self.percentile > 0.0 && self.percentile <= 100.0) {
+            return Err(DbatError::config("percentile must be in (0, 100]"));
+        }
+        if !(self.decision_interval > 0.0 && self.decision_interval.is_finite()) {
+            return Err(DbatError::config(
+                "decision interval must be finite and > 0",
+            ));
+        }
+        self.faults.validate()
+    }
+}
+
+/// Builder for [`SimConfig`]
+/// (`SimConfig::builder().slo(0.1).faults(plan).build()?`).
+#[derive(Clone, Debug, Default)]
+pub struct SimConfigBuilder {
+    cfg: SimConfig,
+}
+
+impl SimConfigBuilder {
+    pub fn params(mut self, params: SimParams) -> Self {
+        self.cfg.params = params;
+        self
+    }
+
+    pub fn slo(mut self, slo: f64) -> Self {
+        self.cfg.slo = slo;
+        self
+    }
+
+    pub fn percentile(mut self, percentile: f64) -> Self {
+        self.cfg.percentile = percentile;
+        self
+    }
+
+    pub fn decision_interval(mut self, seconds: f64) -> Self {
+        self.cfg.decision_interval = seconds;
+        self
+    }
+
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.cfg.faults = plan;
+        self
+    }
+
+    pub fn build(self) -> Result<SimConfig, DbatError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,5 +271,44 @@ mod tests {
     fn display_readable() {
         let c = LambdaConfig::new(2048, 16, 0.1);
         assert_eq!(format!("{c}"), "M=2048MB B=16 T=100ms");
+    }
+
+    #[test]
+    fn try_new_reports_instead_of_panicking() {
+        let e = LambdaConfig::try_new(1024, 0, 0.05).unwrap_err();
+        assert!(e.to_string().contains("batch size"));
+        assert!(LambdaConfig::try_new(1024, 8, 0.05).is_ok());
+    }
+
+    #[test]
+    fn sim_config_builder_validates() {
+        let cfg = SimConfig::builder()
+            .slo(0.2)
+            .percentile(99.0)
+            .decision_interval(30.0)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.slo, 0.2);
+        assert!(cfg.faults.is_inert());
+        assert!(SimConfig::builder().slo(-1.0).build().is_err());
+        assert!(SimConfig::builder().percentile(0.0).build().is_err());
+        assert!(SimConfig::builder().decision_interval(0.0).build().is_err());
+        let bad = FaultPlan {
+            failures: Some(crate::faults::FailureFault {
+                probability: 2.0,
+                ..Default::default()
+            }),
+            ..FaultPlan::default()
+        };
+        assert!(SimConfig::builder().faults(bad).build().is_err());
+    }
+
+    #[test]
+    fn sim_config_default_matches_paper_setting() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.slo, 0.1);
+        assert_eq!(cfg.percentile, 95.0);
+        assert_eq!(cfg.decision_interval, 60.0);
+        assert!(cfg.validate().is_ok());
     }
 }

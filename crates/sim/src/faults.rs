@@ -1,0 +1,1214 @@
+//! Fault injection for the serverless substrate.
+//!
+//! The paper (like BATCH) evaluates on an idealized Lambda: deterministic
+//! service times, instant scale-out, no failures. Real platforms inject
+//! cold starts, invocation failures, throttling, and stragglers — exactly
+//! the regime where SLO compliance is hard. This module adds a seeded,
+//! deterministic fault layer on top of the batching DES:
+//!
+//! * **cold starts** — the first batch served by a fresh container pays a
+//!   memory-dependent init delay `c(M)`; containers stay warm for a
+//!   configurable keep-alive window (see [`crate::concurrency::ContainerPool`]);
+//! * **invocation failures** — each attempt fails with probability
+//!   `p_fail(M)`; failed attempts are re-billed and retried with bounded
+//!   exponential backoff plus jitter;
+//! * **throttling** — a concurrency cap queues formed batches (or sheds
+//!   them beyond a finite queue capacity);
+//! * **stragglers** — attempts are slowed by a service-time multiplier
+//!   with some probability.
+//!
+//! All randomness comes from one xoshiro stream seeded by
+//! [`FaultPlan::seed`]; the event loop is deterministic, so the same seed
+//! reproduces the same event trace, latencies, and cost bit-for-bit.
+//! With an inert plan ([`FaultPlan::is_inert`]) the simulation delegates
+//! to [`crate::batching::simulate_batching`], keeping the zero-fault path
+//! bit-identical to the paper figures.
+
+use crate::batching::{simulate_batching, BatchRecord, RequestRecord, SimOutcome, SimParams};
+use crate::concurrency::ContainerPool;
+use crate::config::LambdaConfig;
+use crate::engine::{run, Scheduler};
+use crate::metrics::LatencySummary;
+use dbat_workload::{DbatError, Rng};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Cold-start model: a fresh container pays `c(M) = delay_s · ref/M` of
+/// init time before its first batch (bigger functions get more CPU and
+/// initialize faster). Containers stay reusable for `keep_alive_s` after
+/// their last invocation ends.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ColdStartFault {
+    /// Init delay (seconds) at the reference memory size.
+    pub delay_s: f64,
+    /// Memory size (MB) at which the delay equals `delay_s`.
+    pub ref_memory_mb: u32,
+    /// Idle window (seconds) a warm container survives after completion.
+    pub keep_alive_s: f64,
+}
+
+impl Default for ColdStartFault {
+    fn default() -> Self {
+        ColdStartFault {
+            delay_s: 0.5,
+            ref_memory_mb: 1792,
+            keep_alive_s: 300.0,
+        }
+    }
+}
+
+impl ColdStartFault {
+    /// Init delay for a container of `memory_mb`.
+    pub fn delay(&self, memory_mb: u32) -> f64 {
+        self.delay_s * self.ref_memory_mb as f64 / memory_mb as f64
+    }
+}
+
+/// Bounded retry policy for failed invocations.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Total attempts allowed per batch (1 = no retries).
+    pub max_attempts: u32,
+    /// First backoff delay (seconds).
+    pub backoff_base_s: f64,
+    /// Multiplier between consecutive backoffs (exponential backoff).
+    pub backoff_factor: f64,
+    /// Uniform jitter fraction: the actual backoff is scaled by
+    /// `1 + jitter·U[0,1)`.
+    pub jitter: f64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            backoff_base_s: 0.05,
+            backoff_factor: 2.0,
+            jitter: 0.1,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Deterministic part of the backoff before attempt `attempt + 1`
+    /// (0-based failed-attempt count ≥ 1).
+    pub fn backoff(&self, failed_attempts: u32) -> f64 {
+        self.backoff_base_s
+            * self
+                .backoff_factor
+                .powi(failed_attempts.saturating_sub(1) as i32)
+    }
+}
+
+/// Invocation-failure model: each attempt independently fails with
+/// `p_fail(M) = probability · (ref/M)^memory_exponent` (clamped to [0, 1]).
+/// The default exponent 0 makes failures memory-independent.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FailureFault {
+    pub probability: f64,
+    pub ref_memory_mb: u32,
+    pub memory_exponent: f64,
+    pub retry: RetryPolicy,
+}
+
+impl Default for FailureFault {
+    fn default() -> Self {
+        FailureFault {
+            probability: 0.01,
+            ref_memory_mb: 1792,
+            memory_exponent: 0.0,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl FailureFault {
+    /// Failure probability at `memory_mb`.
+    pub fn p_fail(&self, memory_mb: u32) -> f64 {
+        let scale = (self.ref_memory_mb as f64 / memory_mb as f64).powf(self.memory_exponent);
+        (self.probability * scale).clamp(0.0, 1.0)
+    }
+}
+
+/// Throttling: at most `max_concurrency` attempts run at once; formed
+/// batches beyond that wait in a FIFO queue of at most `queue_capacity`
+/// entries, and batches arriving at a full queue are shed (their requests
+/// count as failed).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ThrottleFault {
+    pub max_concurrency: usize,
+    pub queue_capacity: usize,
+}
+
+impl Default for ThrottleFault {
+    fn default() -> Self {
+        ThrottleFault {
+            max_concurrency: 16,
+            queue_capacity: usize::MAX,
+        }
+    }
+}
+
+/// Straggler model: an attempt's service time is multiplied by
+/// `multiplier` with probability `probability`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct StragglerFault {
+    pub probability: f64,
+    pub multiplier: f64,
+}
+
+impl Default for StragglerFault {
+    fn default() -> Self {
+        StragglerFault {
+            probability: 0.02,
+            multiplier: 4.0,
+        }
+    }
+}
+
+/// A seeded, deterministic fault-injection plan. `Default` is inert
+/// (no faults); enable individual channels via the struct fields or
+/// [`FaultPlan::builder`].
+#[derive(Clone, Copy, Debug, PartialEq, Default, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream; the same seed reproduces the same
+    /// event trace, latencies, and cost bit-for-bit.
+    pub seed: u64,
+    pub cold_start: Option<ColdStartFault>,
+    pub failures: Option<FailureFault>,
+    pub throttle: Option<ThrottleFault>,
+    pub stragglers: Option<StragglerFault>,
+}
+
+impl FaultPlan {
+    /// True when no fault channel is enabled; the simulator then takes
+    /// the bit-identical zero-fault path.
+    pub fn is_inert(&self) -> bool {
+        self.cold_start.is_none()
+            && self.failures.is_none()
+            && self.throttle.is_none()
+            && self.stragglers.is_none()
+    }
+
+    /// Validating builder (`FaultPlan::builder().failures(...).build()?`).
+    pub fn builder() -> FaultPlanBuilder {
+        FaultPlanBuilder {
+            plan: FaultPlan::default(),
+        }
+    }
+
+    /// The same plan with a different seed (used to derive per-interval
+    /// substreams in the closed-loop controller driver).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// A preset plan whose severity scales with `level ∈ [0, 1]`:
+    /// all four channels enabled, from barely-there (0) to hostile (1).
+    /// Used by the `abl_faults` sweep; the scaling is a benchmark
+    /// convention, not a platform measurement.
+    pub fn intensity(level: f64, seed: u64) -> Self {
+        let level = level.clamp(0.0, 1.0);
+        FaultPlan {
+            seed,
+            cold_start: Some(ColdStartFault {
+                delay_s: 0.8 * level,
+                ref_memory_mb: 1792,
+                keep_alive_s: 300.0,
+            }),
+            failures: Some(FailureFault {
+                probability: 0.15 * level,
+                ..FailureFault::default()
+            }),
+            throttle: Some(ThrottleFault {
+                max_concurrency: (18.0 - 14.0 * level).round().max(2.0) as usize,
+                queue_capacity: usize::MAX,
+            }),
+            stragglers: Some(StragglerFault {
+                probability: 0.10 * level,
+                multiplier: 3.0,
+            }),
+        }
+    }
+
+    /// Check every enabled channel's parameter domain.
+    pub fn validate(&self) -> Result<(), DbatError> {
+        if let Some(cs) = &self.cold_start {
+            if !(cs.delay_s >= 0.0 && cs.delay_s.is_finite()) {
+                return Err(DbatError::config(
+                    "cold-start delay must be finite and >= 0",
+                ));
+            }
+            if cs.keep_alive_s.is_nan() || cs.keep_alive_s < 0.0 {
+                return Err(DbatError::config("keep-alive must be >= 0"));
+            }
+            if cs.ref_memory_mb == 0 {
+                return Err(DbatError::config("cold-start ref memory must be > 0"));
+            }
+        }
+        if let Some(fl) = &self.failures {
+            if !(0.0..=1.0).contains(&fl.probability) {
+                return Err(DbatError::config("failure probability must be in [0, 1]"));
+            }
+            if fl.ref_memory_mb == 0 {
+                return Err(DbatError::config("failure ref memory must be > 0"));
+            }
+            let r = &fl.retry;
+            if r.max_attempts < 1 {
+                return Err(DbatError::config("retry max_attempts must be >= 1"));
+            }
+            if !(r.backoff_base_s >= 0.0 && r.backoff_base_s.is_finite()) {
+                return Err(DbatError::config("backoff base must be finite and >= 0"));
+            }
+            if !(r.backoff_factor >= 1.0 && r.backoff_factor.is_finite()) {
+                return Err(DbatError::config("backoff factor must be >= 1"));
+            }
+            if !(0.0..=1.0).contains(&r.jitter) {
+                return Err(DbatError::config("retry jitter must be in [0, 1]"));
+            }
+        }
+        if let Some(th) = &self.throttle {
+            if th.max_concurrency < 1 {
+                return Err(DbatError::config("max concurrency must be >= 1"));
+            }
+        }
+        if let Some(st) = &self.stragglers {
+            if !(0.0..=1.0).contains(&st.probability) {
+                return Err(DbatError::config("straggler probability must be in [0, 1]"));
+            }
+            if !(st.multiplier >= 1.0 && st.multiplier.is_finite()) {
+                return Err(DbatError::config("straggler multiplier must be >= 1"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FaultPlan`] with validation at `build()`.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlanBuilder {
+    plan: FaultPlan,
+}
+
+impl FaultPlanBuilder {
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.plan.seed = seed;
+        self
+    }
+
+    pub fn cold_start(mut self, cs: ColdStartFault) -> Self {
+        self.plan.cold_start = Some(cs);
+        self
+    }
+
+    pub fn failures(mut self, f: FailureFault) -> Self {
+        self.plan.failures = Some(f);
+        self
+    }
+
+    pub fn throttle(mut self, t: ThrottleFault) -> Self {
+        self.plan.throttle = Some(t);
+        self
+    }
+
+    pub fn stragglers(mut self, s: StragglerFault) -> Self {
+        self.plan.stragglers = Some(s);
+        self
+    }
+
+    pub fn build(self) -> Result<FaultPlan, DbatError> {
+        self.plan.validate()?;
+        Ok(self.plan)
+    }
+}
+
+/// One injected fault, timestamped in trace time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// A fresh container paid `delay_s` of init before `batch`'s attempt.
+    ColdStart { at: f64, batch: usize, delay_s: f64 },
+    /// Attempt `attempt` (1-based) of `batch` failed at its end time.
+    Failure { at: f64, batch: usize, attempt: u32 },
+    /// A retry of `batch` was scheduled to start at `at` after backoff.
+    Retry {
+        at: f64,
+        batch: usize,
+        attempt: u32,
+        backoff_s: f64,
+    },
+    /// `batch` exhausted its retry budget; its `requests` go unserved.
+    Exhausted {
+        at: f64,
+        batch: usize,
+        requests: usize,
+    },
+    /// `batch` hit the concurrency cap and entered the throttle queue.
+    Throttled { at: f64, batch: usize },
+    /// `batch` arrived at a full throttle queue and was shed.
+    Shed {
+        at: f64,
+        batch: usize,
+        requests: usize,
+    },
+    /// An attempt of `batch` was slowed by `multiplier`.
+    Straggler {
+        at: f64,
+        batch: usize,
+        multiplier: f64,
+    },
+}
+
+impl FaultEvent {
+    /// Event kind as a short label (telemetry / reports).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            FaultEvent::ColdStart { .. } => "cold_start",
+            FaultEvent::Failure { .. } => "failure",
+            FaultEvent::Retry { .. } => "retry",
+            FaultEvent::Exhausted { .. } => "exhausted",
+            FaultEvent::Throttled { .. } => "throttled",
+            FaultEvent::Shed { .. } => "shed",
+            FaultEvent::Straggler { .. } => "straggler",
+        }
+    }
+
+    /// Timestamp (trace seconds).
+    pub fn at(&self) -> f64 {
+        match *self {
+            FaultEvent::ColdStart { at, .. }
+            | FaultEvent::Failure { at, .. }
+            | FaultEvent::Retry { at, .. }
+            | FaultEvent::Exhausted { at, .. }
+            | FaultEvent::Throttled { at, .. }
+            | FaultEvent::Shed { at, .. }
+            | FaultEvent::Straggler { at, .. } => at,
+        }
+    }
+}
+
+// The vendored serde derive covers named-field structs only, so the
+// event's tagged-object encoding is written by hand.
+impl Serialize for FaultEvent {
+    fn serialize(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        let mut put = |k: &str, v: f64| {
+            m.insert(k.to_string(), serde::Value::Number(v));
+        };
+        put("at", self.at());
+        match *self {
+            FaultEvent::ColdStart { batch, delay_s, .. } => {
+                put("batch", batch as f64);
+                put("delay_s", delay_s);
+            }
+            FaultEvent::Failure { batch, attempt, .. } => {
+                put("batch", batch as f64);
+                put("attempt", attempt as f64);
+            }
+            FaultEvent::Retry {
+                batch,
+                attempt,
+                backoff_s,
+                ..
+            } => {
+                put("batch", batch as f64);
+                put("attempt", attempt as f64);
+                put("backoff_s", backoff_s);
+            }
+            FaultEvent::Exhausted {
+                batch, requests, ..
+            }
+            | FaultEvent::Shed {
+                batch, requests, ..
+            } => {
+                put("batch", batch as f64);
+                put("requests", requests as f64);
+            }
+            FaultEvent::Throttled { batch, .. } => {
+                put("batch", batch as f64);
+            }
+            FaultEvent::Straggler {
+                batch, multiplier, ..
+            } => {
+                put("batch", batch as f64);
+                put("multiplier", multiplier);
+            }
+        }
+        m.insert(
+            "kind".to_string(),
+            serde::Value::String(self.kind().to_string()),
+        );
+        serde::Value::Object(m)
+    }
+}
+
+/// Aggregated fault counts for one simulation (or one controller run).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultCounts {
+    pub cold_starts: usize,
+    pub failures: usize,
+    pub retries: usize,
+    /// Requests lost to retry exhaustion.
+    pub exhausted_requests: usize,
+    pub throttled: usize,
+    /// Requests lost to queue-overflow shedding.
+    pub shed_requests: usize,
+    pub stragglers: usize,
+}
+
+impl FaultCounts {
+    /// Requests that were never served (shed + retry-exhausted).
+    pub fn lost_requests(&self) -> usize {
+        self.exhausted_requests + self.shed_requests
+    }
+
+    pub fn absorb(&mut self, other: &FaultCounts) {
+        self.cold_starts += other.cold_starts;
+        self.failures += other.failures;
+        self.retries += other.retries;
+        self.exhausted_requests += other.exhausted_requests;
+        self.throttled += other.throttled;
+        self.shed_requests += other.shed_requests;
+        self.stragglers += other.stragglers;
+    }
+}
+
+/// Outcome of a fault-injected simulation. `sim.batches` holds one
+/// [`BatchRecord`] per *attempt* (so `sim.total_cost` includes re-billed
+/// retries and cold-start GB-seconds); unserved requests keep zeroed
+/// dispatch/completion fields and are excluded via [`FaultSimOutcome::served`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FaultSimOutcome {
+    pub sim: SimOutcome,
+    /// Per-request served flag, parallel to `sim.requests`.
+    pub served: Vec<bool>,
+    /// The injected fault events in occurrence order.
+    pub events: Vec<FaultEvent>,
+    pub counts: FaultCounts,
+}
+
+impl FaultSimOutcome {
+    /// Latencies of the served requests only.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.sim
+            .requests
+            .iter()
+            .zip(&self.served)
+            .filter(|&(_, &s)| s)
+            .map(|(r, _)| r.latency())
+            .collect()
+    }
+
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary::from_latencies(&self.latencies())
+    }
+
+    pub fn served_count(&self) -> usize {
+        self.served.iter().filter(|&&s| s).count()
+    }
+
+    /// Total cost (including failed attempts) per served request.
+    pub fn cost_per_request(&self) -> f64 {
+        let n = self.served_count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sim.total_cost / n as f64
+        }
+    }
+}
+
+// Deserialize for FaultEvent is only needed for round-tripping outcomes
+// in tests; reconstruct from the tagged object.
+impl Deserialize for FaultEvent {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let num = |k: &str| -> Result<f64, serde::Error> {
+            v.field(k)
+                .as_f64()
+                .ok_or_else(|| serde::Error::new(format!("missing field {k}")))
+        };
+        let at = num("at")?;
+        let kind = v
+            .field("kind")
+            .as_str()
+            .ok_or_else(|| serde::Error::new("missing field kind"))?;
+        Ok(match kind {
+            "cold_start" => FaultEvent::ColdStart {
+                at,
+                batch: num("batch")? as usize,
+                delay_s: num("delay_s")?,
+            },
+            "failure" => FaultEvent::Failure {
+                at,
+                batch: num("batch")? as usize,
+                attempt: num("attempt")? as u32,
+            },
+            "retry" => FaultEvent::Retry {
+                at,
+                batch: num("batch")? as usize,
+                attempt: num("attempt")? as u32,
+                backoff_s: num("backoff_s")?,
+            },
+            "exhausted" => FaultEvent::Exhausted {
+                at,
+                batch: num("batch")? as usize,
+                requests: num("requests")? as usize,
+            },
+            "throttled" => FaultEvent::Throttled {
+                at,
+                batch: num("batch")? as usize,
+            },
+            "shed" => FaultEvent::Shed {
+                at,
+                batch: num("batch")? as usize,
+                requests: num("requests")? as usize,
+            },
+            "straggler" => FaultEvent::Straggler {
+                at,
+                batch: num("batch")? as usize,
+                multiplier: num("multiplier")?,
+            },
+            other => return Err(serde::Error::new(format!("unknown fault kind {other}"))),
+        })
+    }
+}
+
+/// Telemetry handles for the fault layer, resolved once per run.
+struct FaultTel {
+    hub: &'static dbat_telemetry::Telemetry,
+    cold_starts: std::sync::Arc<dbat_telemetry::Counter>,
+    failures: std::sync::Arc<dbat_telemetry::Counter>,
+    retries: std::sync::Arc<dbat_telemetry::Counter>,
+    exhausted: std::sync::Arc<dbat_telemetry::Counter>,
+    throttled: std::sync::Arc<dbat_telemetry::Counter>,
+    shed: std::sync::Arc<dbat_telemetry::Counter>,
+    stragglers: std::sync::Arc<dbat_telemetry::Counter>,
+}
+
+impl FaultTel {
+    fn resolve() -> Option<FaultTel> {
+        let t = dbat_telemetry::global();
+        if !t.is_enabled() {
+            return None;
+        }
+        Some(FaultTel {
+            hub: t,
+            cold_starts: t.counter("sim.fault.cold_starts"),
+            failures: t.counter("sim.fault.failures"),
+            retries: t.counter("sim.fault.retries"),
+            exhausted: t.counter("sim.fault.exhausted_requests"),
+            throttled: t.counter("sim.fault.throttled"),
+            shed: t.counter("sim.fault.shed_requests"),
+            stragglers: t.counter("sim.fault.stragglers"),
+        })
+    }
+
+    fn record(&self, ev: &FaultEvent) {
+        match ev {
+            FaultEvent::ColdStart { .. } => self.cold_starts.inc(),
+            FaultEvent::Failure { .. } => self.failures.inc(),
+            FaultEvent::Retry { .. } => self.retries.inc(),
+            FaultEvent::Exhausted { requests, .. } => self.exhausted.add(*requests as u64),
+            FaultEvent::Throttled { .. } => self.throttled.inc(),
+            FaultEvent::Shed { requests, .. } => self.shed.add(*requests as u64),
+            FaultEvent::Straggler { .. } => self.stragglers.inc(),
+        }
+        self.hub.emit("sim.fault", serde_json::to_value(ev));
+    }
+}
+
+/// A formed batch awaiting (re)execution.
+struct PendingBatch {
+    members: Vec<usize>,
+    win_opened: f64,
+    /// Attempts already started.
+    attempts: u32,
+    /// Terminal state reached (served, shed, or exhausted).
+    done: bool,
+}
+
+/// Simulate the batching buffer with fault injection.
+///
+/// With `plan.is_inert()` this is exactly
+/// [`crate::batching::simulate_batching`] (bit-identical outcome, no RNG
+/// draws); otherwise the fault channels are applied as documented on
+/// [`FaultPlan`]. Panics on an invalid plan (validate with
+/// [`FaultPlan::validate`] or build via [`FaultPlan::builder`]).
+pub fn simulate_faults(
+    arrivals: &[f64],
+    cfg: &LambdaConfig,
+    params: &SimParams,
+    plan: &FaultPlan,
+) -> FaultSimOutcome {
+    if plan.is_inert() {
+        let sim = simulate_batching(arrivals, cfg, params, None);
+        let served = vec![true; sim.requests.len()];
+        return FaultSimOutcome {
+            sim,
+            served,
+            events: Vec::new(),
+            counts: FaultCounts::default(),
+        };
+    }
+    plan.validate().expect("invalid fault plan");
+    cfg.validate().expect("invalid configuration");
+    debug_assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+
+    enum Ev {
+        Arrival(usize),
+        Timeout(u64),
+        /// An attempt of `batch` ends; `fail` was drawn at start and
+        /// `record` indexes the attempt's [`BatchRecord`].
+        AttemptEnd {
+            batch: usize,
+            attempt: u32,
+            start: f64,
+            fail: bool,
+            record: usize,
+        },
+        /// A retry of `batch` becomes eligible after backoff.
+        RetryStart(usize),
+    }
+
+    let t0 = arrivals.first().copied().unwrap_or(0.0).min(0.0);
+    let mut sched: Scheduler<Ev> = Scheduler::new();
+    for (i, &a) in arrivals.iter().enumerate() {
+        sched.schedule(a - t0, Ev::Arrival(i));
+    }
+
+    let mut rng = Rng::new(plan.seed);
+    let mut buffer: Vec<usize> = Vec::new();
+    let mut opened_at = 0.0f64;
+    let mut epoch = 0u64;
+    let immediate = cfg.batch_size == 1 || cfg.timeout_s == 0.0;
+
+    let mut requests: Vec<RequestRecord> = arrivals
+        .iter()
+        .map(|&a| RequestRecord {
+            arrival: a,
+            dispatch: 0.0,
+            completion: 0.0,
+            batch: 0,
+        })
+        .collect();
+    let mut served = vec![false; arrivals.len()];
+    let mut batches: Vec<PendingBatch> = Vec::new();
+    let mut attempts: Vec<BatchRecord> = Vec::new();
+    let mut total_cost = 0.0;
+    let mut events: Vec<FaultEvent> = Vec::new();
+    let mut counts = FaultCounts::default();
+    let tel = FaultTel::resolve();
+
+    let mut pool = plan
+        .cold_start
+        .map(|cs| ContainerPool::new(cs.keep_alive_s));
+    let max_concurrency = plan.throttle.map_or(usize::MAX, |t| t.max_concurrency);
+    let queue_capacity = plan.throttle.map_or(usize::MAX, |t| t.queue_capacity);
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut running = 0usize;
+
+    let mut push_event =
+        |ev: FaultEvent, events: &mut Vec<FaultEvent>, counts: &mut FaultCounts| {
+            match ev {
+                FaultEvent::ColdStart { .. } => counts.cold_starts += 1,
+                FaultEvent::Failure { .. } => counts.failures += 1,
+                FaultEvent::Retry { .. } => counts.retries += 1,
+                FaultEvent::Exhausted { requests, .. } => counts.exhausted_requests += requests,
+                FaultEvent::Throttled { .. } => counts.throttled += 1,
+                FaultEvent::Shed { requests, .. } => counts.shed_requests += requests,
+                FaultEvent::Straggler { .. } => counts.stragglers += 1,
+            }
+            if let Some(tel) = &tel {
+                tel.record(&ev);
+            }
+            events.push(ev);
+        };
+
+    // Start one attempt of batch `b` at sim-time `t` (concurrency slot
+    // already reserved by the caller).
+    #[allow(clippy::too_many_arguments)]
+    fn start_attempt(
+        b: usize,
+        t: f64,
+        t0: f64,
+        cfg: &LambdaConfig,
+        params: &SimParams,
+        plan: &FaultPlan,
+        rng: &mut Rng,
+        pool: &mut Option<ContainerPool>,
+        batches: &mut [PendingBatch],
+        attempts: &mut Vec<BatchRecord>,
+        total_cost: &mut f64,
+        sch: &mut Scheduler<Ev>,
+        events: &mut Vec<FaultEvent>,
+        counts: &mut FaultCounts,
+        push_event: &mut impl FnMut(FaultEvent, &mut Vec<FaultEvent>, &mut FaultCounts),
+    ) {
+        let pb = &mut batches[b];
+        pb.attempts += 1;
+        let attempt = pb.attempts;
+        let size = pb.members.len() as u32;
+        let win_opened = pb.win_opened;
+
+        // Container acquisition: cold delay on a fresh container.
+        let cold = match (plan.cold_start, pool.as_mut()) {
+            (Some(cs), Some(pool)) => {
+                if pool.acquire(t) {
+                    0.0
+                } else {
+                    cs.delay(cfg.memory_mb)
+                }
+            }
+            _ => 0.0,
+        };
+        let mut service = params.profile.service_time(cfg.memory_mb, size);
+        // Draw order per attempt is fixed (straggler, then failure, then
+        // jitter on retry) so the event loop stays reproducible.
+        if let Some(st) = plan.stragglers {
+            if rng.bernoulli(st.probability) {
+                service *= st.multiplier;
+                push_event(
+                    FaultEvent::Straggler {
+                        at: t + t0,
+                        batch: b,
+                        multiplier: st.multiplier,
+                    },
+                    events,
+                    counts,
+                );
+            }
+        }
+        let fail = match plan.failures {
+            Some(fl) => rng.bernoulli(fl.p_fail(cfg.memory_mb)),
+            None => false,
+        };
+        let duration = cold + service;
+        if cold > 0.0 {
+            push_event(
+                FaultEvent::ColdStart {
+                    at: t + t0,
+                    batch: b,
+                    delay_s: cold,
+                },
+                events,
+                counts,
+            );
+        }
+        if let Some(pool) = pool.as_mut() {
+            pool.release(t + duration);
+        }
+        // Every attempt is billed in full: cold-start GB-seconds and
+        // failed invocations included.
+        let cost = params
+            .pricing
+            .invocation_cost_with_init(cfg.memory_mb, cold, service);
+        *total_cost += cost;
+        let record = attempts.len();
+        attempts.push(BatchRecord {
+            opened_at: win_opened + t0,
+            dispatched_at: t + t0,
+            size,
+            service_s: service,
+            cold_start_s: cold,
+            cost,
+        });
+        sch.schedule(
+            t + duration,
+            Ev::AttemptEnd {
+                batch: b,
+                attempt,
+                start: t,
+                fail,
+                record,
+            },
+        );
+    }
+
+    run(&mut sched, |t, ev, sch| {
+        // Admission: start, queue, or shed a formed batch.
+        macro_rules! admit {
+            ($b:expr, $t:expr) => {{
+                let b = $b;
+                let at = $t;
+                if running < max_concurrency {
+                    running += 1;
+                    start_attempt(
+                        b,
+                        at,
+                        t0,
+                        cfg,
+                        params,
+                        plan,
+                        &mut rng,
+                        &mut pool,
+                        &mut batches,
+                        &mut attempts,
+                        &mut total_cost,
+                        sch,
+                        &mut events,
+                        &mut counts,
+                        &mut push_event,
+                    );
+                } else if queue.len() < queue_capacity {
+                    queue.push_back(b);
+                    push_event(
+                        FaultEvent::Throttled {
+                            at: at + t0,
+                            batch: b,
+                        },
+                        &mut events,
+                        &mut counts,
+                    );
+                } else {
+                    batches[b].done = true;
+                    let n = batches[b].members.len();
+                    push_event(
+                        FaultEvent::Shed {
+                            at: at + t0,
+                            batch: b,
+                            requests: n,
+                        },
+                        &mut events,
+                        &mut counts,
+                    );
+                }
+            }};
+        }
+
+        match ev {
+            Ev::Arrival(i) => {
+                if buffer.is_empty() {
+                    opened_at = t;
+                    if !immediate && cfg.timeout_s.is_finite() {
+                        sch.schedule(t + cfg.timeout_s, Ev::Timeout(epoch));
+                    }
+                }
+                buffer.push(i);
+                if immediate || buffer.len() as u32 >= cfg.batch_size {
+                    let members = std::mem::take(&mut buffer);
+                    epoch += 1;
+                    let b = batches.len();
+                    batches.push(PendingBatch {
+                        members,
+                        win_opened: opened_at,
+                        attempts: 0,
+                        done: false,
+                    });
+                    admit!(b, t);
+                }
+            }
+            Ev::Timeout(e) => {
+                if e == epoch && !buffer.is_empty() {
+                    let members = std::mem::take(&mut buffer);
+                    epoch += 1;
+                    let b = batches.len();
+                    batches.push(PendingBatch {
+                        members,
+                        win_opened: opened_at,
+                        attempts: 0,
+                        done: false,
+                    });
+                    admit!(b, t);
+                }
+            }
+            Ev::AttemptEnd {
+                batch: b,
+                attempt,
+                start,
+                fail,
+                record,
+            } => {
+                running -= 1;
+                if !fail {
+                    batches[b].done = true;
+                    let completion = t + t0;
+                    // `members` is moved out to appease the borrow checker.
+                    let members = std::mem::take(&mut batches[b].members);
+                    for &i in &members {
+                        requests[i].dispatch = start + t0;
+                        requests[i].completion = completion;
+                        requests[i].batch = record;
+                        served[i] = true;
+                    }
+                    batches[b].members = members;
+                } else {
+                    push_event(
+                        FaultEvent::Failure {
+                            at: t + t0,
+                            batch: b,
+                            attempt,
+                        },
+                        &mut events,
+                        &mut counts,
+                    );
+                    let retry = plan.failures.map(|f| f.retry).unwrap_or_default();
+                    if attempt < retry.max_attempts {
+                        let jitter = if retry.jitter > 0.0 {
+                            1.0 + retry.jitter * rng.uniform()
+                        } else {
+                            1.0
+                        };
+                        let backoff = retry.backoff(attempt) * jitter;
+                        push_event(
+                            FaultEvent::Retry {
+                                at: t + backoff + t0,
+                                batch: b,
+                                attempt: attempt + 1,
+                                backoff_s: backoff,
+                            },
+                            &mut events,
+                            &mut counts,
+                        );
+                        sch.schedule(t + backoff, Ev::RetryStart(b));
+                    } else {
+                        batches[b].done = true;
+                        push_event(
+                            FaultEvent::Exhausted {
+                                at: t + t0,
+                                batch: b,
+                                requests: batches[b].members.len(),
+                            },
+                            &mut events,
+                            &mut counts,
+                        );
+                    }
+                }
+                // A slot freed: admit the longest-waiting queued batch.
+                if let Some(nb) = queue.pop_front() {
+                    running += 1;
+                    start_attempt(
+                        nb,
+                        t,
+                        t0,
+                        cfg,
+                        params,
+                        plan,
+                        &mut rng,
+                        &mut pool,
+                        &mut batches,
+                        &mut attempts,
+                        &mut total_cost,
+                        sch,
+                        &mut events,
+                        &mut counts,
+                        &mut push_event,
+                    );
+                }
+            }
+            Ev::RetryStart(b) => {
+                if !batches[b].done {
+                    admit!(b, t);
+                }
+            }
+        }
+    });
+
+    debug_assert!(buffer.is_empty(), "all requests must leave the buffer");
+    FaultSimOutcome {
+        sim: SimOutcome {
+            requests,
+            batches: attempts,
+            total_cost,
+        },
+        served,
+        events,
+        counts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SimParams {
+        SimParams::default()
+    }
+
+    fn dense(n: usize, dt: f64) -> Vec<f64> {
+        (0..n).map(|i| i as f64 * dt).collect()
+    }
+
+    #[test]
+    fn inert_plan_is_bit_identical_to_base_simulator() {
+        let arrivals = dense(200, 0.011);
+        let cfg = LambdaConfig::new(2048, 4, 0.05);
+        let base = simulate_batching(&arrivals, &cfg, &params(), None);
+        let out = simulate_faults(&arrivals, &cfg, &params(), &FaultPlan::default());
+        assert!(out.events.is_empty());
+        assert_eq!(out.counts, FaultCounts::default());
+        assert_eq!(base.total_cost.to_bits(), out.sim.total_cost.to_bits());
+        assert_eq!(base.requests.len(), out.sim.requests.len());
+        for (a, b) in base.requests.iter().zip(&out.sim.requests) {
+            assert_eq!(a.completion.to_bits(), b.completion.to_bits());
+            assert_eq!(a.dispatch.to_bits(), b.dispatch.to_bits());
+        }
+        assert!(out.served.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn cold_start_paid_once_within_keep_alive() {
+        let plan = FaultPlan {
+            cold_start: Some(ColdStartFault {
+                delay_s: 0.5,
+                ref_memory_mb: 2048,
+                keep_alive_s: 100.0,
+            }),
+            ..FaultPlan::default()
+        };
+        // Two well-separated single-request batches; the second reuses the
+        // warm container.
+        let cfg = LambdaConfig::new(2048, 1, 0.0);
+        let out = simulate_faults(&[0.0, 10.0], &cfg, &params(), &plan);
+        assert_eq!(out.counts.cold_starts, 1);
+        let s = params().profile.service_time(2048, 1);
+        assert!((out.sim.requests[0].latency() - (0.5 + s)).abs() < 1e-12);
+        assert!((out.sim.requests[1].latency() - s).abs() < 1e-12);
+        // Cold GB-seconds are billed: first attempt costs more.
+        assert!(out.sim.batches[0].cost > out.sim.batches[1].cost);
+    }
+
+    #[test]
+    fn expired_keep_alive_pays_again() {
+        let plan = FaultPlan {
+            cold_start: Some(ColdStartFault {
+                delay_s: 0.5,
+                ref_memory_mb: 2048,
+                keep_alive_s: 1.0,
+            }),
+            ..FaultPlan::default()
+        };
+        let cfg = LambdaConfig::new(2048, 1, 0.0);
+        let out = simulate_faults(&[0.0, 50.0], &cfg, &params(), &plan);
+        assert_eq!(out.counts.cold_starts, 2);
+    }
+
+    #[test]
+    fn total_failure_exhausts_and_bills_every_attempt() {
+        let plan = FaultPlan {
+            failures: Some(FailureFault {
+                probability: 1.0,
+                retry: RetryPolicy {
+                    max_attempts: 3,
+                    backoff_base_s: 0.01,
+                    backoff_factor: 2.0,
+                    jitter: 0.0,
+                },
+                ..FailureFault::default()
+            }),
+            ..FaultPlan::default()
+        };
+        let cfg = LambdaConfig::new(2048, 1, 0.0);
+        let out = simulate_faults(&[0.0], &cfg, &params(), &plan);
+        assert_eq!(out.sim.batches.len(), 3, "three billed attempts");
+        assert_eq!(out.counts.failures, 3);
+        assert_eq!(out.counts.retries, 2);
+        assert_eq!(out.counts.exhausted_requests, 1);
+        assert_eq!(out.served_count(), 0);
+        let one = params()
+            .pricing
+            .invocation_cost(2048, params().profile.service_time(2048, 1));
+        assert!((out.sim.total_cost - 3.0 * one).abs() < 1e-15);
+    }
+
+    #[test]
+    fn throttle_queues_and_sheds() {
+        let plan = FaultPlan {
+            throttle: Some(ThrottleFault {
+                max_concurrency: 1,
+                queue_capacity: 1,
+            }),
+            ..FaultPlan::default()
+        };
+        // Three immediate single-request batches: one runs, one queues,
+        // one is shed.
+        let cfg = LambdaConfig::new(2048, 1, 0.0);
+        let out = simulate_faults(&[0.0, 0.001, 0.002], &cfg, &params(), &plan);
+        assert_eq!(out.counts.throttled, 1);
+        assert_eq!(out.counts.shed_requests, 1);
+        assert_eq!(out.served_count(), 2);
+        // The queued batch starts only after the first completes.
+        let lat: Vec<f64> = out.latencies();
+        let s = params().profile.service_time(2048, 1);
+        assert!(lat.iter().any(|&l| l > 1.5 * s), "queued latency {lat:?}");
+    }
+
+    #[test]
+    fn straggler_inflates_latency() {
+        let plan = FaultPlan {
+            stragglers: Some(StragglerFault {
+                probability: 1.0,
+                multiplier: 5.0,
+            }),
+            ..FaultPlan::default()
+        };
+        let cfg = LambdaConfig::new(2048, 1, 0.0);
+        let out = simulate_faults(&[0.0], &cfg, &params(), &plan);
+        let s = params().profile.service_time(2048, 1);
+        assert!((out.sim.requests[0].latency() - 5.0 * s).abs() < 1e-12);
+        assert_eq!(out.counts.stragglers, 1);
+    }
+
+    #[test]
+    fn same_seed_reproduces_bitwise() {
+        let plan = FaultPlan::intensity(0.7, 42);
+        let arrivals = dense(400, 0.004);
+        let cfg = LambdaConfig::new(1024, 4, 0.02);
+        let a = simulate_faults(&arrivals, &cfg, &params(), &plan);
+        let b = simulate_faults(&arrivals, &cfg, &params(), &plan);
+        assert_eq!(a.events, b.events);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.sim.total_cost.to_bits(), b.sim.total_cost.to_bits());
+        for (x, y) in a.sim.requests.iter().zip(&b.sim.requests) {
+            assert_eq!(x.completion.to_bits(), y.completion.to_bits());
+        }
+        // A different seed perturbs the outcome.
+        let c = simulate_faults(&arrivals, &cfg, &params(), &plan.with_seed(43));
+        assert_ne!(a.events, c.events);
+    }
+
+    #[test]
+    fn builder_validates() {
+        assert!(FaultPlan::builder()
+            .failures(FailureFault {
+                probability: 1.5,
+                ..FailureFault::default()
+            })
+            .build()
+            .is_err());
+        assert!(FaultPlan::builder()
+            .throttle(ThrottleFault {
+                max_concurrency: 0,
+                queue_capacity: 0,
+            })
+            .build()
+            .is_err());
+        let plan = FaultPlan::builder()
+            .seed(9)
+            .cold_start(ColdStartFault::default())
+            .stragglers(StragglerFault::default())
+            .build()
+            .unwrap();
+        assert_eq!(plan.seed, 9);
+        assert!(!plan.is_inert());
+    }
+
+    #[test]
+    fn fault_events_roundtrip_serde() {
+        let plan = FaultPlan::intensity(0.8, 7);
+        let out = simulate_faults(
+            &dense(150, 0.006),
+            &LambdaConfig::new(1024, 2, 0.02),
+            &params(),
+            &plan,
+        );
+        assert!(!out.events.is_empty());
+        for ev in &out.events {
+            let v = serde_json::to_value(ev);
+            let back = FaultEvent::deserialize(&v).unwrap();
+            assert_eq!(*ev, back);
+        }
+    }
+}

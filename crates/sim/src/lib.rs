@@ -2,7 +2,7 @@
 //!
 //! Discrete-event serverless-batching simulator — the reproduction's
 //! ground-truth oracle, mirroring how the paper obtains its ground truth
-//! ("by simulation as in [10], [18]", §IV-A).
+//! ("by simulation as in \[10\], \[18\]", §IV-A).
 //!
 //! * [`engine`] — generic future-event-list DES core;
 //! * [`config`] — `(M, B, T)` configurations and the shared search grid;
@@ -10,12 +10,18 @@
 //! * [`pricing`] — AWS Lambda pay-as-you-go cost model;
 //! * [`batching`] — the buffer/batch/dispatch simulation;
 //! * [`metrics`] — latency summaries and the VCR metric (Eq. 11);
-//! * [`sweep`] — rayon-parallel exhaustive grid search (Eq. 10 optimum).
+//! * [`faults`] — seeded fault injection (cold starts, failures + retry,
+//!   throttling, stragglers) layered on the batching DES;
+//! * [`controller`] — the [`Controller`] trait the closed-loop policies
+//!   implement, plus the shared measurement/audit machinery and driver;
+//! * [`mod@sweep`] — rayon-parallel exhaustive grid search (Eq. 10 optimum).
 
 pub mod batching;
 pub mod concurrency;
 pub mod config;
+pub mod controller;
 pub mod engine;
+pub mod faults;
 pub mod metrics;
 pub mod pricing;
 pub mod service;
@@ -24,8 +30,19 @@ pub mod sweep;
 pub use batching::{
     simulate_batching, BatchRecord, ColdStart, RequestRecord, SimOutcome, SimParams,
 };
-pub use concurrency::simulate_with_concurrency;
-pub use config::{ConfigGrid, LambdaConfig, MEMORY_MAX_MB, MEMORY_MIN_MB};
+pub use concurrency::{simulate_with_concurrency, ContainerPool};
+pub use config::{
+    ConfigGrid, LambdaConfig, SimConfig, SimConfigBuilder, MEMORY_MAX_MB, MEMORY_MIN_MB,
+};
+pub use controller::{
+    hourly_vcr, measure_schedule, run_controller, vcr_of, Controller, DecisionContext,
+    DecisionRecord, IntervalMeasurement, OracleController, RunOutcome, ScheduleEntry,
+    StaticController,
+};
+pub use faults::{
+    simulate_faults, ColdStartFault, FailureFault, FaultCounts, FaultEvent, FaultPlan,
+    FaultPlanBuilder, FaultSimOutcome, RetryPolicy, StragglerFault, ThrottleFault,
+};
 pub use metrics::{vcr, LatencySummary, PERCENTILE_KEYS};
 pub use pricing::Pricing;
 pub use service::ServiceProfile;

@@ -34,6 +34,23 @@ impl Pricing {
         assert!(batch >= 1);
         self.invocation_cost(memory_mb, duration_s) / batch as f64
     }
+
+    /// Cost of an invocation whose container paid `init_s` of cold-start
+    /// initialisation before `service_s` of work. The init phase is billed
+    /// as regular GB-seconds (the post-2025 Lambda billing model), so a
+    /// cold invocation costs strictly more than a warm one.
+    pub fn invocation_cost_with_init(&self, memory_mb: u32, init_s: f64, service_s: f64) -> f64 {
+        assert!(init_s >= 0.0);
+        self.invocation_cost(memory_mb, init_s + service_s)
+    }
+
+    /// Total cost of an invocation that was attempted `attempts` times
+    /// (each failed attempt is billed in full: duration plus the flat
+    /// per-request fee). Used by the fault layer's retry re-billing.
+    pub fn retry_cost(&self, memory_mb: u32, duration_s: f64, attempts: u32) -> f64 {
+        assert!(attempts >= 1);
+        attempts as f64 * self.invocation_cost(memory_mb, duration_s)
+    }
 }
 
 #[cfg(test)]

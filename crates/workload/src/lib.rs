@@ -10,12 +10,14 @@
 //! * [`map`] / [`mmpp`] — Markovian Arrival Processes and the MMPP(2)
 //!   special case, with exact moment/correlation/IDC formulas and simulation;
 //! * [`trace`] — sorted timestamp sequences with slicing/binning;
-//! * [`nhpp`] — non-homogeneous Poisson generation by thinning;
+//! * [`mod@nhpp`] — non-homogeneous Poisson generation by thinning;
 //! * [`traces`] — the Azure/Twitter/Alibaba-like and MAP-synthetic
 //!   generators (Fig. 4/5 workloads);
+//! * [`error`] — the workspace-wide [`DbatError`] for fallible APIs;
 //! * [`stats`] — empirical moments, ACF, IDC, percentiles, MAPE;
 //! * [`window`] — fixed-length interarrival windows (the surrogate's input).
 
+pub mod error;
 pub mod io;
 pub mod map;
 pub mod mmpp;
@@ -26,6 +28,7 @@ pub mod trace;
 pub mod traces;
 pub mod window;
 
+pub use error::DbatError;
 pub use io::{read_trace, read_trace_auto, write_trace, TraceIoError};
 pub use map::{Map, MapError};
 pub use mmpp::Mmpp2;
@@ -33,7 +36,7 @@ pub use nhpp::nhpp;
 pub use rng::Rng;
 pub use stats::{
     autocorrelation, idc_by_counts, idc_from_interarrivals, idc_series, mape, mean, percentile,
-    percentile_sorted, scv, variance,
+    percentile_sorted, scv, variance, WindowStats,
 };
 pub use trace::Trace;
 pub use traces::{synthetic_segments, SyntheticSegment, TraceKind, DAY, HOUR};

@@ -6,6 +6,7 @@
 //! model BATCH fits to observed traces and the building block of the paper's
 //! synthetic MAP-generated workload.
 
+use crate::error::DbatError;
 use crate::map::{Map, MapError};
 use dbat_linalg::Mat;
 
@@ -24,9 +25,23 @@ pub struct Mmpp2 {
 
 impl Mmpp2 {
     pub fn new(r1: f64, r2: f64, s1: f64, s2: f64) -> Self {
-        assert!(r1 >= 0.0 && r2 >= 0.0, "arrival rates must be non-negative");
-        assert!(s1 > 0.0 && s2 > 0.0, "switching rates must be positive");
-        Mmpp2 { r1, r2, s1, s2 }
+        Mmpp2::try_new(r1, r2, s1, s2).expect("invalid MMPP(2) parameters")
+    }
+
+    /// Fallible constructor: rejects negative arrival rates and
+    /// non-positive switching rates instead of panicking.
+    pub fn try_new(r1: f64, r2: f64, s1: f64, s2: f64) -> Result<Self, DbatError> {
+        if !(r1 >= 0.0 && r2 >= 0.0) {
+            return Err(DbatError::parameter(format!(
+                "arrival rates must be non-negative (r1={r1}, r2={r2})"
+            )));
+        }
+        if !(s1 > 0.0 && s2 > 0.0) {
+            return Err(DbatError::parameter(format!(
+                "switching rates must be positive (s1={s1}, s2={s2})"
+            )));
+        }
+        Ok(Mmpp2 { r1, r2, s1, s2 })
     }
 
     /// Stationary probability of being in phase 1.
@@ -71,7 +86,18 @@ impl Mmpp2 {
     /// the construction solves the closed-form IDC expression for the
     /// switching rates.
     pub fn from_targets(rate: f64, idc: f64, ratio: f64, p1: f64) -> Self {
-        assert!(rate > 0.0 && idc > 1.0 && ratio > 1.0 && (0.0..1.0).contains(&p1) && p1 > 0.0);
+        Mmpp2::try_from_targets(rate, idc, ratio, p1).expect("invalid MMPP(2) targets")
+    }
+
+    /// Fallible variant of [`Mmpp2::from_targets`] validating the target
+    /// domain (`rate > 0`, `idc > 1`, `ratio > 1`, `p1 ∈ (0, 1)`).
+    pub fn try_from_targets(rate: f64, idc: f64, ratio: f64, p1: f64) -> Result<Self, DbatError> {
+        if !(rate > 0.0 && idc > 1.0 && ratio > 1.0 && (0.0..1.0).contains(&p1) && p1 > 0.0) {
+            return Err(DbatError::parameter(format!(
+                "targets out of domain: need rate > 0, idc > 1, ratio > 1, p1 in (0,1) \
+                 (got rate={rate}, idc={idc}, ratio={ratio}, p1={p1})"
+            )));
+        }
         let p2 = 1.0 - p1;
         // rate = p1 r1 + p2 r2 and r1 = ratio * r2:
         let r2 = rate / (p1 * ratio + p2);
@@ -81,7 +107,7 @@ impl Mmpp2 {
         // p1 = s2/(s1+s2):
         let s2 = p1 * s_total;
         let s1 = s_total - s2;
-        Mmpp2::new(r1, r2, s1, s2)
+        Mmpp2::try_new(r1, r2, s1, s2)
     }
 }
 

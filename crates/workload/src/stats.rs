@@ -2,6 +2,31 @@
 //! and the index of dispersion for counts (IDC) used in the paper's Fig. 5.
 
 use crate::trace::Trace;
+use serde::{Deserialize, Serialize};
+
+/// Log-scale summary of a window of interarrival times. Shared by the
+/// drift detector (`dbat-core`) and the controller audit trail
+/// (`dbat-sim::controller`), hence it lives at the bottom of the stack.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Mean of log-interarrivals (log-rate proxy).
+    pub log_mean: f64,
+    /// Standard deviation of log-interarrivals (burstiness proxy).
+    pub log_std: f64,
+}
+
+impl WindowStats {
+    pub fn from_window(window: &[f64]) -> Self {
+        assert!(!window.is_empty(), "window must be non-empty");
+        let logs: Vec<f64> = window.iter().map(|&x| (x + 1e-6).ln()).collect();
+        let mean = logs.iter().sum::<f64>() / logs.len() as f64;
+        let var = logs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / logs.len() as f64;
+        WindowStats {
+            log_mean: mean,
+            log_std: var.sqrt(),
+        }
+    }
+}
 
 /// Arithmetic mean; 0 for an empty slice.
 pub fn mean(xs: &[f64]) -> f64 {

@@ -155,6 +155,7 @@ fn main() {
                 grid_size: optimizer.grid.len(),
                 bootstrap: true,
                 fallback: false,
+                degraded: false,
                 config: bootstrap_cfg,
                 predicted_percentiles: None,
                 predicted_cost_micro: None,

@@ -152,7 +152,7 @@ fn parse_config(opts: &HashMap<String, String>) -> Result<LambdaConfig, String> 
         batch_size: b,
         timeout_s: t,
     };
-    cfg.validate()?;
+    cfg.validate().map_err(|e| e.to_string())?;
     Ok(cfg)
 }
 

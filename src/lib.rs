@@ -17,7 +17,7 @@
 //! | crate | contents |
 //! |---|---|
 //! | [`workload`] | MAP/MMPP arrival processes, the four synthetic evaluation traces, burstiness statistics (IDC/SCV/ACF) |
-//! | [`sim`] | discrete-event serverless batching simulator + AWS Lambda cost model (the ground-truth oracle) |
+//! | [`sim`] | discrete-event serverless batching simulator + AWS Lambda cost model (the ground-truth oracle), seeded fault injection, and the unified [`prelude::Controller`] trait |
 //! | [`linalg`] | dense matrices, LU, GTH, matrix exponentials (uniformization) |
 //! | [`analytic`] | the BATCH baseline: MAP fitting + matrix-analytic latency model + grid optimizer |
 //! | [`nn`] | tensors, reverse-mode autograd, Transformer layers, Adam |
@@ -61,15 +61,16 @@ pub use dbat_workload as workload;
 pub mod prelude {
     pub use dbat_analytic::{fit_map, optimize_from_interarrivals, BatchController, BatchModel};
     pub use dbat_core::{
-        estimate_gamma, fine_tune, generate_dataset, measure_schedule, train, Buffer,
-        DecisionRecord, DeepBatController, DeepBatOptimizer, Surrogate, SurrogateConfig,
-        TrainConfig, WorkloadParser,
+        estimate_gamma, fine_tune, generate_dataset, measure_schedule, run_controller, train,
+        Buffer, Controller, DecisionContext, DecisionRecord, DeepBatController, DeepBatOptimizer,
+        GracefulController, HealthMonitor, Surrogate, SurrogateConfig, TrainConfig, WorkloadParser,
     };
     pub use dbat_nn::{Module, Tensor};
     pub use dbat_sim::{
-        simulate_batching, ConfigGrid, LambdaConfig, LatencySummary, Pricing, ServiceProfile,
-        SimParams,
+        simulate_batching, simulate_faults, ConfigGrid, FaultPlan, LambdaConfig, LatencySummary,
+        OracleController, Pricing, RunOutcome, ServiceProfile, SimConfig, SimParams,
+        StaticController,
     };
     pub use dbat_telemetry::{global as telemetry, JsonlSink, MemorySink};
-    pub use dbat_workload::{Map, Mmpp2, Rng, Trace, TraceKind, Window, DAY, HOUR};
+    pub use dbat_workload::{DbatError, Map, Mmpp2, Rng, Trace, TraceKind, Window, DAY, HOUR};
 }
