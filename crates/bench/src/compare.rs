@@ -214,6 +214,7 @@ mod tests {
             cold_starts: 0,
             retries: 0,
             lost: 0,
+            wall_s: 0.0,
         };
         // 100 requests at 1µ$ + 300 at 2µ$ => 1.75 µ$/req weighted.
         let row = summary_row("x", &[mk(100, 1e-6, true), mk(300, 2e-6, false)]);

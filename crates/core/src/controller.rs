@@ -86,8 +86,9 @@ impl DeepBatController {
         start: f64,
         end: f64,
     ) -> DecisionRecord {
+        let t_decide = std::time::Instant::now();
         let l = model.cfg.seq_len;
-        match window_at_time(trace, start, l, 1.0) {
+        let mut rec = match window_at_time(trace, start, l, 1.0) {
             Some(w) => {
                 let decision = self.optimizer.choose(model, &w.interarrivals);
                 let mut rec = DecisionRecord::new(
@@ -120,7 +121,9 @@ impl DeepBatController {
                 rec.grid_size = self.optimizer.grid.len();
                 rec
             }
-        }
+        };
+        rec.decide_s = t_decide.elapsed().as_secs_f64();
+        rec
     }
 
     /// Build the configuration schedule over `[t0, t1)` of the trace.

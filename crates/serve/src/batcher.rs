@@ -1,0 +1,381 @@
+//! The batching core: the pure, clock-free state machine that turns a
+//! stream of admitted requests into dispatched batches under a live
+//! `(M, B, T)` configuration.
+//!
+//! [`BatcherCore`] reproduces the window semantics of
+//! [`dbat_sim::simulate_batching`] exactly (§III-B): a window opens when
+//! a request enters the empty buffer, and dispatches at
+//! `min(arrival of the B-th request, open + T)`. Timeout flushes are
+//! stamped at the *deadline*, not at the observation time, so a batcher
+//! thread that wakes late still produces the dispatch times the
+//! simulator would.
+//!
+//! Hot reconfiguration is modelled by [`BatcherCore::rotate`]: the
+//! currently open window is **sealed** — it keeps its original
+//! configuration and `opened + T` deadline and can only gain no further
+//! requests — and subsequent arrivals open fresh windows under the new
+//! configuration. A formed window is therefore never split or dropped
+//! by a reconfiguration, and every batch's requests arrived under a
+//! single configuration epoch. Rotating at every decision boundary
+//! (even when the configuration is unchanged) is also what makes each
+//! control interval independent, matching how the offline driver
+//! simulates intervals in isolation.
+
+use dbat_sim::LambdaConfig;
+use serde::{Deserialize, Serialize};
+
+/// Why a batch left the buffer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlushReason {
+    /// The B-th request arrived (or the config dispatches immediately).
+    Capacity,
+    /// The window's `opened + T` deadline expired.
+    Timeout,
+    /// Forced out by an immediate drain at shutdown.
+    Drain,
+}
+
+/// An admitted request: its gateway-assigned id (ids are assigned in
+/// arrival order) and its arrival stamp in virtual seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Admitted {
+    pub id: u64,
+    pub arrival: f64,
+}
+
+/// A dispatched batch, ready for a worker.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FormedBatch {
+    /// Members in arrival order.
+    pub requests: Vec<Admitted>,
+    /// The configuration the window was opened under (not necessarily
+    /// the batcher's *current* configuration — sealed windows dispatch
+    /// under the epoch they were formed in).
+    pub config: LambdaConfig,
+    /// When the first member entered the empty buffer.
+    pub opened_at: f64,
+    /// Dispatch stamp: the B-th arrival, the deadline, or the drain time.
+    pub dispatched_at: f64,
+    pub reason: FlushReason,
+}
+
+/// One open (or sealed) batch window.
+#[derive(Clone, Debug)]
+struct Window {
+    requests: Vec<Admitted>,
+    config: LambdaConfig,
+    opened_at: f64,
+}
+
+impl Window {
+    fn deadline(&self) -> f64 {
+        self.opened_at + self.config.timeout_s
+    }
+
+    fn form(self, dispatched_at: f64, reason: FlushReason) -> FormedBatch {
+        FormedBatch {
+            requests: self.requests,
+            config: self.config,
+            opened_at: self.opened_at,
+            dispatched_at,
+            reason,
+        }
+    }
+}
+
+/// The batching state machine. All methods take the caller's notion of
+/// "now" explicitly; the core never reads a clock, which is what lets
+/// the same code back both the live batcher thread and the
+/// deterministic virtual replay.
+#[derive(Clone, Debug)]
+pub struct BatcherCore {
+    config: LambdaConfig,
+    /// The open window (always non-empty, always under `config`).
+    active: Option<Window>,
+    /// Windows sealed by [`BatcherCore::rotate`], oldest first, still
+    /// waiting for their original deadlines.
+    sealed: Vec<Window>,
+}
+
+impl BatcherCore {
+    pub fn new(config: LambdaConfig) -> Self {
+        config.validate().expect("invalid configuration");
+        BatcherCore {
+            config,
+            active: None,
+            sealed: Vec::new(),
+        }
+    }
+
+    /// The configuration new windows open under.
+    pub fn config(&self) -> LambdaConfig {
+        self.config
+    }
+
+    /// No open or sealed window holds requests.
+    pub fn is_idle(&self) -> bool {
+        self.active.is_none() && self.sealed.is_empty()
+    }
+
+    /// Requests currently buffered across all windows.
+    pub fn buffered(&self) -> usize {
+        self.sealed.iter().map(|w| w.requests.len()).sum::<usize>()
+            + self.active.as_ref().map_or(0, |w| w.requests.len())
+    }
+
+    fn immediate(config: &LambdaConfig) -> bool {
+        config.batch_size == 1 || config.timeout_s == 0.0
+    }
+
+    /// Admit one request at its arrival time `req.arrival`, appending any
+    /// batches this forms to `out`. Windows whose deadlines are strictly
+    /// before the arrival are flushed first (a live batcher that wakes
+    /// late catches up here); a window whose deadline equals the arrival
+    /// still admits the request — the simulator's arrival-beats-timeout
+    /// tie-break.
+    pub fn on_arrival(&mut self, req: Admitted, out: &mut Vec<FormedBatch>) {
+        let t = req.arrival;
+        self.flush_matured(t, true, out);
+        let config = self.config;
+        match &mut self.active {
+            Some(w) => w.requests.push(req),
+            None => {
+                self.active = Some(Window {
+                    requests: vec![req],
+                    config,
+                    opened_at: t,
+                });
+            }
+        }
+        let full = {
+            let w = self.active.as_ref().expect("window just populated");
+            Self::immediate(&config) || w.requests.len() as u32 >= config.batch_size
+        };
+        if full {
+            let w = self.active.take().expect("window just populated");
+            out.push(w.form(t, FlushReason::Capacity));
+        }
+    }
+
+    /// Flush every window whose deadline is `<= now`, stamped at its own
+    /// deadline (in deadline order). Call whenever the batcher wakes.
+    pub fn due(&mut self, now: f64, out: &mut Vec<FormedBatch>) {
+        self.flush_matured(now, false, out);
+    }
+
+    /// Flush matured windows. `strict` flushes `deadline < bound` only
+    /// (pre-arrival catch-up); non-strict flushes `deadline <= bound`.
+    fn flush_matured(&mut self, bound: f64, strict: bool, out: &mut Vec<FormedBatch>) {
+        let matured = |w: &Window| {
+            let d = w.deadline();
+            if strict {
+                d < bound
+            } else {
+                d <= bound
+            }
+        };
+        if self.sealed.iter().any(matured) || self.active.as_ref().is_some_and(matured) {
+            // Collect matured windows oldest-first, dispatch deadline-order.
+            let mut ready: Vec<Window> = Vec::new();
+            self.sealed.retain_mut(|w| {
+                if matured(w) {
+                    ready.push(std::mem::replace(
+                        w,
+                        Window {
+                            requests: Vec::new(),
+                            config: self.config,
+                            opened_at: 0.0,
+                        },
+                    ));
+                    false
+                } else {
+                    true
+                }
+            });
+            if self.active.as_ref().is_some_and(matured) {
+                ready.push(self.active.take().expect("checked above"));
+            }
+            ready.sort_by(|a, b| a.deadline().total_cmp(&b.deadline()));
+            for w in ready {
+                let d = w.deadline();
+                out.push(w.form(d, FlushReason::Timeout));
+            }
+        }
+    }
+
+    /// The earliest pending deadline, if any window is waiting on one.
+    pub fn next_deadline(&self) -> Option<f64> {
+        self.sealed
+            .iter()
+            .map(Window::deadline)
+            .chain(self.active.as_ref().map(Window::deadline))
+            .reduce(f64::min)
+    }
+
+    /// Hot reconfiguration: seal the open window (it keeps its original
+    /// configuration and deadline) and open subsequent windows under
+    /// `config`. Sealing happens even when `config` equals the current
+    /// one, so decision intervals never share a window.
+    pub fn rotate(&mut self, config: LambdaConfig) {
+        config.validate().expect("invalid configuration");
+        if let Some(w) = self.active.take() {
+            self.sealed.push(w);
+        }
+        self.config = config;
+    }
+
+    /// Force every buffered request out now (immediate shutdown),
+    /// oldest window first.
+    pub fn drain(&mut self, now: f64, out: &mut Vec<FormedBatch>) {
+        for w in self.sealed.drain(..) {
+            out.push(w.form(now, FlushReason::Drain));
+        }
+        if let Some(w) = self.active.take() {
+            out.push(w.form(now, FlushReason::Drain));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, t: f64) -> Admitted {
+        Admitted { id, arrival: t }
+    }
+
+    #[test]
+    fn capacity_flush_at_bth_arrival() {
+        let mut core = BatcherCore::new(LambdaConfig::new(2048, 3, 10.0));
+        let mut out = Vec::new();
+        core.on_arrival(req(0, 0.0), &mut out);
+        core.on_arrival(req(1, 0.1), &mut out);
+        assert!(out.is_empty());
+        core.on_arrival(req(2, 0.2), &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].requests.len(), 3);
+        assert_eq!(out[0].opened_at, 0.0);
+        assert_eq!(out[0].dispatched_at, 0.2);
+        assert_eq!(out[0].reason, FlushReason::Capacity);
+        assert!(core.is_idle());
+    }
+
+    #[test]
+    fn immediate_configs_never_buffer() {
+        for cfg in [
+            LambdaConfig::new(2048, 1, 5.0),
+            LambdaConfig::new(2048, 8, 0.0),
+        ] {
+            let mut core = BatcherCore::new(cfg);
+            let mut out = Vec::new();
+            core.on_arrival(req(0, 1.0), &mut out);
+            assert_eq!(out.len(), 1);
+            assert_eq!(out[0].requests.len(), 1);
+            assert_eq!(out[0].dispatched_at, 1.0);
+            assert!(core.is_idle());
+            assert_eq!(core.next_deadline(), None);
+        }
+    }
+
+    #[test]
+    fn timeout_flush_stamped_at_deadline_not_observation() {
+        let mut core = BatcherCore::new(LambdaConfig::new(2048, 8, 0.05));
+        let mut out = Vec::new();
+        core.on_arrival(req(0, 1.0), &mut out);
+        assert_eq!(core.next_deadline(), Some(1.05));
+        // The batcher wakes late, at t = 1.2: dispatch stamp is still 1.05.
+        core.due(1.2, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dispatched_at, 1.05);
+        assert_eq!(out[0].reason, FlushReason::Timeout);
+    }
+
+    #[test]
+    fn arrival_at_exact_deadline_joins_window() {
+        // Mirrors the simulator's FIFO tie-break: an arrival scheduled at
+        // the same instant as the timeout joins the batch first.
+        let mut core = BatcherCore::new(LambdaConfig::new(2048, 8, 0.05));
+        let mut out = Vec::new();
+        core.on_arrival(req(0, 1.0), &mut out);
+        core.on_arrival(req(1, 1.05), &mut out); // == deadline: joins
+        assert!(out.is_empty());
+        core.due(1.05, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].requests.len(), 2);
+        assert_eq!(out[0].dispatched_at, 1.05);
+    }
+
+    #[test]
+    fn late_arrival_flushes_overdue_window_first() {
+        let mut core = BatcherCore::new(LambdaConfig::new(2048, 8, 0.05));
+        let mut out = Vec::new();
+        core.on_arrival(req(0, 1.0), &mut out);
+        core.on_arrival(req(1, 2.0), &mut out); // way past 1.05
+        assert_eq!(out.len(), 1, "overdue window must flush before admit");
+        assert_eq!(out[0].requests.len(), 1);
+        assert_eq!(out[0].dispatched_at, 1.05);
+        assert_eq!(core.buffered(), 1); // the new arrival opened a window
+        assert_eq!(core.next_deadline(), Some(2.05));
+    }
+
+    #[test]
+    fn rotate_seals_without_splitting_or_dropping() {
+        let mut core = BatcherCore::new(LambdaConfig::new(2048, 4, 0.10));
+        let mut out = Vec::new();
+        core.on_arrival(req(0, 1.00), &mut out);
+        core.on_arrival(req(1, 1.02), &mut out);
+        // Reconfigure mid-window: old window sealed under the old config.
+        let new_cfg = LambdaConfig::new(1024, 2, 0.01);
+        core.rotate(new_cfg);
+        assert_eq!(core.config(), new_cfg);
+        assert_eq!(core.buffered(), 2);
+        // Arrivals after the rotation open a fresh window under the new
+        // config; the sealed window gains no members.
+        core.on_arrival(req(2, 1.03), &mut out);
+        core.on_arrival(req(3, 1.04), &mut out);
+        assert_eq!(out.len(), 1, "new window fills B=2 and dispatches");
+        assert_eq!(out[0].config, new_cfg);
+        assert_eq!(out[0].requests.len(), 2);
+        // Sealed window still waits for its *original* deadline.
+        assert_eq!(core.next_deadline(), Some(1.10));
+        core.due(1.10, &mut out);
+        assert_eq!(out.len(), 2);
+        let sealed = &out[1];
+        assert_eq!(sealed.config, LambdaConfig::new(2048, 4, 0.10));
+        assert_eq!(sealed.requests.len(), 2);
+        assert_eq!(sealed.dispatched_at, 1.10);
+        assert!(core.is_idle());
+    }
+
+    #[test]
+    fn multiple_sealed_windows_flush_in_deadline_order() {
+        let cfg_long = LambdaConfig::new(2048, 8, 0.50);
+        let cfg_short = LambdaConfig::new(2048, 8, 0.05);
+        let mut core = BatcherCore::new(cfg_long);
+        let mut out = Vec::new();
+        core.on_arrival(req(0, 0.0), &mut out); // deadline 0.50
+        core.rotate(cfg_short);
+        core.on_arrival(req(1, 0.10), &mut out); // deadline 0.10 + 0.05
+        core.rotate(cfg_short);
+        assert_eq!(core.next_deadline(), Some(0.10 + 0.05));
+        core.due(1.0, &mut out);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].dispatched_at, 0.10 + 0.05); // short deadline first
+        assert_eq!(out[1].dispatched_at, 0.50);
+    }
+
+    #[test]
+    fn drain_forces_everything_out() {
+        let mut core = BatcherCore::new(LambdaConfig::new(2048, 8, 5.0));
+        let mut out = Vec::new();
+        core.on_arrival(req(0, 0.0), &mut out);
+        core.rotate(LambdaConfig::new(2048, 8, 5.0));
+        core.on_arrival(req(1, 0.1), &mut out);
+        assert_eq!(core.buffered(), 2);
+        core.drain(0.2, &mut out);
+        assert_eq!(out.len(), 2);
+        assert!(out.iter().all(|b| b.reason == FlushReason::Drain));
+        assert!(out.iter().all(|b| b.dispatched_at == 0.2));
+        assert!(core.is_idle());
+    }
+}

@@ -1,0 +1,59 @@
+//! # dbat-serve
+//!
+//! A live, multi-threaded batching gateway for the DeepBAT policies —
+//! the serving half of the paper's serverless-inference story, built
+//! entirely on std primitives (threads + `Mutex`/`Condvar`, no async
+//! runtime).
+//!
+//! ```text
+//!  load generator ──▶ submit() ──▶ admission queue ──▶ batcher thread
+//!   (trace replay,     bounded, Block / Reject          forms batches
+//!    time-scaled)      backpressure                     under live (M,B,T)
+//!                                                            │
+//!  controller thread ── hot (M,B,T) reconfiguration ─────────┤
+//!   (DeepBAT, BATCH,    at decision-interval boundaries      ▼
+//!    Static, Oracle)                                    worker pool
+//!                                                       InferenceBackend
+//! ```
+//!
+//! * [`clock`] — the [`Clock`] trait all gateway time flows through:
+//!   [`WallClock`] (live, optionally time-scaled) and [`VirtualClock`]
+//!   (deterministic replay).
+//! * [`batcher`] — the pure `(M, B, T)` window state machine shared by
+//!   the live batcher thread and the replay; hot reconfiguration seals
+//!   windows, never splits them.
+//! * [`backend`] — pluggable [`InferenceBackend`]; the default
+//!   [`ProfiledBackend`] sleeps the calibrated `s(M, b)` and bills the
+//!   simulator's pricing model.
+//! * [`gateway`] — the threaded [`Gateway`]: bounded admission with
+//!   explicit backpressure, worker pool, control thread running any
+//!   [`dbat_sim::Controller`], graceful drain.
+//! * [`replay`] — [`VirtualGateway`]: the same machinery as a
+//!   single-threaded discrete-event loop, **bitwise-equivalent** to
+//!   [`dbat_sim::simulate_batching`] under the profiled backend.
+//! * [`loadgen`] — open-loop trace replay against a live gateway.
+//! * [`scripted`] — a controller replaying a fixed configuration script
+//!   (predetermined reconfigurations for tests and ablations).
+//!
+//! Telemetry: live runs emit `serve.*` metrics (admission counters,
+//! queue-depth gauge, flush-reason counters, reconfig events, per-batch
+//! execution spans) through `dbat-telemetry` when enabled; the
+//! deterministic replay is unsampled by design.
+
+pub mod backend;
+pub mod batcher;
+pub mod clock;
+pub mod gateway;
+pub mod loadgen;
+pub mod outcome;
+pub mod replay;
+pub mod scripted;
+
+pub use backend::{BatchPlan, InferenceBackend, ProfiledBackend};
+pub use batcher::{Admitted, BatcherCore, FlushReason, FormedBatch};
+pub use clock::{Clock, VirtualClock, WallClock};
+pub use gateway::{Admission, BackpressurePolicy, DrainMode, Gateway, GatewayConfig};
+pub use loadgen::{drive, LoadStats};
+pub use outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
+pub use replay::VirtualGateway;
+pub use scripted::ScriptedController;

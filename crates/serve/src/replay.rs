@@ -1,0 +1,494 @@
+//! Deterministic virtual-clock replay: the gateway run as a
+//! single-threaded discrete-event loop.
+//!
+//! [`VirtualGateway`] drives the *same* batching core and backend the
+//! threaded gateway uses, but over [`dbat_sim::engine::Scheduler`] with a
+//! [`VirtualClock`], so every stamp is an exact event time. With the
+//! default [`ProfiledBackend`] this makes a replay **bitwise-equivalent**
+//! to [`dbat_sim::simulate_batching`] (cold starts off): identical
+//! per-request dispatch/completion/latency floats and identical
+//! per-invocation costs, accumulated in the same dispatch order. The
+//! equivalence holds because
+//!
+//! * arrivals are scheduled upfront and deadline events afterwards, so
+//!   at equal times an arrival pops before a deadline — the simulator's
+//!   FIFO tie-break (an arrival at the exact timeout joins the batch);
+//! * timeout flushes are stamped at the window deadline, not at the
+//!   observation time;
+//! * [`ProfiledBackend::plan`] is the simulator's service/cost
+//!   arithmetic, applied to the same `(M, b)` pairs.
+//!
+//! Decision boundaries are scheduled *before* arrivals, so a request at
+//! exactly an interval boundary arrives under the new configuration —
+//! the half-open `[start, end)` convention of the offline driver.
+
+use crate::backend::{InferenceBackend, ProfiledBackend};
+use crate::batcher::{Admitted, BatcherCore, FormedBatch};
+use crate::clock::VirtualClock;
+use crate::outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
+use dbat_sim::engine::Scheduler;
+use dbat_sim::{
+    Controller, DecisionContext, IntervalMeasurement, LambdaConfig, LatencySummary, SimConfig,
+    SimParams,
+};
+use dbat_workload::Trace;
+
+enum Event {
+    /// Decision boundary `k` (controlled runs). Scheduled first, so it
+    /// wins FIFO ties against arrivals at the same instant.
+    Boundary(usize),
+    /// Arrival of relative request id `i`.
+    Arrival(usize),
+    /// A batch-window deadline may have matured.
+    Deadline,
+}
+
+/// The gateway, replayed deterministically.
+pub struct VirtualGateway {
+    clock: VirtualClock,
+    backend: Box<dyn InferenceBackend>,
+}
+
+impl VirtualGateway {
+    pub fn new(backend: Box<dyn InferenceBackend>) -> Self {
+        VirtualGateway {
+            clock: VirtualClock::new(),
+            backend,
+        }
+    }
+
+    /// A gateway whose backend plans with exactly the simulator's
+    /// profile and pricing — the bitwise-equivalent configuration.
+    pub fn from_params(params: &SimParams) -> Self {
+        VirtualGateway::new(Box::new(ProfiledBackend::from_params(params)))
+    }
+
+    pub fn clock(&self) -> &VirtualClock {
+        &self.clock
+    }
+
+    /// Replay a fixed configuration over a sorted, non-negative arrival
+    /// sequence. Mirrors `simulate_batching(arrivals, config, ..)`.
+    pub fn replay(&mut self, arrivals: &[f64], config: &LambdaConfig) -> ServeOutcome {
+        check_arrivals(arrivals);
+        let mut core = BatcherCore::new(*config);
+        let mut sched: Scheduler<Event> = Scheduler::new();
+        for (i, &a) in arrivals.iter().enumerate() {
+            sched.schedule(a, Event::Arrival(i));
+        }
+        let mut state = ReplayState::new(arrivals.to_vec());
+        let mut formed: Vec<FormedBatch> = Vec::new();
+        while let Some((t, ev)) = sched.pop() {
+            self.clock.advance_to(t);
+            match ev {
+                Event::Boundary(_) => unreachable!("fixed replay schedules no boundaries"),
+                Event::Arrival(i) => {
+                    core.on_arrival(
+                        Admitted {
+                            id: i as u64,
+                            arrival: t,
+                        },
+                        &mut formed,
+                    );
+                }
+                Event::Deadline => core.due(t, &mut formed),
+            }
+            state.settle(&mut formed, self.backend.as_ref(), |_, _| {});
+            if let Some(d) = core.next_deadline() {
+                sched.schedule(d, Event::Deadline);
+            }
+        }
+        debug_assert!(core.is_idle(), "all requests must be dispatched");
+        state.into_outcome(Vec::new(), Vec::new())
+    }
+
+    /// Replay a closed-loop controller over `[t0, t1)` of the trace:
+    /// one decision per interval, applied by sealing the open batch
+    /// window at the boundary (hot reconfiguration — formed windows are
+    /// never split or dropped). Intervals are measured from the served
+    /// requests once their last request completes, then fed back through
+    /// `observe`/`commit` in interval order, exactly like the offline
+    /// [`dbat_sim::run_controller`] protocol.
+    pub fn replay_controlled(
+        &mut self,
+        ctl: &mut dyn Controller,
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+        opts: &SimConfig,
+    ) -> ServeOutcome {
+        assert!(
+            opts.decision_interval > 0.0,
+            "decision interval must be positive"
+        );
+        assert!(
+            opts.faults.is_inert(),
+            "the gateway does not inject faults; use the simulator for fault studies"
+        );
+        assert!(t0 >= 0.0 && t1 >= t0, "need 0 <= t0 <= t1");
+
+        // Interval grid [start_k, end_k), identical to run_controller.
+        let mut intervals: Vec<(f64, f64)> = Vec::new();
+        let mut t = t0;
+        while t < t1 {
+            let end = (t + opts.decision_interval).min(t1);
+            intervals.push((t, end));
+            t = end;
+        }
+
+        let ts = trace.timestamps();
+        let lo = trace.lower_bound(t0);
+        let hi = trace.lower_bound(t1);
+        let arrivals: Vec<f64> = ts[lo..hi].to_vec();
+        check_arrivals(&arrivals);
+
+        // Request-id boundaries per interval: ids [bounds[k], bounds[k+1])
+        // arrived in interval k.
+        let mut bounds: Vec<usize> = intervals
+            .iter()
+            .map(|&(s, _)| trace.lower_bound(s).clamp(lo, hi) - lo)
+            .collect();
+        bounds.push(hi - lo);
+        let k_of = |id: usize| bounds.partition_point(|&b| b <= id) - 1;
+
+        let mut sched: Scheduler<Event> = Scheduler::new();
+        // Boundaries first: lowest sequence numbers win ties at t == start.
+        for (k, &(s, _)) in intervals.iter().enumerate() {
+            sched.schedule(s, Event::Boundary(k));
+        }
+        for (i, &a) in arrivals.iter().enumerate() {
+            sched.schedule(a, Event::Arrival(i));
+        }
+
+        let n_intervals = intervals.len();
+        let mut remaining: Vec<usize> = (0..n_intervals)
+            .map(|k| bounds[k + 1] - bounds[k])
+            .collect();
+        let mut interval_cost = vec![0.0f64; n_intervals];
+        let mut pending: Vec<Option<dbat_sim::DecisionRecord>> = vec![None; n_intervals];
+        let mut walls: Vec<Option<std::time::Instant>> = vec![None; n_intervals];
+        let mut next_final = 0usize; // head-of-line finalisation cursor
+        let mut decided = 0usize;
+        let mut measurements: Vec<IntervalMeasurement> = Vec::new();
+        let mut records: Vec<dbat_sim::DecisionRecord> = Vec::new();
+
+        // The pre-boundary core config is irrelevant: Boundary(0) pops
+        // before any arrival and rotates to the first decision.
+        let mut core = BatcherCore::new(LambdaConfig::new(512, 1, 0.0));
+        let mut state = ReplayState::new(arrivals);
+        let mut formed: Vec<FormedBatch> = Vec::new();
+
+        while let Some((t, ev)) = sched.pop() {
+            self.clock.advance_to(t);
+            match ev {
+                Event::Boundary(k) => {
+                    // Feed back every fully-served earlier interval, in
+                    // order, before the next decision — the closed loop.
+                    finalize_ready(
+                        &mut next_final,
+                        decided,
+                        &remaining,
+                        &intervals,
+                        &bounds,
+                        &interval_cost,
+                        &state,
+                        &mut pending,
+                        &mut walls,
+                        ctl,
+                        opts,
+                        &mut measurements,
+                        &mut records,
+                    );
+                    let (start, end) = intervals[k];
+                    let ctx = DecisionContext {
+                        trace,
+                        start,
+                        end,
+                        index: k,
+                    };
+                    let t_decide = std::time::Instant::now();
+                    let mut rec = ctl.decide(&ctx);
+                    rec.decide_s = t_decide.elapsed().as_secs_f64();
+                    core.rotate(rec.config);
+                    pending[k] = Some(rec);
+                    walls[k] = Some(std::time::Instant::now());
+                    decided = k + 1;
+                }
+                Event::Arrival(i) => {
+                    core.on_arrival(
+                        Admitted {
+                            id: i as u64,
+                            arrival: t,
+                        },
+                        &mut formed,
+                    );
+                }
+                Event::Deadline => core.due(t, &mut formed),
+            }
+            state.settle(&mut formed, self.backend.as_ref(), |fb, plan| {
+                // Attribute cost to the interval the window opened in and
+                // retire its members' intervals.
+                let j = k_of(fb.requests[0].id as usize);
+                interval_cost[j] += plan.cost;
+                for r in &fb.requests {
+                    remaining[k_of(r.id as usize)] -= 1;
+                }
+            });
+            if let Some(d) = core.next_deadline() {
+                sched.schedule(d, Event::Deadline);
+            }
+        }
+        debug_assert!(core.is_idle(), "all requests must be dispatched");
+        finalize_ready(
+            &mut next_final,
+            decided,
+            &remaining,
+            &intervals,
+            &bounds,
+            &interval_cost,
+            &state,
+            &mut pending,
+            &mut walls,
+            ctl,
+            opts,
+            &mut measurements,
+            &mut records,
+        );
+        debug_assert_eq!(next_final, n_intervals, "every interval finalised");
+        state.into_outcome(measurements, records)
+    }
+}
+
+fn check_arrivals(arrivals: &[f64]) {
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be sorted"
+    );
+    assert!(
+        arrivals.first().is_none_or(|&a| a >= 0.0),
+        "arrivals must be non-negative"
+    );
+}
+
+/// Shared bookkeeping of a replay run.
+struct ReplayState {
+    arrivals: Vec<f64>,
+    requests: Vec<Option<ServedRequest>>,
+    batches: Vec<ServedBatch>,
+    total_cost: f64,
+}
+
+impl ReplayState {
+    fn new(arrivals: Vec<f64>) -> Self {
+        let n = arrivals.len();
+        ReplayState {
+            arrivals,
+            requests: vec![None; n],
+            batches: Vec::new(),
+            total_cost: 0.0,
+        }
+    }
+
+    /// Settle freshly formed batches: plan each one, stamp completions,
+    /// accumulate cost in dispatch order (the simulator's fold order).
+    /// The replay never calls `execute` — each invocation runs on its own
+    /// autoscaled instance, so completion is dispatch + planned service.
+    fn settle(
+        &mut self,
+        formed: &mut Vec<FormedBatch>,
+        backend: &dyn InferenceBackend,
+        mut hook: impl FnMut(&FormedBatch, &crate::backend::BatchPlan),
+    ) {
+        for fb in formed.drain(..) {
+            let plan = backend.plan(&fb.config, fb.requests.len() as u32);
+            let completed_at = fb.dispatched_at + plan.service_s;
+            let batch_idx = self.batches.len();
+            self.batches.push(ServedBatch {
+                opened_at: fb.opened_at,
+                dispatched_at: fb.dispatched_at,
+                completed_at,
+                size: fb.requests.len() as u32,
+                service_s: plan.service_s,
+                cost: plan.cost,
+                config: fb.config,
+                reason: fb.reason,
+            });
+            self.total_cost += plan.cost;
+            for r in &fb.requests {
+                let slot = &mut self.requests[r.id as usize];
+                debug_assert!(slot.is_none(), "request {} served twice", r.id);
+                *slot = Some(ServedRequest {
+                    id: r.id,
+                    arrival: r.arrival,
+                    dispatched_at: fb.dispatched_at,
+                    completed_at,
+                    batch: batch_idx,
+                });
+            }
+            hook(&fb, &plan);
+        }
+    }
+
+    fn into_outcome(
+        self,
+        measurements: Vec<IntervalMeasurement>,
+        records: Vec<dbat_sim::DecisionRecord>,
+    ) -> ServeOutcome {
+        let n = self.arrivals.len() as u64;
+        let requests: Vec<ServedRequest> = self
+            .requests
+            .into_iter()
+            .map(|r| r.expect("every request served"))
+            .collect();
+        ServeOutcome {
+            requests,
+            batches: self.batches,
+            total_cost: self.total_cost,
+            counts: ServeCounts {
+                submitted: n,
+                accepted: n,
+                rejected: 0,
+                completed: n,
+            },
+            measurements,
+            records,
+        }
+    }
+}
+
+/// Finalise, in interval order, every decided interval whose requests
+/// have all completed: build its measurement from the served records,
+/// then run the `observe`/`commit` feedback protocol.
+#[allow(clippy::too_many_arguments)]
+fn finalize_ready(
+    next_final: &mut usize,
+    decided: usize,
+    remaining: &[usize],
+    intervals: &[(f64, f64)],
+    bounds: &[usize],
+    interval_cost: &[f64],
+    state: &ReplayState,
+    pending: &mut [Option<dbat_sim::DecisionRecord>],
+    walls: &mut [Option<std::time::Instant>],
+    ctl: &mut dyn Controller,
+    opts: &SimConfig,
+    measurements: &mut Vec<IntervalMeasurement>,
+    records: &mut Vec<dbat_sim::DecisionRecord>,
+) {
+    while *next_final < decided && remaining[*next_final] == 0 {
+        let j = *next_final;
+        let (start, end) = intervals[j];
+        let mut rec = pending[j].take().expect("decided interval has a record");
+        let n = bounds[j + 1] - bounds[j];
+        if n > 0 {
+            let latencies: Vec<f64> = state.requests[bounds[j]..bounds[j + 1]]
+                .iter()
+                .map(|r| r.as_ref().expect("interval fully served").latency())
+                .collect();
+            let summary = LatencySummary::from_latencies(&latencies);
+            let m = IntervalMeasurement {
+                start,
+                end,
+                config: rec.config,
+                summary,
+                cost_per_request: interval_cost[j] / n as f64,
+                requests: n,
+                violation: summary.percentile(opts.percentile) > opts.slo,
+                cold_starts: 0,
+                retries: 0,
+                lost: 0,
+                wall_s: walls[j].take().map_or(0.0, |w| w.elapsed().as_secs_f64()),
+            };
+            rec.record_measurement(&m);
+            ctl.observe(&m);
+            measurements.push(m);
+        }
+        ctl.commit(rec);
+        records.push(*ctl.audit().last().expect("commit archives the record"));
+        *next_final += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scripted::ScriptedController;
+    use dbat_sim::simulate_batching;
+
+    fn burst_trace() -> Vec<f64> {
+        // Mixed capacity and timeout flushes.
+        let mut ts: Vec<f64> = (0..40).map(|i| i as f64 * 0.013).collect();
+        ts.extend((0..10).map(|i| 2.0 + i as f64 * 0.4));
+        ts
+    }
+
+    #[test]
+    fn fixed_replay_matches_simulator_bitwise() {
+        let params = SimParams::default();
+        for cfg in [
+            LambdaConfig::new(2048, 4, 0.05),
+            LambdaConfig::new(1024, 8, 0.025),
+            LambdaConfig::new(3008, 1, 0.0),
+        ] {
+            let arrivals = burst_trace();
+            let sim = simulate_batching(&arrivals, &cfg, &params, None);
+            let mut gw = VirtualGateway::from_params(&params);
+            let out = gw.replay(&arrivals, &cfg);
+            assert_eq!(out.requests.len(), sim.requests.len());
+            for (r, s) in out.requests.iter().zip(&sim.requests) {
+                assert_eq!(r.arrival.to_bits(), s.arrival.to_bits());
+                assert_eq!(r.dispatched_at.to_bits(), s.dispatch.to_bits());
+                assert_eq!(r.completed_at.to_bits(), s.completion.to_bits());
+                assert_eq!(r.batch, s.batch);
+            }
+            assert_eq!(out.batches.len(), sim.batches.len());
+            for (b, s) in out.batches.iter().zip(&sim.batches) {
+                assert_eq!(b.cost.to_bits(), s.cost.to_bits());
+                assert_eq!(b.size, s.size);
+            }
+            assert_eq!(out.total_cost.to_bits(), sim.total_cost.to_bits());
+        }
+    }
+
+    #[test]
+    fn controlled_replay_commits_every_interval() {
+        let params = SimParams::default();
+        let trace = Trace::new(burst_trace(), 6.0);
+        let a = LambdaConfig::new(2048, 4, 0.05);
+        let b = LambdaConfig::new(1024, 8, 0.025);
+        let mut ctl = ScriptedController::new(vec![a, b, a], 0.1);
+        let opts = SimConfig::builder()
+            .params(params)
+            .slo(0.1)
+            .decision_interval(2.0)
+            .build()
+            .unwrap();
+        let mut gw = VirtualGateway::from_params(&params);
+        let out = gw.replay_controlled(&mut ctl, &trace, 0.0, 6.0, &opts);
+        assert_eq!(out.records.len(), 3);
+        assert_eq!(out.records[0].config, a);
+        assert_eq!(out.records[1].config, b);
+        assert_eq!(out.counts.accepted, trace.len() as u64);
+        assert_eq!(out.counts.completed, trace.len() as u64);
+        assert!(out.counts.conserved());
+        // Measurement requests partition the trace.
+        let measured: usize = out.measurements.iter().map(|m| m.requests).sum();
+        assert_eq!(measured, trace.len());
+        // Records carry their measurements where the interval was non-empty.
+        for r in &out.records {
+            if r.requests > 0 {
+                assert!(r.measured.is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn empty_trace_replays_cleanly() {
+        let params = SimParams::default();
+        let mut gw = VirtualGateway::from_params(&params);
+        let out = gw.replay(&[], &LambdaConfig::new(2048, 4, 0.05));
+        assert!(out.requests.is_empty());
+        assert_eq!(out.total_cost, 0.0);
+        assert!(out.counts.conserved());
+    }
+}

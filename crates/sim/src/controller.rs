@@ -42,6 +42,11 @@ pub struct IntervalMeasurement {
     pub retries: usize,
     /// Requests lost to shedding or retry exhaustion.
     pub lost: usize,
+    /// Wall-clock seconds spent producing this measurement: the
+    /// simulation call offline, the serve-to-finalisation span in the
+    /// live gateway. Lets JSONL audit trails from both paths be compared
+    /// on the same axis.
+    pub wall_s: f64,
 }
 
 /// The decision-audit record: everything the controller knew and chose at
@@ -80,6 +85,11 @@ pub struct DecisionRecord {
     pub predicted_cost_micro: Option<f64>,
     /// Wall-clock seconds of surrogate inference + grid search.
     pub infer_s: f64,
+    /// Wall-clock seconds of the whole `decide` call (window slicing +
+    /// inference + bookkeeping; always ≥ `infer_s`). Stamped by the
+    /// closed-loop drivers so live and simulated audit trails carry the
+    /// same latency accounting.
+    pub decide_s: f64,
     /// Ground-truth latency summary for the interval; `None` until the
     /// interval is measured or when it contained no arrivals.
     pub measured: Option<LatencySummary>,
@@ -120,6 +130,7 @@ impl DecisionRecord {
             predicted_percentiles: None,
             predicted_cost_micro: None,
             infer_s: 0.0,
+            decide_s: 0.0,
             measured: None,
             measured_cost_per_request: None,
             requests: 0,
@@ -330,6 +341,7 @@ pub fn measure_schedule(
         if slice.is_empty() {
             continue;
         }
+        let t_wall = std::time::Instant::now();
         let sim = simulate_batching(slice.timestamps(), &config, params, None);
         let summary = sim.summary();
         out.push(IntervalMeasurement {
@@ -343,6 +355,7 @@ pub fn measure_schedule(
             cold_starts: 0,
             retries: 0,
             lost: 0,
+            wall_s: t_wall.elapsed().as_secs_f64(),
         });
     }
     out
@@ -446,7 +459,9 @@ pub fn run_controller<C: Controller + ?Sized>(
             end,
             index,
         };
+        let t_decide = std::time::Instant::now();
         let mut rec = ctl.decide(&ctx);
+        rec.decide_s = t_decide.elapsed().as_secs_f64();
         let slice = trace.slice(t, end.min(trace.horizon()));
         if !slice.is_empty() {
             let plan = if opts.faults.is_inert() {
@@ -455,6 +470,7 @@ pub fn run_controller<C: Controller + ?Sized>(
                 opts.faults
                     .with_seed(opts.faults.seed ^ (index as u64).wrapping_mul(0x9E3779B97F4A7C15))
             };
+            let t_wall = std::time::Instant::now();
             let out = simulate_faults(slice.timestamps(), &rec.config, &opts.params, &plan);
             counts.absorb(&out.counts);
             let summary = out.summary();
@@ -470,6 +486,7 @@ pub fn run_controller<C: Controller + ?Sized>(
                 cold_starts: out.counts.cold_starts,
                 retries: out.counts.retries,
                 lost,
+                wall_s: t_wall.elapsed().as_secs_f64(),
             };
             rec.record_measurement(&m);
             ctl.observe(&m);
@@ -541,6 +558,7 @@ mod tests {
             cold_starts: 0,
             retries: 0,
             lost: 0,
+            wall_s: 0.0,
         };
         let ms = vec![mk(0.0, true), mk(100.0, false), mk(3700.0, false)];
         let v = hourly_vcr(&ms, 2, 3600.0);
@@ -628,6 +646,7 @@ mod tests {
             cold_starts: 0,
             retries: 0,
             lost: 0,
+            wall_s: 0.0,
         };
         rec.record_measurement(&m);
         assert_eq!(rec.requests, 10);

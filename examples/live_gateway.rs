@@ -1,0 +1,114 @@
+//! Live-serving quickstart: the threaded gateway on a real (time-scaled)
+//! wall clock, fed by the open-loop load generator, hot-reconfigured by
+//! a scripted controller at every decision boundary.
+//!
+//! Replays an azure-like diurnal trace at `DBAT_SERVE_SPEEDUP`x time
+//! scale (default 64: ~2 s of wall time for the default 120 s horizon),
+//! then drains gracefully and checks the gateway's conservation law —
+//! every submitted request is accepted+completed or explicitly rejected.
+//!
+//! ```sh
+//! cargo run --release --example live_gateway
+//! DBAT_SERVE_HORIZON=300 DBAT_SERVE_SPEEDUP=128 \
+//!     cargo run --release --example live_gateway
+//! ```
+
+use deepbat::prelude::*;
+use std::sync::Arc;
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let horizon = env_f64("DBAT_SERVE_HORIZON", 120.0);
+    let speedup = env_f64("DBAT_SERVE_SPEEDUP", 64.0);
+    let decision_interval = 30.0;
+    deepbat::telemetry::init_from_env(None);
+    let tel = telemetry();
+    tel.enable();
+
+    let trace = TraceKind::AzureLike.generate_for(7, horizon);
+    println!(
+        "azure-like trace: {} requests over {horizon:.0}s, replayed at {speedup:.0}x",
+        trace.len()
+    );
+
+    // A predetermined reconfiguration script: alternate a batching-heavy
+    // and a latency-lean configuration at every decision boundary, so the
+    // run exercises hot reconfiguration without needing a trained model.
+    // Swap in `DeepBatController` (see examples/online_controller.rs)
+    // for the full closed loop.
+    let script: Vec<LambdaConfig> = (0..(horizon / decision_interval).ceil() as usize + 1)
+        .map(|i| {
+            if i % 2 == 0 {
+                LambdaConfig::new(2048, 8, 0.05)
+            } else {
+                LambdaConfig::new(1536, 4, 0.025)
+            }
+        })
+        .collect();
+    let ctl = ScriptedController::new(script, 0.1);
+
+    let cfg = GatewayConfig {
+        queue_capacity: 4096,
+        workers: 8,
+        decision_interval,
+        slo: 0.1,
+        percentile: 95.0,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start_controlled(
+        cfg,
+        Arc::new(WallClock::with_speedup(speedup)),
+        Arc::new(ProfiledBackend::default()),
+        Box::new(ctl),
+    );
+
+    let t_run = std::time::Instant::now();
+    let stats = deepbat::serve::drive(&gateway, trace.timestamps());
+    let out = gateway.shutdown(DrainMode::Graceful);
+    let wall = t_run.elapsed().as_secs_f64();
+
+    let summary = out.summary();
+    println!("\n--- outcome -------------------------------------------------");
+    println!(
+        "submitted {} | accepted {} | rejected {} | completed {}",
+        stats.submitted, out.counts.accepted, out.counts.rejected, out.counts.completed
+    );
+    println!(
+        "{} invocations (mean batch {:.2}), {} reconfigurations",
+        out.batches.len(),
+        out.mean_batch_size(),
+        out.records.len().saturating_sub(1)
+    );
+    println!(
+        "measured latency p50 {:.1} ms, p95 {:.1} ms; cost {:.4} u$/request",
+        summary.p50 * 1e3,
+        summary.p95 * 1e3,
+        out.cost_per_request() * 1e6
+    );
+    println!(
+        "{} measured intervals, VCR {:.1}%; {wall:.2}s wall for {horizon:.0}s of trace",
+        out.measurements.len(),
+        out.vcr()
+    );
+
+    // The gateway's conservation law, enforced: accepted == completed
+    // after a graceful drain, and nothing vanished in between.
+    assert!(
+        out.counts.conserved(),
+        "conservation violated: {:?}",
+        out.counts
+    );
+    assert_eq!(
+        out.counts.completed, out.counts.accepted,
+        "graceful drain left requests unserved"
+    );
+    assert_eq!(out.counts.submitted, stats.submitted);
+    println!("conservation: accepted == completed, no lost requests ✓");
+    println!("\n{}", tel.summary_table());
+}

@@ -1,14 +1,16 @@
-//! The Fig. 2 request/control flow, end to end and online: requests stream
-//! through the Workload Parser into the Buffer; every decision interval the
-//! surrogate-driven Optimizer re-parameterises the Buffer and the function
-//! memory; released batches are "executed" with the profiled service time
-//! and billed with the Lambda pricing model.
+//! The Fig. 2 request/control flow, end to end and online — now through
+//! the serving gateway: requests stream into the gateway's batching
+//! core, and every decision interval the surrogate-driven DeepBAT
+//! controller hot-reconfigures `(M, B, T)` at the boundary (the open
+//! window is sealed, never split). The run uses the deterministic
+//! virtual clock ([`VirtualGateway`]), so the replay is exact and
+//! instant; see `examples/live_gateway.rs` for the same loop on a real
+//! (time-scaled) wall clock.
 //!
-//! This example drives the *components* (Parser, Buffer, Optimizer)
-//! directly rather than the batch `DeepBatController` harness, which is
-//! what a real deployment would embed. With telemetry enabled it writes
-//! the controller's full audit trail — one `controller.decision` event per
-//! decision interval carrying a `DecisionRecord` — to
+//! With telemetry enabled the full decision-audit trail — one
+//! `controller.decision` event per interval carrying a
+//! [`DecisionRecord`] with predictions, measurements and wall-time
+//! accounting — lands in
 //! `target/deepbat/telemetry/online_controller.jsonl`.
 //!
 //! ```sh
@@ -16,11 +18,13 @@
 //! ```
 
 use deepbat::prelude::*;
-use deepbat::sim::LatencySummary;
+use std::sync::Arc;
 
 fn main() {
     let slo = 0.1;
     let seq_len = 64;
+    let percentile = 95.0;
+    let decision_interval = 30.0;
     let grid = ConfigGrid::paper_default();
     let params = SimParams::default();
 
@@ -58,193 +62,89 @@ fn main() {
             ..TrainConfig::default()
         },
     );
-    let optimizer = DeepBatOptimizer::new(grid, slo);
 
-    // --- the online loop -----------------------------------------------------
-    let mut parser = WorkloadParser::new(seq_len);
-    let mut buffer = Buffer::new(1, 0.0); // bootstrap: serve singly
-    let mut memory_mb = 3008u32; // bootstrap memory
-    let bootstrap_cfg = LambdaConfig::new(memory_mb, 1, 0.0);
-    let decision_interval = 30.0;
-    let mut next_decision = 120.0; // start controlling after warm-up
+    // DeepBAT as a closed-loop controller behind the gateway.
+    let mut ctl = DeepBatController::new(grid, slo);
+    ctl.params = params;
+    ctl.decision_interval = decision_interval;
+    ctl.optimizer.percentile = percentile;
+    let mut ctl = ctl.with_model(Arc::new(model));
 
-    let mut batches = 0usize;
-    let mut served = 0usize;
-    let mut violations = 0usize;
-    let mut windows = 0usize;
-    let mut cost = 0.0;
-    let mut max_p95_interval: (f64, f64) = (0.0, 0.0);
-    let mut interval_lat: Vec<f64> = Vec::new();
-    let mut interval_cost = 0.0f64;
+    // --- the online loop: gateway replay over the controlled span -----
+    let opts = SimConfig::builder()
+        .params(params)
+        .slo(slo)
+        .percentile(percentile)
+        .decision_interval(decision_interval)
+        .build()
+        .expect("valid sim config");
+    let mut gateway = VirtualGateway::from_params(&params);
+    let out = gateway.replay_controlled(&mut ctl, &trace, 120.0, 600.0, &opts);
 
-    // The audit trail: the record of the decision currently in force, to
-    // be completed with measurements when its interval ends.
-    let mut pending: Option<DecisionRecord> = None;
-    let mut decision_index = 0usize;
-
-    // Score the interval that just finished, complete its audit record,
-    // and emit it as a `controller.decision` event.
-    let close_interval = |pending: &mut Option<DecisionRecord>,
-                          interval_lat: &mut Vec<f64>,
-                          interval_cost: &mut f64,
-                          windows: &mut usize,
-                          violations: &mut usize,
-                          max_p95_interval: &mut (f64, f64),
-                          interval_start: f64| {
-        if !interval_lat.is_empty() {
-            *windows += 1;
-            let summary = LatencySummary::from_latencies(interval_lat);
-            let violated = summary.percentile(95.0) > slo;
-            if violated {
-                *violations += 1;
+    // Emit the audit trail exactly like the offline driver does.
+    for rec in &out.records {
+        tel.emit(
+            "controller.decision",
+            deepbat::telemetry::serde_json::to_value(rec),
+        );
+        // log_mean is the mean log-interarrival: exp(-log_mean) ~ rate.
+        let rate = rec.window_stats.map_or(0.0, |w| (-w.log_mean).exp());
+        println!(
+            "t={:>5.0}s  rate~{:>5.1}/s  ->  {}{}",
+            rec.start,
+            rate,
+            rec.config,
+            if rec.bootstrap {
+                "  (bootstrap)"
+            } else if rec.fallback {
+                "  (fallback)"
+            } else {
+                ""
             }
-            if summary.p95 > max_p95_interval.1 {
-                *max_p95_interval = (interval_start, summary.p95);
-            }
-            if let Some(rec) = pending.as_mut() {
-                rec.measured = Some(summary);
-                rec.measured_cost_per_request = Some(*interval_cost / summary.count as f64);
-                rec.requests = summary.count;
-                rec.violation = Some(violated);
-            }
-        }
-        if let Some(rec) = pending.take() {
-            deepbat::telemetry::global().emit(
-                "controller.decision",
-                deepbat::telemetry::serde_json::to_value(&rec),
-            );
-        }
-        interval_lat.clear();
-        *interval_cost = 0.0;
-    };
-
-    let serve = |batch: &deepbat::core::ReleasedBatch,
-                 memory_mb: u32,
-                 interval_lat: &mut Vec<f64>,
-                 arrivals: &std::collections::HashMap<u64, f64>| {
-        let b = batch.requests.len() as u32;
-        let service = params.profile.service_time(memory_mb, b);
-        let invocation = params.pricing.invocation_cost(memory_mb, service);
-        for id in &batch.requests {
-            let latency = batch.released_at - arrivals[id] + service;
-            interval_lat.push(latency);
-        }
-        (invocation, b as usize)
-    };
-
-    let mut arrival_times = std::collections::HashMap::new();
-    for (id, &t) in trace.timestamps().iter().enumerate() {
-        let id = id as u64;
-        // Control step(s) due before this arrival.
-        while t >= next_decision {
-            close_interval(
-                &mut pending,
-                &mut interval_lat,
-                &mut interval_cost,
-                &mut windows,
-                &mut violations,
-                &mut max_p95_interval,
-                next_decision - decision_interval,
-            );
-            let mut rec = DecisionRecord {
-                index: decision_index,
-                start: next_decision,
-                end: next_decision + decision_interval,
-                window_len: 0,
-                window_stats: None,
-                grid_size: optimizer.grid.len(),
-                bootstrap: true,
-                fallback: false,
-                degraded: false,
-                config: bootstrap_cfg,
-                predicted_percentiles: None,
-                predicted_cost_micro: None,
-                infer_s: 0.0,
-                measured: None,
-                measured_cost_per_request: None,
-                requests: 0,
-                violation: None,
-                slo,
-                percentile: 95.0,
-            };
-            if let Some(window) = parser.window() {
-                let decision = optimizer.choose(&model, &window);
-                let cfg = decision.chosen.config;
-                buffer.reconfigure(&cfg);
-                memory_mb = cfg.memory_mb;
-                rec.window_len = window.len();
-                rec.window_stats = Some(deepbat::core::WindowStats::from_window(&window));
-                rec.bootstrap = false;
-                rec.fallback = decision.fallback;
-                rec.config = cfg;
-                rec.predicted_percentiles = Some(decision.chosen.percentiles);
-                rec.predicted_cost_micro = Some(decision.chosen.cost_micro);
-                rec.infer_s = decision.infer_s;
-                println!(
-                    "t={:>5.0}s  rate~{:>5.1}/s  ->  {}",
-                    next_decision,
-                    1.0 / deepbat::workload::mean(&window).max(1e-9),
-                    cfg
-                );
-            }
-            pending = Some(rec);
-            decision_index += 1;
-            next_decision += decision_interval;
-        }
-        // Request flow: parser -> buffer (-> serverless function).
-        parser.observe(t);
-        arrival_times.insert(id, t);
-        if let Some(batch) = buffer.poll(t) {
-            let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
-            cost += c;
-            interval_cost += c;
-            served += n;
-            batches += 1;
-        }
-        if let Some(batch) = buffer.push(id, t) {
-            let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
-            cost += c;
-            interval_cost += c;
-            served += n;
-            batches += 1;
-        }
+        );
     }
-    if let Some(batch) = buffer.flush(trace.horizon()) {
-        let (c, n) = serve(&batch, memory_mb, &mut interval_lat, &arrival_times);
-        cost += c;
-        interval_cost += c;
-        served += n;
-        batches += 1;
-    }
-    // Close the final interval's audit record.
-    close_interval(
-        &mut pending,
-        &mut interval_lat,
-        &mut interval_cost,
-        &mut windows,
-        &mut violations,
-        &mut max_p95_interval,
-        next_decision - decision_interval,
-    );
     tel.emit("run.metrics", tel.metrics_json());
     tel.flush();
 
+    let summary = out.summary();
+    let worst = out
+        .measurements
+        .iter()
+        .max_by(|a, b| a.summary.p95.total_cmp(&b.summary.p95));
     println!("\n--- outcome -------------------------------------------------");
-    println!("served {served} requests in {batches} invocations");
-    println!("cost {:.4} u$/request", cost / served as f64 * 1e6);
     println!(
-        "controlled intervals: {windows}, SLO violations: {violations} (VCR {:.1}%)",
-        violations as f64 / windows.max(1) as f64 * 100.0
+        "served {} requests in {} invocations (mean batch {:.2})",
+        out.requests.len(),
+        out.batches.len(),
+        out.mean_batch_size()
     );
     println!(
-        "worst interval p95: {:.1} ms at t={:.0}s (SLO {:.0} ms)",
-        max_p95_interval.1 * 1e3,
-        max_p95_interval.0,
+        "latency p50 {:.1} ms, p95 {:.1} ms; cost {:.4} u$/request",
+        summary.p50 * 1e3,
+        summary.p95 * 1e3,
+        out.cost_per_request() * 1e6
+    );
+    println!(
+        "controlled intervals: {}, VCR {:.1}% (SLO p{:.0} <= {:.0} ms)",
+        out.measurements.len(),
+        out.vcr(),
+        percentile,
         slo * 1e3
+    );
+    if let Some(m) = worst {
+        println!(
+            "worst interval p95: {:.1} ms at t={:.0}s",
+            m.summary.p95 * 1e3,
+            m.start
+        );
+    }
+    assert!(
+        out.counts.conserved(),
+        "gateway lost or duplicated requests"
     );
     println!(
         "audit trail: {} decision records -> {}",
-        decision_index,
+        out.records.len(),
         jsonl.display()
     );
     println!("\n{}", tel.summary_table());

@@ -22,6 +22,8 @@
 //! | [`analytic`] | the BATCH baseline: MAP fitting + matrix-analytic latency model + grid optimizer |
 //! | [`nn`] | tensors, reverse-mode autograd, Transformer layers, Adam |
 //! | [`core`] | DeepBAT itself: Workload Parser, Buffer, surrogate, training/fine-tuning, optimizer, online controller |
+//! | [`serve`] | live threaded batching gateway: bounded admission, deadline batching, worker pool, hot controller reconfiguration, and a virtual-clock replay bitwise-equivalent to the simulator |
+//! | [`telemetry`] | structured tracing: counters/gauges/histograms, spans, JSONL event sinks |
 //!
 //! ## Quickstart
 //!
@@ -53,6 +55,7 @@ pub use dbat_analytic as analytic;
 pub use dbat_core as core;
 pub use dbat_linalg as linalg;
 pub use dbat_nn as nn;
+pub use dbat_serve as serve;
 pub use dbat_sim as sim;
 pub use dbat_telemetry as telemetry;
 pub use dbat_workload as workload;
@@ -66,10 +69,14 @@ pub mod prelude {
         GracefulController, HealthMonitor, Surrogate, SurrogateConfig, TrainConfig, WorkloadParser,
     };
     pub use dbat_nn::{Module, Tensor};
+    pub use dbat_serve::{
+        Admission, BackpressurePolicy, Clock, DrainMode, Gateway, GatewayConfig, InferenceBackend,
+        ProfiledBackend, ScriptedController, ServeOutcome, VirtualClock, VirtualGateway, WallClock,
+    };
     pub use dbat_sim::{
-        simulate_batching, simulate_faults, ConfigGrid, FaultPlan, LambdaConfig, LatencySummary,
-        OracleController, Pricing, RunOutcome, ServiceProfile, SimConfig, SimParams,
-        StaticController,
+        simulate_batching, simulate_faults, vcr_of, ConfigGrid, FaultPlan, FaultPlanBuilder,
+        IntervalMeasurement, LambdaConfig, LatencySummary, OracleController, Pricing, RunOutcome,
+        ServiceProfile, SimConfig, SimOutcome, SimParams, StaticController,
     };
     pub use dbat_telemetry::{global as telemetry, JsonlSink, MemorySink};
     pub use dbat_workload::{DbatError, Map, Mmpp2, Rng, Trace, TraceKind, Window, DAY, HOUR};

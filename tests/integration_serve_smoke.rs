@@ -1,0 +1,104 @@
+//! Wall-clock smoke test for the live gateway: a >=5k-request azure-like
+//! trace replayed at high time-scale through the threaded gateway with a
+//! scripted hot-reconfiguration schedule, ending in a graceful drain.
+//!
+//! Asserts the acceptance criteria of the serving subsystem: zero lost
+//! requests, a clean drain, and the `serve.*` telemetry counters
+//! reconciling exactly against the outcome's own accounting.
+//!
+//! This lives in its own integration binary (= its own process) because
+//! the telemetry hub is process-global: keeping it the only test here
+//! guarantees no other gateway increments the `serve.*` counters.
+
+use deepbat::prelude::*;
+use std::sync::Arc;
+
+#[test]
+fn wall_clock_smoke_serves_5k_requests_and_reconciles_telemetry() {
+    let horizon = 300.0;
+    let speedup = 128.0;
+    let decision_interval = 30.0;
+
+    let tel = telemetry();
+    tel.enable();
+
+    let trace = TraceKind::AzureLike.generate_for(7, horizon);
+    assert!(
+        trace.len() >= 5_000,
+        "smoke trace too small: {} requests",
+        trace.len()
+    );
+
+    let script: Vec<LambdaConfig> = (0..(horizon / decision_interval).ceil() as usize + 1)
+        .map(|i| {
+            if i % 2 == 0 {
+                LambdaConfig::new(2048, 8, 0.05)
+            } else {
+                LambdaConfig::new(1536, 4, 0.025)
+            }
+        })
+        .collect();
+
+    let cfg = GatewayConfig {
+        queue_capacity: 8192,
+        workers: 8,
+        decision_interval,
+        slo: 0.1,
+        percentile: 95.0,
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start_controlled(
+        cfg,
+        Arc::new(WallClock::with_speedup(speedup)),
+        Arc::new(ProfiledBackend::default()),
+        Box::new(ScriptedController::new(script, 0.1)),
+    );
+
+    let stats = deepbat::serve::drive(&gateway, trace.timestamps());
+    let out = gateway.shutdown(DrainMode::Graceful);
+
+    // Zero lost requests, clean drain.
+    assert_eq!(stats.submitted, trace.len() as u64);
+    assert!(
+        out.counts.conserved(),
+        "conservation violated: {:?}",
+        out.counts
+    );
+    assert_eq!(out.counts.submitted, stats.submitted);
+    assert_eq!(
+        out.counts.completed, out.counts.accepted,
+        "graceful drain left requests unserved"
+    );
+    assert_eq!(out.requests.len(), out.counts.completed as usize);
+    for (i, r) in out.requests.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "request ids must be dense, exactly once");
+    }
+    let batch_sizes: u64 = out.batches.iter().map(|b| b.size as u64).sum();
+    assert_eq!(batch_sizes, out.counts.completed);
+
+    // Hot reconfiguration happened while traffic flowed.
+    assert!(
+        out.records.len() >= 2,
+        "expected reconfiguration decisions, got {}",
+        out.records.len()
+    );
+    assert!(!out.measurements.is_empty());
+
+    // The serve.* telemetry stream reconciles against the outcome.
+    let c = |name: &str| tel.counter(name).get();
+    assert_eq!(c("serve.submitted"), out.counts.submitted);
+    assert_eq!(c("serve.accepted"), out.counts.accepted);
+    assert_eq!(c("serve.rejected"), out.counts.rejected);
+    assert_eq!(c("serve.completed"), out.counts.completed);
+    assert_eq!(
+        c("serve.flush.capacity") + c("serve.flush.timeout") + c("serve.flush.drain"),
+        out.batches.len() as u64,
+        "flush-reason counters must partition the invocation count"
+    );
+    assert_eq!(c("serve.reconfig"), out.records.len() as u64 - 1);
+    assert_eq!(
+        tel.histogram("serve.batch_size").count(),
+        out.batches.len() as u64
+    );
+    assert_eq!(tel.histogram("serve.latency").count(), out.counts.completed);
+}
