@@ -19,9 +19,9 @@ use serde::Serialize;
 use std::sync::Arc;
 
 pub use dbat_sim::controller::{
-    hourly_vcr, measure_schedule, run_controller, vcr_of, Controller, DecisionContext,
-    DecisionRecord, IntervalMeasurement, OracleController, RunOutcome, ScheduleEntry,
-    StaticController,
+    hourly_vcr, measure_schedule, record_sim_trace, run_controller, vcr_of, Controller,
+    DecisionContext, DecisionRecord, IntervalMeasurement, OracleController, RunOutcome,
+    ScheduleEntry, StaticController,
 };
 
 /// The DeepBAT control loop: every `decision_interval` seconds, read the
@@ -317,9 +317,24 @@ impl<C: Controller> GracefulController<C> {
         }
     }
 
+    /// Arm the monitor's SLO error-budget trigger: on top of the streak
+    /// and APE triggers, degrade when both the short and long rolling
+    /// windows burn the violation budget faster than
+    /// `threshold × budget` (multi-window burn-rate alerting).
+    pub fn with_burn_rate(mut self, cfg: dbat_telemetry::BurnRateConfig) -> Self {
+        self.monitor.burn_rate = Some(dbat_telemetry::BurnRate::new(cfg));
+        self
+    }
+
     /// Currently overriding the inner policy?
     pub fn is_degraded(&self) -> bool {
         self.monitor.is_degraded()
+    }
+
+    /// Fraction of the SLO error budget left (1.0 when no burn-rate
+    /// monitor is armed; negative once overspent).
+    pub fn budget_remaining(&self) -> f64 {
+        self.monitor.budget_remaining()
     }
 }
 
@@ -351,17 +366,28 @@ impl<C: Controller> Controller for GracefulController<C> {
 
     fn commit(&mut self, record: DecisionRecord) {
         let violated = record.violation.unwrap_or(false);
-        if let Some(engaged) = self.monitor.observe(violated, record.online_ape()) {
-            let t = dbat_telemetry::global();
+        let transition = self.monitor.observe(violated, record.online_ape());
+        let t = dbat_telemetry::global();
+        if self.monitor.burn_rate.is_some() {
+            t.gauge("serve.slo.budget_remaining")
+                .set(self.monitor.budget_remaining());
+        }
+        if let Some(engaged) = transition {
             if t.is_enabled() {
-                t.emit(
+                t.emit_at(
                     "controller.degradation",
+                    record.end,
                     serde_json::to_value(&DegradationEvent {
                         index: record.index,
                         at: record.end,
                         engaged,
                     }),
                 );
+            }
+            if engaged {
+                // Preserve the moments leading up to the trip for
+                // post-mortem before the ring is overwritten.
+                t.dump_flight("degradation");
             }
         }
         self.records.push(record);
@@ -562,6 +588,57 @@ mod tests {
         // The audit trail kept every decision, flagged appropriately.
         assert_eq!(ctl.audit().len(), 6);
         assert_eq!(ctl.audit().iter().filter(|r| r.degraded).count(), 3);
+    }
+
+    #[test]
+    fn burn_rate_engages_graceful_degradation_without_streak() {
+        use dbat_telemetry::BurnRateConfig;
+        let slo = 0.1;
+        let mut ctl = GracefulController::new(
+            StaticController::new(LambdaConfig::new(512, 32, 5.0), slo),
+            slo,
+        )
+        .with_burn_rate(BurnRateConfig {
+            budget: 0.05,
+            short_window: 4,
+            long_window: 8,
+            threshold: 2.0,
+        });
+        // The streak trigger needs 3 consecutive violations; inject an
+        // alternating violate/clean pattern that never builds a streak
+        // beyond 1, so only the error-budget monitor can fire.
+        ctl.monitor.max_violation_streak = 3;
+        static EMPTY_TRACE: std::sync::LazyLock<Trace> =
+            std::sync::LazyLock::new(|| Trace::new(vec![], 1.0));
+        let ctx = |i: usize| DecisionContext {
+            trace: &EMPTY_TRACE,
+            start: i as f64 * 60.0,
+            end: (i + 1) as f64 * 60.0,
+            index: i,
+        };
+        let mut engaged_at = None;
+        for i in 0..16 {
+            let mut rec = ctl.decide(&ctx(i));
+            if engaged_at.is_none() {
+                assert!(!rec.degraded, "must not degrade before budget burns");
+            }
+            rec.violation = Some(i % 2 == 0);
+            ctl.commit(rec);
+            if engaged_at.is_none() && ctl.is_degraded() {
+                engaged_at = Some(i);
+            }
+        }
+        // A 50% violation rate against a 5% budget trips as soon as the
+        // short window fills — deterministically at interval 3.
+        assert_eq!(engaged_at, Some(3));
+        assert!(ctl.budget_remaining() < 0.0, "budget overspent");
+        // While degraded the safe config is applied.
+        let rec = ctl.decide(&ctx(16));
+        assert!(rec.degraded);
+        assert_eq!(rec.config, ctl.safe);
+        // The budget gauge is published for the exporter to scrape.
+        let g = dbat_telemetry::global().gauge("serve.slo.budget_remaining");
+        assert!(g.get() < 0.0);
     }
 
     #[test]

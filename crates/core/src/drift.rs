@@ -7,6 +7,7 @@
 //! signals (violation streaks, online APE) into an engage/disengage
 //! switch for the safe fallback configuration.
 
+use dbat_telemetry::BurnRate;
 use serde::{Deserialize, Serialize};
 
 // `WindowStats` moved to `dbat-workload` so the sim-level audit records
@@ -14,13 +15,17 @@ use serde::{Deserialize, Serialize};
 pub use dbat_workload::WindowStats;
 
 /// Tracks whether the controller's predictions can still be trusted.
-/// Two independent triggers engage degraded mode:
+/// Three independent triggers engage degraded mode:
 ///
 /// * a streak of `max_violation_streak` consecutive SLO-violating
-///   decision intervals, or
+///   decision intervals,
 /// * a rolling mean online APE (prediction vs. measurement of the
 ///   constrained percentile) above `ape_threshold` over a full
-///   `ape_window` of measured intervals.
+///   `ape_window` of measured intervals, or
+/// * (config-gated) an SLO error-budget [`BurnRate`] burning over both
+///   its short and long windows — catching sustained sub-streak
+///   violation rates the streak trigger never sees (e.g. every other
+///   interval violating forever).
 ///
 /// Once degraded, `recovery_intervals` consecutive violation-free
 /// intervals re-arm the controller. The asymmetry is deliberate: falling
@@ -36,6 +41,9 @@ pub struct HealthMonitor {
     pub ape_window: usize,
     /// Consecutive clean intervals needed to leave degraded mode.
     pub recovery_intervals: usize,
+    /// Optional error-budget monitor; `None` (the default) keeps the
+    /// pre-existing two-trigger behavior exactly.
+    pub burn_rate: Option<BurnRate>,
     streak: usize,
     apes: Vec<f64>,
     degraded: bool,
@@ -50,6 +58,7 @@ impl Default for HealthMonitor {
             ape_threshold: 50.0,
             ape_window: 8,
             recovery_intervals: 3,
+            burn_rate: None,
             streak: 0,
             apes: Vec::new(),
             degraded: false,
@@ -78,6 +87,11 @@ impl HealthMonitor {
     /// policy predicted) its online APE. Returns `Some(new_state)` when
     /// the degraded state flips, `None` otherwise.
     pub fn observe(&mut self, violated: bool, online_ape: Option<f64>) -> Option<bool> {
+        // The burn-rate tracker sees every interval, degraded or not:
+        // budget is spent regardless of which mode spent it.
+        if let Some(br) = &mut self.burn_rate {
+            br.observe(violated);
+        }
         if !self.degraded {
             self.streak = if violated { self.streak + 1 } else { 0 };
             if let Some(a) = online_ape {
@@ -88,7 +102,8 @@ impl HealthMonitor {
             }
             let ape_unhealthy = self.apes.len() >= self.ape_window
                 && self.apes.iter().sum::<f64>() / self.apes.len() as f64 > self.ape_threshold;
-            if self.streak >= self.max_violation_streak || ape_unhealthy {
+            let burning = self.burn_rate.as_ref().is_some_and(|br| br.is_burning());
+            if self.streak >= self.max_violation_streak || ape_unhealthy || burning {
                 self.degraded = true;
                 self.engagements += 1;
                 self.streak = 0;
@@ -102,10 +117,24 @@ impl HealthMonitor {
             if self.clean >= self.recovery_intervals {
                 self.degraded = false;
                 self.clean = 0;
+                // Recovery starts with a fresh budget: the violations
+                // that engaged degradation must not instantly re-engage.
+                if let Some(br) = &mut self.burn_rate {
+                    br.reset();
+                }
                 return Some(false);
             }
             None
         }
+    }
+
+    /// Fraction of the SLO error budget still unspent (see
+    /// [`BurnRate::budget_remaining`]); `1.0` when no burn-rate monitor
+    /// is configured.
+    pub fn budget_remaining(&self) -> f64 {
+        self.burn_rate
+            .as_ref()
+            .map_or(1.0, |b| b.budget_remaining())
     }
 
     /// Forget all history (state, not thresholds).
@@ -114,6 +143,9 @@ impl HealthMonitor {
         self.apes.clear();
         self.degraded = false;
         self.clean = 0;
+        if let Some(br) = &mut self.burn_rate {
+            br.reset();
+        }
     }
 }
 
@@ -336,6 +368,71 @@ mod tests {
         }
         assert_eq!(hm.observe(false, Some(80.0)), Some(true));
         assert!(hm.is_degraded());
+    }
+
+    #[test]
+    fn burn_rate_trigger_catches_alternating_violations() {
+        use dbat_telemetry::{BurnRate, BurnRateConfig};
+        // Every other interval violates: the streak never exceeds 1 and
+        // no APE is fed, so the legacy triggers stay silent...
+        let mut plain = HealthMonitor {
+            max_violation_streak: 3,
+            ..HealthMonitor::default()
+        };
+        for i in 0..32 {
+            assert_eq!(plain.observe(i % 2 == 0, None), None);
+        }
+        assert!(!plain.is_degraded(), "legacy triggers must not fire");
+        // ...but a 50% violation rate torches a 5% error budget.
+        let mut hm = HealthMonitor {
+            max_violation_streak: 3,
+            burn_rate: Some(BurnRate::new(BurnRateConfig {
+                budget: 0.05,
+                short_window: 4,
+                long_window: 8,
+                threshold: 2.0,
+            })),
+            ..HealthMonitor::default()
+        };
+        let mut engaged_at = None;
+        for i in 0..32 {
+            if hm.observe(i % 2 == 0, None) == Some(true) {
+                engaged_at = Some(i);
+                break;
+            }
+        }
+        // Engages exactly when the short window fills (intervals 0..=3
+        // give short_rate 0.5 > 2.0 * 0.05 on both windows).
+        assert_eq!(engaged_at, Some(3));
+        assert!(hm.is_degraded());
+        assert!(hm.budget_remaining() < 0.0, "budget overspent");
+    }
+
+    #[test]
+    fn burn_rate_resets_on_recovery() {
+        use dbat_telemetry::{BurnRate, BurnRateConfig};
+        let mut hm = HealthMonitor {
+            recovery_intervals: 2,
+            burn_rate: Some(BurnRate::new(BurnRateConfig {
+                budget: 0.1,
+                short_window: 2,
+                long_window: 4,
+                threshold: 1.0,
+            })),
+            ..HealthMonitor::default()
+        };
+        for _ in 0..2 {
+            hm.observe(true, None);
+        }
+        assert!(hm.is_degraded());
+        hm.observe(false, None);
+        assert_eq!(hm.observe(false, None), Some(false));
+        assert!(!hm.is_degraded());
+        // The budget was refilled on recovery; one early violation must
+        // not immediately re-engage through stale history.
+        assert_eq!(hm.budget_remaining(), 1.0);
+        assert_eq!(hm.observe(true, None), None);
+        assert!(!hm.is_degraded());
     }
 
     #[test]

@@ -29,7 +29,10 @@ use crate::outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
 use dbat_sim::{
     Controller, DecisionContext, DecisionRecord, IntervalMeasurement, LambdaConfig, LatencySummary,
 };
-use dbat_telemetry::{Counter, Gauge, Histogram};
+use dbat_telemetry::{
+    Counter, FlushKind, Gauge, Histogram, SpanId, Telemetry, TraceConfig, TraceEvent, TraceId,
+    TraceStage,
+};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -88,6 +91,10 @@ pub struct GatewayConfig {
     /// SLO (seconds) and latency percentile the control loop measures.
     pub slo: f64,
     pub percentile: f64,
+    /// The telemetry hub this gateway reports to. Defaults to the
+    /// process-global hub; tests inject a scoped `Arc::new(Telemetry::new())`
+    /// so parallel gateways never contend on shared counters.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for GatewayConfig {
@@ -102,7 +109,82 @@ impl Default for GatewayConfig {
             decision_interval: 60.0,
             slo: 0.1,
             percentile: 95.0,
+            telemetry: dbat_telemetry::global_arc(),
         }
+    }
+}
+
+/// The trace-model mirror of a [`FlushReason`].
+pub(crate) fn flush_kind(reason: FlushReason) -> FlushKind {
+    match reason {
+        FlushReason::Capacity => FlushKind::Capacity,
+        FlushReason::Timeout => FlushKind::Timeout,
+        FlushReason::Drain => FlushKind::Drain,
+    }
+}
+
+/// The trace-model mirror of a [`LambdaConfig`].
+pub(crate) fn trace_config(config: &LambdaConfig) -> TraceConfig {
+    TraceConfig {
+        memory_mb: config.memory_mb,
+        batch_size: config.batch_size,
+        timeout_s: config.timeout_s,
+    }
+}
+
+/// Stage the admission-side events for one request. Both gateways admit
+/// and enqueue in the same instant (the live gateway stamps arrival
+/// under the inbox lock; the virtual one has no separate admission
+/// queue), so the two events share the arrival timestamp. The live
+/// worker stages these lazily at batch settle — trace events carry
+/// their own timestamps, so deferring the recording keeps the admission
+/// hot path free of tracing locks without changing event content.
+pub(crate) fn push_admission_trace(out: &mut Vec<TraceEvent>, id: u64, t: f64) {
+    out.push(TraceEvent::new(TraceId(id), TraceStage::Admit, t));
+    out.push(TraceEvent::new(TraceId(id), TraceStage::Enqueue, t));
+}
+
+/// Stage the full per-request trace of one settled batch: window joins
+/// at each member's arrival, the batch-level flush, per-request dispatch
+/// and completion. Shared by the live worker and the virtual replay so
+/// both emit an identical event shape. Events go into `out` so callers
+/// can submit a whole batch (or a whole replay) through one
+/// `Tracer::record_many` instead of paying per-event locks.
+pub(crate) fn push_batch_trace(
+    out: &mut Vec<TraceEvent>,
+    fb: &FormedBatch,
+    batch_idx: u64,
+    completed_at: f64,
+) {
+    let span = SpanId(batch_idx);
+    let cfg = trace_config(&fb.config);
+    let reason = flush_kind(fb.reason);
+    out.reserve(1 + 3 * fb.requests.len());
+    out.push(
+        TraceEvent::new(
+            TraceId(fb.requests[0].id),
+            TraceStage::Flush,
+            fb.dispatched_at,
+        )
+        .with_span(span)
+        .with_config(cfg)
+        .with_reason(reason)
+        .with_size(fb.requests.len() as u32),
+    );
+    for r in &fb.requests {
+        let id = TraceId(r.id);
+        out.push(
+            TraceEvent::new(id, TraceStage::WindowJoin, r.arrival)
+                .with_span(span)
+                .with_config(cfg),
+        );
+        out.push(
+            TraceEvent::new(id, TraceStage::Dispatch, fb.dispatched_at)
+                .with_span(span)
+                .with_config(cfg)
+                .with_reason(reason),
+        );
+        out.push(TraceEvent::new(id, TraceStage::Complete, completed_at).with_span(span));
     }
 }
 
@@ -162,11 +244,14 @@ struct ServeTel {
     queue_depth: Arc<Gauge>,
     batch_size: Arc<Histogram>,
     latency: Arc<Histogram>,
+    /// Worker execute duration in clock (virtual) seconds — replaces the
+    /// old wall-time `serve.execute` span so summaries are deterministic
+    /// under `VirtualClock`.
+    execute: Arc<Histogram>,
 }
 
 impl ServeTel {
-    fn resolve() -> Option<ServeTel> {
-        let t = dbat_telemetry::global();
+    fn resolve(t: &Telemetry) -> Option<ServeTel> {
         if !t.is_enabled() {
             return None;
         }
@@ -182,6 +267,7 @@ impl ServeTel {
             queue_depth: t.gauge("serve.queue_depth"),
             batch_size: t.histogram("serve.batch_size"),
             latency: t.histogram("serve.latency"),
+            execute: t.histogram("span.serve.execute"),
         })
     }
 }
@@ -276,6 +362,7 @@ impl Gateway {
         cfg.initial
             .validate()
             .expect("invalid initial configuration");
+        let tel = ServeTel::resolve(&cfg.telemetry);
         let shared = Arc::new(Shared {
             cfg,
             clock,
@@ -288,7 +375,7 @@ impl Gateway {
             done: Mutex::new(Done::default()),
             done_cv: Condvar::new(),
             in_flight: AtomicU64::new(0),
-            tel: ServeTel::resolve(),
+            tel,
         });
         let batcher = {
             let s = shared.clone();
@@ -422,6 +509,9 @@ impl Gateway {
             }
             None => (Vec::new(), Vec::new()),
         };
+        // The run is over: preserve the flight recorder's tail for
+        // post-mortems before the gateway object goes away.
+        self.shared.cfg.telemetry.dump_flight("drain");
         let counts = {
             let inbox = self.shared.inbox.lock().unwrap();
             let done = self.shared.done.lock().unwrap();
@@ -561,11 +651,15 @@ fn worker_loop(shared: &Shared) {
         let Some(fb) = fb else { return };
         let size = fb.requests.len() as u32;
         let plan = shared.backend.plan(&fb.config, size);
-        {
-            let _span = dbat_telemetry::global().span("serve.execute");
-            shared.backend.execute(shared.clock.as_ref(), &plan, &fb);
-        }
+        // Execute time is measured on the gateway clock (virtual
+        // seconds), not wall time, so the `span.serve.execute`
+        // histogram is deterministic under `VirtualClock`.
+        let exec_started = shared.clock.now();
+        shared.backend.execute(shared.clock.as_ref(), &plan, &fb);
         let completed_at = shared.clock.now();
+        if let Some(tel) = &shared.tel {
+            tel.execute.record(completed_at - exec_started);
+        }
         let mut done = shared.done.lock().unwrap();
         let batch_idx = done.batches.len();
         done.batches.push(ServedBatch {
@@ -598,6 +692,18 @@ fn worker_loop(shared: &Shared) {
         }
         done.completed += size as u64;
         drop(done);
+        let tracer = shared.cfg.telemetry.tracer();
+        if tracer.is_active() {
+            // Admission events are staged here too (see
+            // `push_admission_trace`): one `record_many` per batch is the
+            // only tracing lock the serving path ever takes.
+            let mut events = Vec::with_capacity(1 + 5 * fb.requests.len());
+            for r in &fb.requests {
+                push_admission_trace(&mut events, r.id, r.arrival);
+            }
+            push_batch_trace(&mut events, &fb, batch_idx as u64, completed_at);
+            tracer.record_many(&events);
+        }
         let depth = shared.in_flight.fetch_sub(size as u64, Ordering::AcqRel) - size as u64;
         if let Some(tel) = &shared.tel {
             tel.completed.add(size as u64);
@@ -674,8 +780,13 @@ fn control_loop(
         shared.arrival_cv.notify_all();
         if let Some(tel) = &shared.tel {
             tel.reconfig.inc();
-            dbat_telemetry::global()
-                .emit("serve.reconfig", dbat_telemetry::serde_json::to_value(&rec));
+            // Stamped at the decision boundary on the gateway clock, so
+            // the event stream is deterministic under `VirtualClock`.
+            shared.cfg.telemetry.emit_at(
+                "serve.reconfig",
+                boundary,
+                dbat_telemetry::serde_json::to_value(&rec),
+            );
         }
         pending.push_back((rec, Instant::now()));
         finalize_intervals(

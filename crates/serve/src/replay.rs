@@ -25,13 +25,16 @@
 use crate::backend::{InferenceBackend, ProfiledBackend};
 use crate::batcher::{Admitted, BatcherCore, FormedBatch};
 use crate::clock::VirtualClock;
+use crate::gateway::{push_admission_trace, push_batch_trace};
 use crate::outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
 use dbat_sim::engine::Scheduler;
 use dbat_sim::{
     Controller, DecisionContext, IntervalMeasurement, LambdaConfig, LatencySummary, SimConfig,
     SimParams,
 };
+use dbat_telemetry::{Telemetry, TraceEvent};
 use dbat_workload::Trace;
+use std::sync::Arc;
 
 enum Event {
     /// Decision boundary `k` (controlled runs). Scheduled first, so it
@@ -47,6 +50,7 @@ enum Event {
 pub struct VirtualGateway {
     clock: VirtualClock,
     backend: Box<dyn InferenceBackend>,
+    tel: Arc<Telemetry>,
 }
 
 impl VirtualGateway {
@@ -54,6 +58,7 @@ impl VirtualGateway {
         VirtualGateway {
             clock: VirtualClock::new(),
             backend,
+            tel: dbat_telemetry::global_arc(),
         }
     }
 
@@ -61,6 +66,18 @@ impl VirtualGateway {
     /// profile and pricing — the bitwise-equivalent configuration.
     pub fn from_params(params: &SimParams) -> Self {
         VirtualGateway::new(Box::new(ProfiledBackend::from_params(params)))
+    }
+
+    /// Report to (and trace into) `tel` instead of the process-global
+    /// hub. Tracing reads only already-computed stamps, so a traced
+    /// replay stays bitwise-identical to an untraced one.
+    pub fn with_telemetry(mut self, tel: Arc<Telemetry>) -> Self {
+        self.tel = tel;
+        self
+    }
+
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.tel
     }
 
     pub fn clock(&self) -> &VirtualClock {
@@ -78,11 +95,20 @@ impl VirtualGateway {
         }
         let mut state = ReplayState::new(arrivals.to_vec());
         let mut formed: Vec<FormedBatch> = Vec::new();
+        let tracer = self.tel.tracer();
+        // Tracing stages into a plain local Vec — the replay loop is
+        // single-threaded, so per-event locks would be pure overhead —
+        // and submits bounded chunks through one lock each.
+        let trace_on = tracer.is_active();
+        let mut trace_buf: Vec<TraceEvent> = Vec::new();
         while let Some((t, ev)) = sched.pop() {
             self.clock.advance_to(t);
             match ev {
                 Event::Boundary(_) => unreachable!("fixed replay schedules no boundaries"),
                 Event::Arrival(i) => {
+                    if trace_on {
+                        push_admission_trace(&mut trace_buf, i as u64, t);
+                    }
                     core.on_arrival(
                         Admitted {
                             id: i as u64,
@@ -93,11 +119,22 @@ impl VirtualGateway {
                 }
                 Event::Deadline => core.due(t, &mut formed),
             }
-            state.settle(&mut formed, self.backend.as_ref(), |_, _| {});
+            state.settle(
+                &mut formed,
+                self.backend.as_ref(),
+                trace_on,
+                &mut trace_buf,
+                |_, _| {},
+            );
+            if trace_buf.len() >= TRACE_CHUNK {
+                tracer.record_many(&trace_buf);
+                trace_buf.clear();
+            }
             if let Some(d) = core.next_deadline() {
                 sched.schedule(d, Event::Deadline);
             }
         }
+        tracer.record_many(&trace_buf);
         debug_assert!(core.is_idle(), "all requests must be dispatched");
         state.into_outcome(Vec::new(), Vec::new())
     }
@@ -177,6 +214,8 @@ impl VirtualGateway {
         let mut core = BatcherCore::new(LambdaConfig::new(512, 1, 0.0));
         let mut state = ReplayState::new(arrivals);
         let mut formed: Vec<FormedBatch> = Vec::new();
+        let trace_on = self.tel.tracer().is_active();
+        let mut trace_buf: Vec<TraceEvent> = Vec::new();
 
         while let Some((t, ev)) = sched.pop() {
             self.clock.advance_to(t);
@@ -215,6 +254,9 @@ impl VirtualGateway {
                     decided = k + 1;
                 }
                 Event::Arrival(i) => {
+                    if trace_on {
+                        push_admission_trace(&mut trace_buf, i as u64, t);
+                    }
                     core.on_arrival(
                         Admitted {
                             id: i as u64,
@@ -225,19 +267,30 @@ impl VirtualGateway {
                 }
                 Event::Deadline => core.due(t, &mut formed),
             }
-            state.settle(&mut formed, self.backend.as_ref(), |fb, plan| {
-                // Attribute cost to the interval the window opened in and
-                // retire its members' intervals.
-                let j = k_of(fb.requests[0].id as usize);
-                interval_cost[j] += plan.cost;
-                for r in &fb.requests {
-                    remaining[k_of(r.id as usize)] -= 1;
-                }
-            });
+            state.settle(
+                &mut formed,
+                self.backend.as_ref(),
+                trace_on,
+                &mut trace_buf,
+                |fb, plan| {
+                    // Attribute cost to the interval the window opened in
+                    // and retire its members' intervals.
+                    let j = k_of(fb.requests[0].id as usize);
+                    interval_cost[j] += plan.cost;
+                    for r in &fb.requests {
+                        remaining[k_of(r.id as usize)] -= 1;
+                    }
+                },
+            );
+            if trace_buf.len() >= TRACE_CHUNK {
+                self.tel.tracer().record_many(&trace_buf);
+                trace_buf.clear();
+            }
             if let Some(d) = core.next_deadline() {
                 sched.schedule(d, Event::Deadline);
             }
         }
+        self.tel.tracer().record_many(&trace_buf);
         debug_assert!(core.is_idle(), "all requests must be dispatched");
         finalize_ready(
             &mut next_final,
@@ -258,6 +311,10 @@ impl VirtualGateway {
         state.into_outcome(measurements, records)
     }
 }
+
+/// Staged trace events are pushed to the tracer in chunks of this many,
+/// bounding the replay's local buffer when only the flight ring is armed.
+const TRACE_CHUNK: usize = 16 * 1024;
 
 fn check_arrivals(arrivals: &[f64]) {
     assert!(
@@ -297,12 +354,17 @@ impl ReplayState {
         &mut self,
         formed: &mut Vec<FormedBatch>,
         backend: &dyn InferenceBackend,
+        trace_on: bool,
+        trace_buf: &mut Vec<TraceEvent>,
         mut hook: impl FnMut(&FormedBatch, &crate::backend::BatchPlan),
     ) {
         for fb in formed.drain(..) {
             let plan = backend.plan(&fb.config, fb.requests.len() as u32);
             let completed_at = fb.dispatched_at + plan.service_s;
             let batch_idx = self.batches.len();
+            if trace_on {
+                push_batch_trace(trace_buf, &fb, batch_idx as u64, completed_at);
+            }
             self.batches.push(ServedBatch {
                 opened_at: fb.opened_at,
                 dispatched_at: fb.dispatched_at,

@@ -12,11 +12,12 @@
 //! `dbat-core` for the same reason; `dbat-core` re-exports them so
 //! existing paths keep working.
 
-use crate::batching::{simulate_batching, SimParams};
+use crate::batching::{simulate_batching, SimOutcome, SimParams};
 use crate::config::{LambdaConfig, SimConfig};
 use crate::faults::{simulate_faults, FaultCounts};
 use crate::metrics::LatencySummary;
 use crate::sweep::ground_truth;
+use dbat_telemetry::{FlushKind, SpanId, TraceConfig, TraceEvent, TraceId, TraceStage, Tracer};
 use dbat_workload::{Trace, WindowStats};
 use serde::{Deserialize, Serialize};
 
@@ -423,6 +424,76 @@ impl RunOutcome {
     }
 }
 
+/// Record causal trace events for every request and batch of a settled
+/// simulation interval, reading only the outcome's existing stamps (no
+/// new arithmetic, so replay equivalence guarantees are untouched).
+///
+/// `req_offset`/`batch_offset` globalise per-interval indices so trace
+/// and span ids stay unique across a whole closed-loop run. The flush
+/// reason is inferred exactly: a timeout flush can never reach the
+/// configured batch size, so `size >= B` identifies capacity flushes.
+pub fn record_sim_trace(
+    tracer: &Tracer,
+    out: &SimOutcome,
+    config: &LambdaConfig,
+    req_offset: u64,
+    batch_offset: u64,
+) {
+    let cfg = TraceConfig {
+        memory_mb: config.memory_mb,
+        batch_size: config.batch_size,
+        timeout_s: config.timeout_s,
+    };
+    // Anchor each batch-level Flush on its first member request.
+    let mut first_member: Vec<Option<u64>> = vec![None; out.batches.len()];
+    for (ri, r) in out.requests.iter().enumerate() {
+        if first_member[r.batch].is_none() {
+            first_member[r.batch] = Some(req_offset + ri as u64);
+        }
+    }
+    let reason_of = |size: u32| {
+        if size >= config.batch_size {
+            FlushKind::Capacity
+        } else {
+            FlushKind::Timeout
+        }
+    };
+    // Stage the whole interval locally, publish through one lock.
+    let mut events = Vec::with_capacity(out.batches.len() + 5 * out.requests.len());
+    for (bi, b) in out.batches.iter().enumerate() {
+        let Some(anchor) = first_member[bi] else {
+            continue;
+        };
+        events.push(
+            TraceEvent::new(TraceId(anchor), TraceStage::Flush, b.dispatched_at)
+                .with_span(SpanId(batch_offset + bi as u64))
+                .with_config(cfg)
+                .with_reason(reason_of(b.size))
+                .with_size(b.size),
+        );
+    }
+    for (ri, r) in out.requests.iter().enumerate() {
+        let id = TraceId(req_offset + ri as u64);
+        let span = SpanId(batch_offset + r.batch as u64);
+        let b = &out.batches[r.batch];
+        events.push(TraceEvent::new(id, TraceStage::Admit, r.arrival));
+        events.push(TraceEvent::new(id, TraceStage::Enqueue, r.arrival));
+        events.push(
+            TraceEvent::new(id, TraceStage::WindowJoin, r.arrival)
+                .with_span(span)
+                .with_config(cfg),
+        );
+        events.push(
+            TraceEvent::new(id, TraceStage::Dispatch, r.dispatch)
+                .with_span(span)
+                .with_config(cfg)
+                .with_reason(reason_of(b.size)),
+        );
+        events.push(TraceEvent::new(id, TraceStage::Complete, r.completion).with_span(span));
+    }
+    tracer.record_many(&events);
+}
+
 /// Drive any [`Controller`] over `[t0, t1)` of the trace: one
 /// `decide`/simulate/`observe`/`commit` cycle per decision interval.
 ///
@@ -449,6 +520,9 @@ pub fn run_controller<C: Controller + ?Sized>(
     let mut measurements = Vec::new();
     let mut records = Vec::new();
     let mut counts = FaultCounts::default();
+    let tracer = dbat_telemetry::global().tracer();
+    let mut trace_req_offset = 0u64;
+    let mut trace_batch_offset = 0u64;
     let mut t = t0;
     let mut index = 0usize;
     while t < t1 {
@@ -491,6 +565,17 @@ pub fn run_controller<C: Controller + ?Sized>(
             rec.record_measurement(&m);
             ctl.observe(&m);
             measurements.push(m);
+            if tracer.is_active() {
+                record_sim_trace(
+                    tracer,
+                    &out.sim,
+                    &rec.config,
+                    trace_req_offset,
+                    trace_batch_offset,
+                );
+            }
+            trace_req_offset += out.sim.requests.len() as u64;
+            trace_batch_offset += out.sim.batches.len() as u64;
         }
         ctl.commit(rec);
         // The committed record may have been rewritten (degradation
@@ -542,6 +627,78 @@ mod tests {
             assert_eq!(x.violation, x.summary.p95 > 0.1);
             assert_eq!(x.lost, 0);
         }
+    }
+
+    #[test]
+    fn record_sim_trace_reconstructs_latency_segments() {
+        let tr = trace();
+        let cfg = LambdaConfig::new(2048, 4, 0.05);
+        let out = simulate_batching(
+            &tr.timestamps()[..tr.lower_bound(60.0)],
+            &cfg,
+            &SimParams::default(),
+            None,
+        );
+        assert!(!out.requests.is_empty() && !out.batches.is_empty());
+        let hub = dbat_telemetry::Telemetry::new();
+        hub.tracer().enable_capture();
+        record_sim_trace(hub.tracer(), &out, &cfg, 1000, 50);
+        let events = hub.tracer().drain();
+        // Five per-request stages plus one batch-level Flush per batch.
+        assert_eq!(events.len(), out.requests.len() * 5 + out.batches.len());
+        // Drain is causally ordered within each trace: Admit ≤ Enqueue ≤
+        // WindowJoin ≤ Dispatch ≤ Complete, and the segments reproduce
+        // the simulator's wait/service decomposition exactly.
+        for (ri, r) in out.requests.iter().enumerate() {
+            let id = TraceId(1000 + ri as u64);
+            let per: Vec<&TraceEvent> = events
+                .iter()
+                .filter(|e| e.trace == id && e.stage != TraceStage::Flush)
+                .collect();
+            assert_eq!(per.len(), 5);
+            let t_of = |stage: TraceStage| per.iter().find(|e| e.stage == stage).unwrap().t;
+            assert_eq!(t_of(TraceStage::Admit).to_bits(), r.arrival.to_bits());
+            assert_eq!(t_of(TraceStage::Dispatch).to_bits(), r.dispatch.to_bits());
+            assert_eq!(t_of(TraceStage::Complete).to_bits(), r.completion.to_bits());
+            assert_eq!(
+                (t_of(TraceStage::Dispatch) - t_of(TraceStage::WindowJoin)).to_bits(),
+                r.wait().to_bits()
+            );
+        }
+        // Flush reasons: full batches are Capacity, partial are Timeout.
+        for e in events.iter().filter(|e| e.stage == TraceStage::Flush) {
+            let size = e.size.unwrap();
+            let expect = if size >= cfg.batch_size {
+                FlushKind::Capacity
+            } else {
+                FlushKind::Timeout
+            };
+            assert_eq!(e.reason, Some(expect));
+            assert_eq!(e.config.unwrap().batch_size, cfg.batch_size);
+        }
+    }
+
+    #[test]
+    fn run_controller_emits_trace_when_tracer_active() {
+        // run_controller records through the GLOBAL hub's tracer; flip the
+        // flight ring on (bounded, safe if a parallel test also records)
+        // and check events landed.
+        let tr = trace();
+        let tracer = dbat_telemetry::global().tracer();
+        tracer.enable_flight(4096);
+        let mut ctl = StaticController::new(LambdaConfig::new(2048, 4, 0.05), 0.1);
+        let out = run_controller(&mut ctl, &tr, 0.0, 120.0, &SimConfig::new(0.1));
+        let events = tracer.take_flight();
+        tracer.disable_flight();
+        let total: usize = out.measurements.iter().map(|m| m.requests).sum();
+        assert!(total > 0);
+        let completes = events
+            .iter()
+            .filter(|e| e.stage == TraceStage::Complete)
+            .count();
+        // Ring may have wrapped or absorbed events from concurrent tests,
+        // so assert presence, not exact equality.
+        assert!(completes > 0, "expected Complete events in flight ring");
     }
 
     #[test]

@@ -39,17 +39,23 @@
 //! # t.reset_metrics();
 //! ```
 
+pub mod export;
 pub mod log;
 pub mod metrics;
 pub mod sink;
+pub mod slo;
 pub mod span;
+pub mod trace;
 
+pub use export::{sanitize_metric_name, MetricsExporter};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, TRACKED_PERCENTILES};
 // Re-export so downstream binaries can build event payloads without adding
 // their own serde_json dependency.
 pub use serde_json;
 pub use sink::{read_jsonl, Event, JsonlSink, MemorySink, Sink, StderrSink};
+pub use slo::{BurnRate, BurnRateConfig};
 pub use span::Span;
+pub use trace::{FlushKind, SpanId, TraceConfig, TraceEvent, TraceId, TraceStage, Tracer};
 
 use serde_json::Value;
 use std::collections::BTreeMap;
@@ -64,6 +70,22 @@ pub struct Telemetry {
     gauges: RwLock<BTreeMap<String, Arc<Gauge>>>,
     histograms: RwLock<BTreeMap<String, Arc<Histogram>>>,
     sinks: Mutex<Vec<Arc<dyn Sink>>>,
+    tracer: Tracer,
+}
+
+// `GatewayConfig` derives Debug and carries an `Arc<Telemetry>`; the hub
+// itself summarizes rather than dumping registries.
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("enabled", &self.is_enabled())
+            .field("counters", &self.counters.read().unwrap().len())
+            .field("gauges", &self.gauges.read().unwrap().len())
+            .field("histograms", &self.histograms.read().unwrap().len())
+            .field("sinks", &self.sinks.lock().unwrap().len())
+            .field("tracing", &self.tracer.is_active())
+            .finish()
+    }
 }
 
 impl Default for Telemetry {
@@ -82,7 +104,14 @@ impl Telemetry {
             gauges: RwLock::new(BTreeMap::new()),
             histograms: RwLock::new(BTreeMap::new()),
             sinks: Mutex::new(Vec::new()),
+            tracer: Tracer::new(),
         }
+    }
+
+    /// This hub's request tracer. Disarmed (and nearly free) by default;
+    /// see [`Tracer`] for the capture / flight-recorder switches.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     // ---- switch -----------------------------------------------------
@@ -219,10 +248,64 @@ impl Telemetry {
         }
     }
 
+    /// Like [`Telemetry::emit`], but stamped with an explicit timestamp
+    /// (virtual seconds) instead of wall time. The serving layer routes
+    /// every event through its `Clock` via this, so JSONL output under a
+    /// virtual clock is deterministic and diffable across runs.
+    pub fn emit_at(&self, kind: &str, ts: f64, data: Value) {
+        if !self.is_enabled() {
+            return;
+        }
+        let event = Event::with_ts(ts, kind, data);
+        for sink in self.sinks.lock().unwrap().iter() {
+            sink.emit(&event);
+        }
+    }
+
     pub fn flush(&self) {
         for sink in self.sinks.lock().unwrap().iter() {
             sink.flush();
         }
+    }
+
+    // ---- tracing ----------------------------------------------------
+
+    /// Drain the tracer's captured events to every attached sink as
+    /// `trace` events (one JSONL line each, `ts` = the event's virtual
+    /// time), and also return them. Emission requires the hub to be
+    /// enabled; draining always happens so buffers never leak.
+    pub fn drain_trace_to_sinks(&self) -> Vec<TraceEvent> {
+        let events = self.tracer.drain();
+        if self.is_enabled() {
+            for ev in &events {
+                self.emit_at("trace", ev.t, serde_json::to_value(ev));
+            }
+        }
+        events
+    }
+
+    /// Dump the flight recorder (most recent trace events) to the sinks
+    /// as `trace.flight` events tagged with why the dump happened
+    /// (`"degradation"`, `"drain"`, …), clearing the ring. Returns the
+    /// dumped events; the post-mortem costs nothing while healthy.
+    pub fn dump_flight(&self, why: &str) -> Vec<TraceEvent> {
+        let events = self.tracer.take_flight();
+        if self.is_enabled() && !events.is_empty() {
+            for ev in &events {
+                let mut data = match serde_json::to_value(ev) {
+                    Value::Object(m) => m,
+                    other => {
+                        let mut m = serde_json::Map::new();
+                        m.insert("event".to_string(), other);
+                        m
+                    }
+                };
+                data.insert("why".to_string(), Value::String(why.to_string()));
+                self.emit_at("trace.flight", ev.t, Value::Object(data));
+            }
+            self.flush();
+        }
+        events
     }
 
     // ---- reporting --------------------------------------------------
@@ -272,6 +355,36 @@ impl Telemetry {
         out
     }
 
+    /// Every registered counter's `(name, value)`, in name order.
+    pub fn counter_values(&self) -> Vec<(String, u64)> {
+        self.counters
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(n, c)| (n.clone(), c.get()))
+            .collect()
+    }
+
+    /// Every registered gauge's `(name, value)`, in name order.
+    pub fn gauge_values(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(n, g)| (n.clone(), g.get()))
+            .collect()
+    }
+
+    /// Every registered histogram's `(name, handle)`, in name order.
+    pub fn histogram_handles(&self) -> Vec<(String, Arc<Histogram>)> {
+        self.histograms
+            .read()
+            .unwrap()
+            .iter()
+            .map(|(n, h)| (n.clone(), h.clone()))
+            .collect()
+    }
+
     /// All metrics as one JSON object, e.g. for a final `metrics` event.
     pub fn metrics_json(&self) -> Value {
         let mut obj = serde_json::Map::new();
@@ -300,11 +413,19 @@ impl Telemetry {
     }
 }
 
+static GLOBAL: OnceLock<Arc<Telemetry>> = OnceLock::new();
+
 /// The process-wide telemetry hub. Starts disabled; instrumented library
 /// code is a no-op until a binary enables it.
 pub fn global() -> &'static Telemetry {
-    static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
-    GLOBAL.get_or_init(Telemetry::new)
+    GLOBAL.get_or_init(|| Arc::new(Telemetry::new()))
+}
+
+/// The process-wide hub as an owned handle, for code that stores its
+/// telemetry (e.g. `GatewayConfig`) so tests can inject a scoped hub
+/// instead of contending on the global one.
+pub fn global_arc() -> Arc<Telemetry> {
+    GLOBAL.get_or_init(|| Arc::new(Telemetry::new())).clone()
 }
 
 /// Convenience startup for binaries: enable the global hub and, when

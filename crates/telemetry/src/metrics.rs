@@ -345,6 +345,85 @@ mod tests {
     }
 
     #[test]
+    fn quantile_p100_is_exact_max_p0_stays_in_first_bucket() {
+        let h = Histogram::default();
+        let samples = [0.004, 0.011, 0.032, 0.095, 0.25, 0.61];
+        for &s in &samples {
+            h.record(s);
+        }
+        // p=100 lands on the observed max exactly: the containing
+        // bucket's upper edge is clamped by max().
+        assert_eq!(h.quantile(100.0).unwrap(), 0.61);
+        // p=0 starts at the observed min and cannot leave min's bucket
+        // (one bucket is a factor of 10^(1/16) ≈ 1.155 wide).
+        let q0 = h.quantile(0.0).unwrap();
+        assert!((0.004..=0.004 * 1.16).contains(&q0), "p0 -> {q0}");
+    }
+
+    #[test]
+    fn out_of_range_values_clamp_to_edge_buckets() {
+        let h = Histogram::default(); // covers 1e-6 .. 1e4
+        h.record(1e-12); // below lo -> underflow bucket
+        h.record(1.0);
+        h.record(1e12); // above hi -> overflow bucket
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.min(), 1e-12);
+        assert_eq!(h.max(), 1e12);
+        // The underflow estimate is bracketed by the true min and the
+        // first real edge; the overflow estimate by the last edge and
+        // the true max (quantile interpolation clamps to min/max).
+        let q0 = h.quantile(0.0).unwrap();
+        assert!((1e-12..=1e-6).contains(&q0), "underflow p0 -> {q0}");
+        assert_eq!(h.quantile(100.0).unwrap(), 1e12);
+        let pv = h.percentile_vector().unwrap();
+        assert!(pv.windows(2).all(|w| w[0] <= w[1]), "monotone: {pv:?}");
+    }
+
+    #[test]
+    fn percentile_vector_matches_quantile_calls() {
+        let h = Histogram::default();
+        for i in 0..500 {
+            h.record(1e-3 * (1.0 + i as f64));
+        }
+        let pv = h.percentile_vector().unwrap();
+        for (v, p) in pv.iter().zip(TRACKED_PERCENTILES) {
+            assert_eq!(*v, h.quantile(p).unwrap());
+        }
+    }
+
+    #[test]
+    fn quantile_cross_checks_against_interp_tracked_percentile() {
+        use dbat_workload::stats::interp_tracked_percentile;
+        // A smooth latency-like sample: percentiles are near-linear in p,
+        // so interpolating the tracked vector and querying the histogram
+        // directly must agree to within bucket resolution.
+        let h = Histogram::default();
+        for i in 0..4000 {
+            h.record(0.010 + 0.090 * (i as f64 / 3999.0));
+        }
+        let pv = h.percentile_vector().unwrap();
+        for p in [50.0, 60.0, 75.0, 90.0, 92.5, 95.0, 97.0, 99.0] {
+            let direct = h.quantile(p).unwrap();
+            let interp = interp_tracked_percentile(&TRACKED_PERCENTILES, &pv, p);
+            let rel = (direct - interp).abs() / direct;
+            assert!(
+                rel < 0.10,
+                "p{p}: direct {direct} vs interpolated {interp} (rel {rel})"
+            );
+        }
+        // Outside the tracked range the interpolation clamps to the
+        // nearest tracked value by design.
+        assert_eq!(
+            interp_tracked_percentile(&TRACKED_PERCENTILES, &pv, 10.0),
+            pv[0]
+        );
+        assert_eq!(
+            interp_tracked_percentile(&TRACKED_PERCENTILES, &pv, 100.0),
+            pv[3]
+        );
+    }
+
+    #[test]
     fn histogram_single_value() {
         let h = Histogram::default();
         h.record(0.25);

@@ -36,6 +36,17 @@ impl Event {
         }
     }
 
+    /// An event stamped with an explicit timestamp instead of wall time
+    /// — the serving layer passes virtual-clock seconds here so event
+    /// streams are deterministic under `VirtualClock`.
+    pub fn with_ts(ts: f64, kind: &str, data: Value) -> Self {
+        Event {
+            ts,
+            kind: kind.to_string(),
+            data,
+        }
+    }
+
     /// The wire form: `{"ts":…,"kind":…,"data":{…}}` on one line.
     pub fn to_json_line(&self) -> String {
         let mut obj = serde_json::Map::new();

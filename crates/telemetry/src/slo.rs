@@ -1,0 +1,268 @@
+//! SLO error-budget accounting: a multi-window burn-rate tracker.
+//!
+//! An SLO like "p95 latency under 100 ms" implies an **error budget**:
+//! the fraction of decision intervals allowed to violate it. [`BurnRate`]
+//! ingests one boolean observation per interval (violated or not) and
+//! maintains the violation rate over two rolling windows — a short one
+//! that reacts fast and a long one that filters noise. The monitor
+//! **burns** (see [`BurnRate::is_burning`]) only when *both* windows
+//! exceed `threshold ×` the budget, the standard multi-window SRE
+//! alerting rule: a brief spike trips the short window but not the long
+//! one, while a slow leak trips the long window but not the short one —
+//! neither alone pages.
+//!
+//! The tracker is pure bookkeeping over its inputs (no clocks, no
+//! randomness), so replaying the same violation sequence reproduces the
+//! same state bit for bit.
+
+use serde::{Deserialize, Serialize};
+
+/// Shape of the error budget and its alerting windows, in units of
+/// decision intervals.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct BurnRateConfig {
+    /// Allowed long-run violation rate, e.g. `0.05` = 5% of intervals
+    /// may miss the SLO before the budget is spent.
+    pub budget: f64,
+    /// Fast window length (intervals); reacts to sharp regressions.
+    pub short_window: usize,
+    /// Slow window length (intervals); filters transient spikes.
+    pub long_window: usize,
+    /// Burn multiplier: both windows must exceed `threshold * budget`
+    /// to report burning. SRE practice uses ~14 for fast burn paging;
+    /// our default is deliberately lower because the controller acts on
+    /// it directly rather than paging a human.
+    pub threshold: f64,
+}
+
+impl Default for BurnRateConfig {
+    fn default() -> Self {
+        BurnRateConfig {
+            budget: 0.05,
+            short_window: 4,
+            long_window: 16,
+            threshold: 2.0,
+        }
+    }
+}
+
+/// Rolling SLO-violation-rate tracker over a short and a long window.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BurnRate {
+    config: BurnRateConfig,
+    /// Most recent `long_window` observations, oldest first. A plain
+    /// `Vec` (the vendored serde lacks `VecDeque`); windows are a few
+    /// dozen entries at most, so the front-pop is immaterial.
+    history: Vec<bool>,
+    /// Total observations ever ingested.
+    observed: u64,
+    /// Total violations ever ingested.
+    violations: u64,
+}
+
+impl BurnRate {
+    pub fn new(config: BurnRateConfig) -> Self {
+        assert!(
+            config.budget > 0.0 && config.budget <= 1.0,
+            "error budget must be in (0, 1], got {}",
+            config.budget
+        );
+        assert!(
+            config.short_window >= 1 && config.short_window <= config.long_window,
+            "windows must satisfy 1 <= short ({}) <= long ({})",
+            config.short_window,
+            config.long_window
+        );
+        assert!(config.threshold > 0.0);
+        BurnRate {
+            config,
+            history: Vec::with_capacity(config.long_window),
+            observed: 0,
+            violations: 0,
+        }
+    }
+
+    pub fn config(&self) -> &BurnRateConfig {
+        &self.config
+    }
+
+    /// Ingest one decision interval's outcome.
+    pub fn observe(&mut self, violated: bool) {
+        if self.history.len() == self.config.long_window {
+            self.history.remove(0);
+        }
+        self.history.push(violated);
+        self.observed += 1;
+        self.violations += u64::from(violated);
+    }
+
+    fn rate_over(&self, window: usize) -> f64 {
+        let n = window.min(self.history.len());
+        if n == 0 {
+            return 0.0;
+        }
+        let bad = self.history.iter().rev().take(n).filter(|&&v| v).count();
+        bad as f64 / n as f64
+    }
+
+    /// Violation rate over the most recent `short_window` observations.
+    pub fn short_rate(&self) -> f64 {
+        self.rate_over(self.config.short_window)
+    }
+
+    /// Violation rate over the most recent `long_window` observations.
+    pub fn long_rate(&self) -> f64 {
+        self.rate_over(self.config.long_window)
+    }
+
+    /// True when both windows exceed `threshold × budget` — the
+    /// multi-window burn condition. Never true before a full short
+    /// window of observations has arrived.
+    pub fn is_burning(&self) -> bool {
+        if self.history.len() < self.config.short_window {
+            return false;
+        }
+        let limit = self.config.threshold * self.config.budget;
+        self.short_rate() > limit && self.long_rate() > limit
+    }
+
+    /// Fraction of the error budget still unspent over the long window:
+    /// `1 - long_rate / budget`. `1.0` with a clean window, `0.0` when
+    /// violations exactly consume the budget, negative when overspent.
+    pub fn budget_remaining(&self) -> f64 {
+        1.0 - self.long_rate() / self.config.budget
+    }
+
+    /// Lifetime observation count (not windowed).
+    pub fn observed(&self) -> u64 {
+        self.observed
+    }
+
+    /// Lifetime violation count (not windowed).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Forget all history (e.g. after a degradation recovery).
+    pub fn reset(&mut self) {
+        self.history.clear();
+        self.observed = 0;
+        self.violations = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(budget: f64, short: usize, long: usize, threshold: f64) -> BurnRate {
+        BurnRate::new(BurnRateConfig {
+            budget,
+            short_window: short,
+            long_window: long,
+            threshold,
+        })
+    }
+
+    #[test]
+    fn clean_history_leaves_budget_intact() {
+        let mut b = tracker(0.05, 4, 16, 2.0);
+        assert_eq!(b.budget_remaining(), 1.0);
+        for _ in 0..32 {
+            b.observe(false);
+        }
+        assert!(!b.is_burning());
+        assert_eq!(b.short_rate(), 0.0);
+        assert_eq!(b.long_rate(), 0.0);
+        assert_eq!(b.budget_remaining(), 1.0);
+        assert_eq!(b.observed(), 32);
+        assert_eq!(b.violations(), 0);
+    }
+
+    #[test]
+    fn sustained_violations_burn_and_overspend() {
+        let mut b = tracker(0.05, 4, 16, 2.0);
+        for _ in 0..16 {
+            b.observe(true);
+        }
+        assert_eq!(b.short_rate(), 1.0);
+        assert_eq!(b.long_rate(), 1.0);
+        assert!(b.is_burning());
+        // 100% violation rate against a 5% budget: overspent 19x.
+        assert!((b.budget_remaining() - (1.0 - 1.0 / 0.05)).abs() < 1e-12);
+        assert!(b.budget_remaining() < 0.0);
+    }
+
+    #[test]
+    fn brief_spike_trips_short_window_only() {
+        let mut b = tracker(0.05, 2, 16, 2.0);
+        for _ in 0..14 {
+            b.observe(false);
+        }
+        // Two bad intervals: short rate 1.0, long rate 2/16 = 0.125.
+        b.observe(true);
+        b.observe(true);
+        assert_eq!(b.short_rate(), 1.0);
+        assert!((b.long_rate() - 2.0 / 16.0).abs() < 1e-12);
+        // threshold*budget = 0.1 < 0.125, so this config DOES burn;
+        // raise the threshold and the long window saves it.
+        assert!(b.is_burning());
+        let mut strict = tracker(0.05, 2, 16, 4.0);
+        for _ in 0..14 {
+            strict.observe(false);
+        }
+        strict.observe(true);
+        strict.observe(true);
+        assert!(!strict.is_burning(), "long window must filter the spike");
+    }
+
+    #[test]
+    fn no_burn_before_short_window_fills() {
+        let mut b = tracker(0.05, 4, 8, 1.0);
+        b.observe(true);
+        b.observe(true);
+        b.observe(true);
+        assert!(!b.is_burning(), "3 of 4 short-window slots seen");
+        b.observe(true);
+        assert!(b.is_burning());
+    }
+
+    #[test]
+    fn windows_roll_and_reset_clears() {
+        let mut b = tracker(0.25, 2, 4, 1.0);
+        for _ in 0..4 {
+            b.observe(true);
+        }
+        assert!(b.is_burning());
+        // Violations age out of both windows.
+        for _ in 0..4 {
+            b.observe(false);
+        }
+        assert!(!b.is_burning());
+        assert_eq!(b.long_rate(), 0.0);
+        assert_eq!(b.violations(), 4);
+        b.reset();
+        assert_eq!(b.observed(), 0);
+        assert_eq!(b.budget_remaining(), 1.0);
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_state() {
+        let mut b = tracker(0.1, 3, 6, 2.0);
+        for i in 0..10 {
+            b.observe(i % 3 == 0);
+        }
+        let v = crate::serde_json::to_value(&b);
+        let back: BurnRate = crate::serde_json::from_value(v).unwrap();
+        assert_eq!(back.short_rate(), b.short_rate());
+        assert_eq!(back.long_rate(), b.long_rate());
+        assert_eq!(back.observed(), b.observed());
+        assert_eq!(back.is_burning(), b.is_burning());
+    }
+
+    #[test]
+    #[should_panic(expected = "error budget")]
+    fn zero_budget_is_rejected() {
+        tracker(0.0, 2, 4, 1.0);
+    }
+}

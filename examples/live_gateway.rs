@@ -11,7 +11,18 @@
 //! cargo run --release --example live_gateway
 //! DBAT_SERVE_HORIZON=300 DBAT_SERVE_SPEEDUP=128 \
 //!     cargo run --release --example live_gateway
+//! # expose live metrics and keep serving them after the drain:
+//! DBAT_METRICS_ADDR=127.0.0.1:9184 DBAT_SERVE_LINGER=20 \
+//!     cargo run --release --example live_gateway &
+//! curl -s http://127.0.0.1:9184/metrics | grep serve_completed_total
 //! ```
+//!
+//! Set `DBAT_METRICS_ADDR` to start the pull-based exporter (Prometheus
+//! text at `/metrics`, JSON at `/snapshot`); `DBAT_SERVE_LINGER` keeps
+//! the process alive that many seconds after the drain so a scraper can
+//! still read the final counters. The flight recorder keeps the most
+//! recent trace events and dumps them to the telemetry sinks when the
+//! drain completes.
 
 use deepbat::prelude::*;
 use std::sync::Arc;
@@ -30,6 +41,23 @@ fn main() {
     deepbat::telemetry::init_from_env(None);
     let tel = telemetry();
     tel.enable();
+
+    // Pull-based metrics endpoint (opt-in): Prometheus text at /metrics,
+    // JSON at /snapshot, served from a plain std TcpListener thread.
+    let exporter =
+        std::env::var("DBAT_METRICS_ADDR").ok().map(|addr| {
+            match MetricsExporter::start(global_arc(), &addr) {
+                Ok(e) => {
+                    println!("metrics exporter listening on http://{}/metrics", e.addr());
+                    e
+                }
+                Err(err) => panic!("failed to bind metrics exporter on {addr}: {err}"),
+            }
+        });
+
+    // Flight recorder: keep the most recent trace events in a bounded
+    // ring; they are dumped to the sinks when the drain completes.
+    tel.tracer().enable_flight(4096);
 
     let trace = TraceKind::AzureLike.generate_for(7, horizon);
     println!(
@@ -111,4 +139,12 @@ fn main() {
     assert_eq!(out.counts.submitted, stats.submitted);
     println!("conservation: accepted == completed, no lost requests ✓");
     println!("\n{}", tel.summary_table());
+
+    // Keep serving /metrics for scrapers after the drain, if asked.
+    let linger = env_f64("DBAT_SERVE_LINGER", 0.0);
+    if exporter.is_some() && linger > 0.0 {
+        println!("lingering {linger:.0}s for metric scrapes...");
+        std::thread::sleep(std::time::Duration::from_secs_f64(linger));
+    }
+    drop(exporter);
 }

@@ -23,7 +23,7 @@
 //! | [`nn`] | tensors, reverse-mode autograd, Transformer layers, Adam |
 //! | [`core`] | DeepBAT itself: Workload Parser, Buffer, surrogate, training/fine-tuning, optimizer, online controller |
 //! | [`serve`] | live threaded batching gateway: bounded admission, deadline batching, worker pool, hot controller reconfiguration, and a virtual-clock replay bitwise-equivalent to the simulator |
-//! | [`telemetry`] | structured tracing: counters/gauges/histograms, spans, JSONL event sinks |
+//! | [`telemetry`] | observability: counters/gauges/histograms, spans, JSONL event sinks, causal request tracing with a flight recorder, a pull-based Prometheus/JSON exporter, and an SLO error-budget (burn-rate) monitor |
 //!
 //! ## Quickstart
 //!
@@ -78,6 +78,9 @@ pub mod prelude {
         IntervalMeasurement, LambdaConfig, LatencySummary, OracleController, Pricing, RunOutcome,
         ServiceProfile, SimConfig, SimOutcome, SimParams, StaticController,
     };
-    pub use dbat_telemetry::{global as telemetry, JsonlSink, MemorySink};
+    pub use dbat_telemetry::{
+        global as telemetry, global_arc, BurnRate, BurnRateConfig, JsonlSink, MemorySink,
+        MetricsExporter, Telemetry, TraceEvent, TraceStage,
+    };
     pub use dbat_workload::{DbatError, Map, Mmpp2, Rng, Trace, TraceKind, Window, DAY, HOUR};
 }

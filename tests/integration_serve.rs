@@ -7,6 +7,12 @@
 //! tests check the live invariants: exactly-once delivery under
 //! concurrent submitters and drain, and reconfigurations never splitting
 //! a formed batch.
+//!
+//! The observability tests ride on scoped (injected) telemetry hubs:
+//! request tracing must not perturb the bitwise replay, virtual-clock
+//! trace streams must be deterministic, the `serve.*` counters must
+//! reconcile exactly with the outcome's accounting, and the `/metrics`
+//! endpoint must serve Prometheus text that agrees with both.
 
 use deepbat::prelude::*;
 use deepbat::serve::{BatcherCore, FlushReason};
@@ -300,4 +306,290 @@ fn live_reconfiguration_never_splits_or_loses_work() {
     // double-counted, nothing dropped.
     let sizes: u64 = out.batches.iter().map(|b| b.size as u64).sum();
     assert_eq!(sizes, out.counts.completed);
+}
+
+/// The hard observability invariant: switching request tracing ON (both
+/// the capture buffer and the flight ring) must not perturb the virtual
+/// replay by a single bit — tracing only *reads* the already-settled
+/// stamps, it performs no arithmetic of its own.
+#[test]
+fn tracing_enabled_replay_stays_bitwise_equivalent_to_simulator() {
+    let params = SimParams::default();
+    let trace = azure_trace(60.0);
+    for cfg in [
+        LambdaConfig::new(2048, 4, 0.05),
+        LambdaConfig::new(1024, 8, 0.025),
+    ] {
+        let sim = simulate_batching(trace.timestamps(), &cfg, &params, None);
+
+        let hub = Arc::new(Telemetry::new());
+        hub.tracer().enable_capture();
+        hub.tracer().enable_flight(512);
+        let mut gw = VirtualGateway::from_params(&params).with_telemetry(hub.clone());
+        let out = gw.replay(trace.timestamps(), &cfg);
+
+        assert_eq!(out.requests.len(), sim.requests.len());
+        for (r, s) in out.requests.iter().zip(&sim.requests) {
+            assert_eq!(r.arrival.to_bits(), s.arrival.to_bits());
+            assert_eq!(r.dispatched_at.to_bits(), s.dispatch.to_bits());
+            assert_eq!(r.completed_at.to_bits(), s.completion.to_bits());
+        }
+        assert_eq!(out.batches.len(), sim.batches.len());
+        for (b, s) in out.batches.iter().zip(&sim.batches) {
+            assert_eq!(b.dispatched_at.to_bits(), s.dispatched_at.to_bits());
+            assert_eq!(b.cost.to_bits(), s.cost.to_bits());
+        }
+        assert_eq!(out.total_cost.to_bits(), sim.total_cost.to_bits());
+
+        // The trace stream itself is complete and causally faithful:
+        // Admit/Enqueue/WindowJoin/Dispatch/Complete per request plus one
+        // batch-level Flush per invocation, and every Complete timestamp
+        // is the simulator's completion float, bit for bit.
+        let events = hub.tracer().drain();
+        assert_eq!(events.len(), 5 * sim.requests.len() + sim.batches.len());
+        let mut completes: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.stage == TraceStage::Complete)
+            .collect();
+        completes.sort_by_key(|e| e.trace);
+        assert_eq!(completes.len(), sim.requests.len());
+        for (e, s) in completes.iter().zip(&sim.requests) {
+            assert_eq!(e.t.to_bits(), s.completion.to_bits());
+        }
+    }
+}
+
+/// Same invariant across a controlled replay with a mid-run
+/// reconfiguration: the traced run's stamps, costs, and measurements are
+/// bitwise identical to an untraced run of the same script.
+#[test]
+fn tracing_enabled_controlled_replay_is_bitwise_identical_to_untraced() {
+    let params = SimParams::default();
+    let trace = azure_trace(120.0);
+    let cfg_a = LambdaConfig::new(2048, 64, 0.5);
+    let cfg_b = LambdaConfig::new(1024, 8, 0.025);
+    let opts = SimConfig::builder()
+        .params(params)
+        .slo(0.1)
+        .percentile(95.0)
+        .decision_interval(60.0)
+        .build()
+        .unwrap();
+
+    let run = |traced: bool| {
+        let mut ctl = ScriptedController::new(vec![cfg_a, cfg_b], 0.1);
+        let mut gw = VirtualGateway::from_params(&params);
+        if traced {
+            let hub = Arc::new(Telemetry::new());
+            hub.tracer().enable_capture();
+            hub.tracer().enable_flight(256);
+            gw = gw.with_telemetry(hub);
+        }
+        gw.replay_controlled(&mut ctl, &trace, 0.0, 120.0, &opts)
+    };
+    let plain = run(false);
+    let traced = run(true);
+
+    assert_eq!(plain.counts, traced.counts);
+    assert_eq!(plain.requests.len(), traced.requests.len());
+    for (a, b) in plain.requests.iter().zip(&traced.requests) {
+        assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+        assert_eq!(a.dispatched_at.to_bits(), b.dispatched_at.to_bits());
+        assert_eq!(a.completed_at.to_bits(), b.completed_at.to_bits());
+        assert_eq!(a.batch, b.batch);
+    }
+    assert_eq!(plain.batches.len(), traced.batches.len());
+    for (a, b) in plain.batches.iter().zip(&traced.batches) {
+        assert_eq!(a.dispatched_at.to_bits(), b.dispatched_at.to_bits());
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.size, b.size);
+    }
+    for (a, b) in plain.measurements.iter().zip(&traced.measurements) {
+        assert_eq!(a.summary.p95.to_bits(), b.summary.p95.to_bits());
+        assert_eq!(a.cost_per_request.to_bits(), b.cost_per_request.to_bits());
+    }
+}
+
+/// Under the virtual clock the trace stream is fully deterministic: two
+/// runs of the same controlled replay produce event-for-event identical
+/// drains (same stages, same spans, same float timestamps bit-for-bit) —
+/// which is what makes dumped trace JSONL diffable across runs.
+#[test]
+fn virtual_clock_trace_stream_is_deterministic_across_runs() {
+    let params = SimParams::default();
+    let trace = azure_trace(90.0);
+    let opts = SimConfig::builder()
+        .params(params)
+        .slo(0.1)
+        .percentile(95.0)
+        .decision_interval(30.0)
+        .build()
+        .unwrap();
+    let run = || {
+        let hub = Arc::new(Telemetry::new());
+        hub.tracer().enable_capture();
+        let mut ctl = ScriptedController::new(
+            vec![
+                LambdaConfig::new(2048, 8, 0.05),
+                LambdaConfig::new(1536, 4, 0.025),
+                LambdaConfig::new(2048, 8, 0.05),
+            ],
+            0.1,
+        );
+        let mut gw = VirtualGateway::from_params(&params).with_telemetry(hub.clone());
+        gw.replay_controlled(&mut ctl, &trace, 0.0, 90.0, &opts);
+        hub.tracer().drain()
+    };
+    let a = run();
+    let b = run();
+    assert!(!a.is_empty(), "expected a nonempty trace stream");
+    assert_eq!(a, b, "virtual-clock trace streams must be identical");
+    // The drain is causally ordered.
+    for w in a.windows(2) {
+        assert!(w[0].sort_key() <= w[1].sort_key());
+    }
+}
+
+/// Wall-clock smoke test for the live gateway: a >=5k-request azure-like
+/// trace replayed at high time-scale through the threaded gateway with a
+/// scripted hot-reconfiguration schedule, ending in a graceful drain.
+/// The gateway records into a scoped (injected) telemetry hub, so the
+/// `serve.*` counters reconcile exactly against the outcome's own
+/// accounting without needing a dedicated process.
+#[test]
+fn wall_clock_smoke_serves_5k_requests_and_reconciles_telemetry() {
+    let horizon = 300.0;
+    let speedup = 128.0;
+    let decision_interval = 30.0;
+
+    let hub = Arc::new(Telemetry::new());
+    hub.enable();
+    let trace = TraceKind::AzureLike.generate_for(7, horizon);
+    assert!(
+        trace.len() >= 5_000,
+        "smoke trace too small: {} requests",
+        trace.len()
+    );
+
+    let script: Vec<LambdaConfig> = (0..(horizon / decision_interval).ceil() as usize + 1)
+        .map(|i| {
+            if i % 2 == 0 {
+                LambdaConfig::new(2048, 8, 0.05)
+            } else {
+                LambdaConfig::new(1536, 4, 0.025)
+            }
+        })
+        .collect();
+
+    let cfg = GatewayConfig {
+        queue_capacity: 8192,
+        workers: 8,
+        decision_interval,
+        slo: 0.1,
+        percentile: 95.0,
+        telemetry: hub.clone(),
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start_controlled(
+        cfg,
+        Arc::new(WallClock::with_speedup(speedup)),
+        Arc::new(ProfiledBackend::default()),
+        Box::new(ScriptedController::new(script, 0.1)),
+    );
+
+    let stats = deepbat::serve::drive(&gateway, trace.timestamps());
+    let out = gateway.shutdown(DrainMode::Graceful);
+
+    // Zero lost requests, clean drain.
+    assert_eq!(stats.submitted, trace.len() as u64);
+    assert!(
+        out.counts.conserved(),
+        "conservation violated: {:?}",
+        out.counts
+    );
+    assert_eq!(out.counts.submitted, stats.submitted);
+    assert_eq!(
+        out.counts.completed, out.counts.accepted,
+        "graceful drain left requests unserved"
+    );
+    assert_eq!(out.requests.len(), out.counts.completed as usize);
+    for (i, r) in out.requests.iter().enumerate() {
+        assert_eq!(r.id, i as u64, "request ids must be dense, exactly once");
+    }
+    let batch_sizes: u64 = out.batches.iter().map(|b| b.size as u64).sum();
+    assert_eq!(batch_sizes, out.counts.completed);
+
+    // Hot reconfiguration happened while traffic flowed.
+    assert!(
+        out.records.len() >= 2,
+        "expected reconfiguration decisions, got {}",
+        out.records.len()
+    );
+    assert!(!out.measurements.is_empty());
+
+    // The serve.* telemetry stream reconciles against the outcome.
+    let c = |name: &str| hub.counter(name).get();
+    assert_eq!(c("serve.submitted"), out.counts.submitted);
+    assert_eq!(c("serve.accepted"), out.counts.accepted);
+    assert_eq!(c("serve.rejected"), out.counts.rejected);
+    assert_eq!(c("serve.completed"), out.counts.completed);
+    assert_eq!(
+        c("serve.flush.capacity") + c("serve.flush.timeout") + c("serve.flush.drain"),
+        out.batches.len() as u64,
+        "flush-reason counters must partition the invocation count"
+    );
+    assert_eq!(c("serve.reconfig"), out.records.len() as u64 - 1);
+    assert_eq!(
+        hub.histogram("serve.batch_size").count(),
+        out.batches.len() as u64
+    );
+    assert_eq!(hub.histogram("serve.latency").count(), out.counts.completed);
+}
+
+/// The pull-based exporter over a real TCP socket: scrape `/metrics`
+/// after a live run and check the Prometheus text reconciles with the
+/// gateway outcome (counter families present, `serve_completed_total`
+/// exactly the completed count).
+#[test]
+fn metrics_endpoint_reconciles_with_gateway_outcome() {
+    use std::io::{Read as _, Write as _};
+
+    let hub = Arc::new(Telemetry::new());
+    hub.enable();
+    let cfg = GatewayConfig {
+        initial: LambdaConfig::new(2048, 4, 0.02),
+        queue_capacity: 4096,
+        workers: 4,
+        telemetry: hub.clone(),
+        ..GatewayConfig::default()
+    };
+    let gateway = Gateway::start(
+        cfg,
+        Arc::new(WallClock::with_speedup(100.0)),
+        Arc::new(ProfiledBackend::default()),
+    );
+    let ts: Vec<f64> = (0..400).map(|i| i as f64 * 0.01).collect();
+    deepbat::serve::drive(&gateway, &ts);
+    let out = gateway.shutdown(DrainMode::Graceful);
+    assert!(out.counts.completed > 0);
+
+    let exporter = MetricsExporter::start(hub.clone(), "127.0.0.1:0").unwrap();
+    let mut stream = std::net::TcpStream::connect(exporter.addr()).unwrap();
+    write!(stream, "GET /metrics HTTP/1.1\r\nHost: test\r\n\r\n").unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    exporter.shutdown();
+
+    assert!(response.starts_with("HTTP/1.1 200 OK"));
+    assert!(response.contains("text/plain; version=0.0.4"));
+    assert!(response.contains("# TYPE serve_completed_total counter"));
+    let line = response
+        .lines()
+        .find(|l| l.starts_with("serve_completed_total "))
+        .expect("serve_completed_total sample missing");
+    let v: f64 = line.split_whitespace().nth(1).unwrap().parse().unwrap();
+    assert_eq!(v as u64, out.counts.completed);
+    // The latency summary carries the streaming p95/p99 quantile gauges.
+    assert!(response.contains("serve_latency{quantile=\"0.95\"}"));
+    assert!(response.contains("serve_latency{quantile=\"0.99\"}"));
 }
