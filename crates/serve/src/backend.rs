@@ -118,6 +118,7 @@ mod tests {
             opened_at: 1.9,
             dispatched_at: 2.0,
             reason: crate::batcher::FlushReason::Capacity,
+            lane: 0,
         };
         backend.execute(&clock, &plan, &batch);
         assert_eq!(clock.now(), 2.0 + plan.service_s);

@@ -57,6 +57,8 @@ pub struct FormedBatch {
     /// Dispatch stamp: the B-th arrival, the deadline, or the drain time.
     pub dispatched_at: f64,
     pub reason: FlushReason,
+    /// The batcher lane that formed this window (0 in unsharded runs).
+    pub lane: u32,
 }
 
 /// One open (or sealed) batch window.
@@ -72,13 +74,14 @@ impl Window {
         self.opened_at + self.config.timeout_s
     }
 
-    fn form(self, dispatched_at: f64, reason: FlushReason) -> FormedBatch {
+    fn form(self, dispatched_at: f64, reason: FlushReason, lane: u32) -> FormedBatch {
         FormedBatch {
             requests: self.requests,
             config: self.config,
             opened_at: self.opened_at,
             dispatched_at,
             reason,
+            lane,
         }
     }
 }
@@ -95,16 +98,30 @@ pub struct BatcherCore {
     /// Windows sealed by [`BatcherCore::rotate`], oldest first, still
     /// waiting for their original deadlines.
     sealed: Vec<Window>,
+    /// Lane id stamped onto every formed batch (0 in unsharded runs).
+    lane: u32,
 }
 
 impl BatcherCore {
     pub fn new(config: LambdaConfig) -> Self {
+        BatcherCore::for_lane(config, 0)
+    }
+
+    /// A core whose formed batches carry `lane` — one per batcher lane in
+    /// the sharded gateway.
+    pub fn for_lane(config: LambdaConfig, lane: u32) -> Self {
         config.validate().expect("invalid configuration");
         BatcherCore {
             config,
             active: None,
             sealed: Vec::new(),
+            lane,
         }
+    }
+
+    /// The lane id this core stamps onto formed batches.
+    pub fn lane(&self) -> u32 {
+        self.lane
     }
 
     /// The configuration new windows open under.
@@ -153,7 +170,7 @@ impl BatcherCore {
         };
         if full {
             let w = self.active.take().expect("window just populated");
-            out.push(w.form(t, FlushReason::Capacity));
+            out.push(w.form(t, FlushReason::Capacity, self.lane));
         }
     }
 
@@ -198,7 +215,7 @@ impl BatcherCore {
             ready.sort_by(|a, b| a.deadline().total_cmp(&b.deadline()));
             for w in ready {
                 let d = w.deadline();
-                out.push(w.form(d, FlushReason::Timeout));
+                out.push(w.form(d, FlushReason::Timeout, self.lane));
             }
         }
     }
@@ -228,10 +245,10 @@ impl BatcherCore {
     /// oldest window first.
     pub fn drain(&mut self, now: f64, out: &mut Vec<FormedBatch>) {
         for w in self.sealed.drain(..) {
-            out.push(w.form(now, FlushReason::Drain));
+            out.push(w.form(now, FlushReason::Drain, self.lane));
         }
         if let Some(w) = self.active.take() {
-            out.push(w.form(now, FlushReason::Drain));
+            out.push(w.form(now, FlushReason::Drain, self.lane));
         }
     }
 }

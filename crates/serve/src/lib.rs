@@ -6,14 +6,14 @@
 //! runtime).
 //!
 //! ```text
-//!  load generator ──▶ submit() ──▶ admission queue ──▶ batcher thread
-//!   (trace replay,     bounded, Block / Reject          forms batches
-//!    time-scaled)      backpressure                     under live (M,B,T)
-//!                                                            │
-//!  controller thread ── hot (M,B,T) reconfiguration ─────────┤
-//!   (DeepBAT, BATCH,    at decision-interval boundaries      ▼
-//!    Static, Oracle)                                    worker pool
-//!                                                       InferenceBackend
+//!  load generators ──▶ submit() ──▶ lane 0..N-1 ──▶ batcher threads
+//!   (trace replay,      bounded, Block / Reject      one per lane, forms
+//!    multi-producer)    backpressure, global cap     batches under (M,B,T)
+//!                                                         │
+//!  controller thread ── hot (M,B,T) reconfiguration ──────┤
+//!   (DeepBAT, BATCH,    broadcast to every lane           ▼
+//!    Static, Oracle)    at interval boundaries    work-stealing worker
+//!                                                 pool · InferenceBackend
 //! ```
 //!
 //! * [`clock`] — the [`Clock`] trait all gateway time flows through:
@@ -25,13 +25,16 @@
 //! * [`backend`] — pluggable [`InferenceBackend`]; the default
 //!   [`ProfiledBackend`] sleeps the calibrated `s(M, b)` and bills the
 //!   simulator's pricing model.
-//! * [`gateway`] — the threaded [`Gateway`]: bounded admission with
-//!   explicit backpressure, worker pool, control thread running any
-//!   [`dbat_sim::Controller`], graceful drain.
+//! * [`gateway`] — the threaded [`Gateway`]: N sharded batcher lanes
+//!   with bounded admission and explicit backpressure, a work-stealing
+//!   worker pool, a control thread running any [`dbat_sim::Controller`]
+//!   (reconfigurations broadcast to every lane), graceful drain.
 //! * [`replay`] — [`VirtualGateway`]: the same machinery as a
 //!   single-threaded discrete-event loop, **bitwise-equivalent** to
-//!   [`dbat_sim::simulate_batching`] under the profiled backend.
-//! * [`loadgen`] — open-loop trace replay against a live gateway.
+//!   [`dbat_sim::simulate_batching`] under the profiled backend
+//!   (any lane count; `lanes = 1` is the anchored configuration).
+//! * [`loadgen`] — open-loop trace replay against a live gateway, plus
+//!   a multi-producer concurrent driver for admission throughput.
 //! * [`scripted`] — a controller replaying a fixed configuration script
 //!   (predetermined reconfigurations for tests and ablations).
 //!
@@ -53,7 +56,7 @@ pub use backend::{BatchPlan, InferenceBackend, ProfiledBackend};
 pub use batcher::{Admitted, BatcherCore, FlushReason, FormedBatch};
 pub use clock::{Clock, VirtualClock, WallClock};
 pub use gateway::{Admission, BackpressurePolicy, DrainMode, Gateway, GatewayConfig};
-pub use loadgen::{drive, LoadStats};
+pub use loadgen::{drive, drive_concurrent, ConcurrentLoadStats, LaneAssignment, LoadStats};
 pub use outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
 pub use replay::VirtualGateway;
 pub use scripted::ScriptedController;

@@ -10,6 +10,7 @@
 //! compress hours of trace into seconds of wall time.
 
 use crate::gateway::{Admission, Gateway};
+use std::time::{Duration, Instant};
 
 /// Tally of one load-generation run.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -44,6 +45,115 @@ pub fn drive(gateway: &Gateway, timestamps: &[f64]) -> LoadStats {
         }
     }
     stats
+}
+
+/// How a multi-producer drive assigns requests to batcher lanes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaneAssignment {
+    /// Let the gateway round-robin (`Gateway::submit`).
+    RoundRobin,
+    /// Pin producer `p` to lane `p % lanes` (`Gateway::submit_to`):
+    /// each producer thread hits exactly one lane mutex, the
+    /// shared-nothing fast path a sharded admission plane is built for.
+    Pinned,
+}
+
+/// Tally of one multi-producer drive, with enough timing to report
+/// admission overhead and open-loop throughput.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ConcurrentLoadStats {
+    pub submitted: u64,
+    pub accepted: u64,
+    pub rejected: u64,
+    pub closed: u64,
+    /// Wall seconds from first to last submission, across all producers.
+    pub elapsed_s: f64,
+    /// Wall nanoseconds spent *inside* `submit` calls, summed over
+    /// producers (pacing sleeps excluded).
+    pub submit_ns: u64,
+}
+
+impl ConcurrentLoadStats {
+    /// Offered throughput in requests per minute.
+    pub fn rate_per_min(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.submitted as f64 / self.elapsed_s * 60.0
+        }
+    }
+
+    /// Mean admission overhead per submission, nanoseconds.
+    pub fn ns_per_submit(&self) -> f64 {
+        self.submit_ns as f64 / self.submitted.max(1) as f64
+    }
+
+    fn absorb(&mut self, o: &ConcurrentLoadStats) {
+        self.submitted += o.submitted;
+        self.accepted += o.accepted;
+        self.rejected += o.rejected;
+        self.closed += o.closed;
+        self.submit_ns += o.submit_ns;
+    }
+}
+
+/// Drive the gateway from `producers` concurrent threads, each offering
+/// `per_producer` requests. `interval` paces each producer open-loop on
+/// an absolute wall-clock schedule (a producer that falls behind does
+/// not stretch the schedule — it submits late and catches up, like a
+/// real open-loop generator); `None` submits flat out, measuring the
+/// admission plane's saturation throughput. Producers never wait for
+/// responses; rejected submissions are counted and dropped.
+pub fn drive_concurrent(
+    gateway: &Gateway,
+    producers: usize,
+    per_producer: u64,
+    interval: Option<Duration>,
+    lanes: LaneAssignment,
+) -> ConcurrentLoadStats {
+    assert!(producers >= 1, "need at least one producer");
+    let started = Instant::now();
+    let mut total = ConcurrentLoadStats::default();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..producers)
+            .map(|p| {
+                scope.spawn(move || {
+                    let mut stats = ConcurrentLoadStats::default();
+                    let origin = Instant::now();
+                    for i in 0..per_producer {
+                        if let Some(step) = interval {
+                            let target = origin + step * i as u32;
+                            let now = Instant::now();
+                            if target > now {
+                                std::thread::sleep(target - now);
+                            }
+                        }
+                        stats.submitted += 1;
+                        let t0 = Instant::now();
+                        let adm = match lanes {
+                            LaneAssignment::RoundRobin => gateway.submit(),
+                            LaneAssignment::Pinned => gateway.submit_to(p),
+                        };
+                        stats.submit_ns += t0.elapsed().as_nanos() as u64;
+                        match adm {
+                            Admission::Accepted { .. } => stats.accepted += 1,
+                            Admission::Rejected { .. } => stats.rejected += 1,
+                            Admission::Closed => {
+                                stats.closed += 1;
+                                break;
+                            }
+                        }
+                    }
+                    stats
+                })
+            })
+            .collect();
+        for h in handles {
+            total.absorb(&h.join().expect("producer thread panicked"));
+        }
+    });
+    total.elapsed_s = started.elapsed().as_secs_f64();
+    total
 }
 
 #[cfg(test)]
@@ -81,5 +191,33 @@ mod tests {
         for (r, &t) in out.requests.iter().zip(&ts) {
             assert!(r.arrival + 1e-9 >= t, "arrived {} before {}", r.arrival, t);
         }
+    }
+
+    #[test]
+    fn concurrent_producers_conserve_across_lanes() {
+        let cfg = GatewayConfig {
+            initial: LambdaConfig::new(2048, 16, 0.001),
+            queue_capacity: 4096,
+            backpressure: BackpressurePolicy::Block,
+            lanes: 2,
+            workers: 2,
+            ..GatewayConfig::default()
+        };
+        let gw = crate::gateway::Gateway::start(
+            cfg,
+            Arc::new(WallClock::with_speedup(100.0)),
+            Arc::new(ProfiledBackend::default()),
+        );
+        let stats = drive_concurrent(&gw, 4, 100, None, LaneAssignment::Pinned);
+        assert_eq!(stats.submitted, 400);
+        assert_eq!(stats.accepted, 400);
+        assert_eq!(stats.rejected + stats.closed, 0);
+        assert!(stats.ns_per_submit() > 0.0);
+        let out = gw.shutdown(DrainMode::Graceful);
+        assert_eq!(out.counts.completed, 400);
+        assert!(out.counts.conserved());
+        // Pinned producers 0..4 over 2 lanes: both lanes carried work.
+        let by_lane = out.completed_by_lane();
+        assert_eq!(by_lane, vec![200, 200]);
     }
 }

@@ -20,6 +20,8 @@ pub struct ServedRequest {
     pub completed_at: f64,
     /// Index into [`ServeOutcome::batches`].
     pub batch: usize,
+    /// Batcher lane that carried the request (0 in unsharded runs).
+    pub lane: u32,
 }
 
 impl ServedRequest {
@@ -46,6 +48,8 @@ pub struct ServedBatch {
     /// The configuration epoch the batch was formed under.
     pub config: LambdaConfig,
     pub reason: FlushReason,
+    /// Batcher lane that formed the window (0 in unsharded runs).
+    pub lane: u32,
 }
 
 /// Admission accounting. The gateway's conservation law is
@@ -61,6 +65,9 @@ pub struct ServeCounts {
     pub rejected: u64,
     /// Requests that finished execution.
     pub completed: u64,
+    /// Batches a worker popped from a lane other than its home lane
+    /// (work-stealing; informational, not part of the conservation law).
+    pub steals: u64,
 }
 
 impl ServeCounts {
@@ -118,6 +125,22 @@ impl ServeOutcome {
     pub fn vcr(&self) -> f64 {
         dbat_sim::vcr_of(&self.measurements)
     }
+
+    /// Completed-request count per lane (index = lane id). Sums to
+    /// `counts.completed` whenever per-request records were kept.
+    pub fn completed_by_lane(&self) -> Vec<u64> {
+        let lanes = self
+            .requests
+            .iter()
+            .map(|r| r.lane as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![0u64; lanes];
+        for r in &self.requests {
+            out[r.lane as usize] += 1;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -131,6 +154,7 @@ mod tests {
             accepted: 7,
             rejected: 3,
             completed: 7,
+            steals: 2,
         };
         assert!(ok.conserved());
         let leak = ServeCounts {
@@ -138,6 +162,7 @@ mod tests {
             accepted: 7,
             rejected: 2,
             completed: 7,
+            steals: 0,
         };
         assert!(!leak.conserved());
     }
@@ -153,6 +178,7 @@ mod tests {
                     dispatched_at: 0.1,
                     completed_at: 0.3,
                     batch: 0,
+                    lane: 0,
                 },
                 ServedRequest {
                     id: 1,
@@ -160,6 +186,7 @@ mod tests {
                     dispatched_at: 0.1,
                     completed_at: 0.3,
                     batch: 0,
+                    lane: 0,
                 },
             ],
             batches: vec![ServedBatch {
@@ -171,6 +198,7 @@ mod tests {
                 cost: 1e-6,
                 config: cfg,
                 reason: FlushReason::Capacity,
+                lane: 0,
             }],
             total_cost: 1e-6,
             counts: ServeCounts {
@@ -178,12 +206,14 @@ mod tests {
                 accepted: 2,
                 rejected: 0,
                 completed: 2,
+                steals: 0,
             },
             measurements: Vec::new(),
             records: Vec::new(),
         };
         assert_eq!(out.latencies(), vec![0.3, 0.25]);
         assert_eq!(out.mean_batch_size(), 2.0);
+        assert_eq!(out.completed_by_lane(), vec![2]);
         assert!((out.cost_per_request() - 5e-7).abs() < 1e-18);
         assert_eq!(out.requests[1].wait(), 0.05);
     }

@@ -42,8 +42,8 @@ enum Event {
     Boundary(usize),
     /// Arrival of relative request id `i`.
     Arrival(usize),
-    /// A batch-window deadline may have matured.
-    Deadline,
+    /// Lane `l`'s batch-window deadline may have matured.
+    Deadline(usize),
 }
 
 /// The gateway, replayed deterministically.
@@ -51,6 +51,7 @@ pub struct VirtualGateway {
     clock: VirtualClock,
     backend: Box<dyn InferenceBackend>,
     tel: Arc<Telemetry>,
+    lanes: usize,
 }
 
 impl VirtualGateway {
@@ -59,6 +60,7 @@ impl VirtualGateway {
             clock: VirtualClock::new(),
             backend,
             tel: dbat_telemetry::global_arc(),
+            lanes: 1,
         }
     }
 
@@ -76,6 +78,23 @@ impl VirtualGateway {
         self
     }
 
+    /// Replay through `n` batcher lanes (requests round-robin by id,
+    /// `id % n`, mirroring the threaded gateway's round-robin submit).
+    /// Each lane runs its own [`BatcherCore`], all driven by the one
+    /// discrete-event loop, so the replay stays single-threaded and
+    /// deterministic at any lane count. With `n = 1` the event sequence
+    /// is exactly the unsharded one — the bitwise equivalence to
+    /// [`dbat_sim::simulate_batching`] is unchanged.
+    pub fn with_lanes(mut self, n: usize) -> Self {
+        assert!(n >= 1, "need at least one lane");
+        self.lanes = n;
+        self
+    }
+
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
     pub fn telemetry(&self) -> &Arc<Telemetry> {
         &self.tel
     }
@@ -88,7 +107,10 @@ impl VirtualGateway {
     /// sequence. Mirrors `simulate_batching(arrivals, config, ..)`.
     pub fn replay(&mut self, arrivals: &[f64], config: &LambdaConfig) -> ServeOutcome {
         check_arrivals(arrivals);
-        let mut core = BatcherCore::new(*config);
+        let n_lanes = self.lanes;
+        let mut cores: Vec<BatcherCore> = (0..n_lanes)
+            .map(|l| BatcherCore::for_lane(*config, l as u32))
+            .collect();
         let mut sched: Scheduler<Event> = Scheduler::new();
         for (i, &a) in arrivals.iter().enumerate() {
             sched.schedule(a, Event::Arrival(i));
@@ -103,13 +125,17 @@ impl VirtualGateway {
         let mut trace_buf: Vec<TraceEvent> = Vec::new();
         while let Some((t, ev)) = sched.pop() {
             self.clock.advance_to(t);
+            // Each event touches exactly one lane's core; only that
+            // lane's deadline can change, so only it is re-scheduled.
+            let lane;
             match ev {
                 Event::Boundary(_) => unreachable!("fixed replay schedules no boundaries"),
                 Event::Arrival(i) => {
+                    lane = i % n_lanes;
                     if trace_on {
-                        push_admission_trace(&mut trace_buf, i as u64, t);
+                        push_admission_trace(&mut trace_buf, i as u64, t, lane as u32);
                     }
-                    core.on_arrival(
+                    cores[lane].on_arrival(
                         Admitted {
                             id: i as u64,
                             arrival: t,
@@ -117,7 +143,10 @@ impl VirtualGateway {
                         &mut formed,
                     );
                 }
-                Event::Deadline => core.due(t, &mut formed),
+                Event::Deadline(l) => {
+                    lane = l;
+                    cores[lane].due(t, &mut formed);
+                }
             }
             state.settle(
                 &mut formed,
@@ -130,12 +159,15 @@ impl VirtualGateway {
                 tracer.record_many(&trace_buf);
                 trace_buf.clear();
             }
-            if let Some(d) = core.next_deadline() {
-                sched.schedule(d, Event::Deadline);
+            if let Some(d) = cores[lane].next_deadline() {
+                sched.schedule(d, Event::Deadline(lane));
             }
         }
         tracer.record_many(&trace_buf);
-        debug_assert!(core.is_idle(), "all requests must be dispatched");
+        debug_assert!(
+            cores.iter().all(|c| c.is_idle()),
+            "all requests must be dispatched"
+        );
         state.into_outcome(Vec::new(), Vec::new())
     }
 
@@ -211,7 +243,10 @@ impl VirtualGateway {
 
         // The pre-boundary core config is irrelevant: Boundary(0) pops
         // before any arrival and rotates to the first decision.
-        let mut core = BatcherCore::new(LambdaConfig::new(512, 1, 0.0));
+        let n_lanes = self.lanes;
+        let mut cores: Vec<BatcherCore> = (0..n_lanes)
+            .map(|l| BatcherCore::for_lane(LambdaConfig::new(512, 1, 0.0), l as u32))
+            .collect();
         let mut state = ReplayState::new(arrivals);
         let mut formed: Vec<FormedBatch> = Vec::new();
         let trace_on = self.tel.tracer().is_active();
@@ -219,6 +254,10 @@ impl VirtualGateway {
 
         while let Some((t, ev)) = sched.pop() {
             self.clock.advance_to(t);
+            // Lanes whose core this event touched (and whose deadline
+            // must therefore be re-scheduled): all of them at a
+            // boundary, exactly one otherwise.
+            let touched: std::ops::Range<usize>;
             match ev {
                 Event::Boundary(k) => {
                     // Feed back every fully-served earlier interval, in
@@ -248,16 +287,23 @@ impl VirtualGateway {
                     let t_decide = std::time::Instant::now();
                     let mut rec = ctl.decide(&ctx);
                     rec.decide_s = t_decide.elapsed().as_secs_f64();
-                    core.rotate(rec.config);
+                    // Broadcast: every lane rotates at the boundary,
+                    // exactly like the threaded gateway's reconfig fan-out.
+                    for core in &mut cores {
+                        core.rotate(rec.config);
+                    }
+                    touched = 0..n_lanes;
                     pending[k] = Some(rec);
                     walls[k] = Some(std::time::Instant::now());
                     decided = k + 1;
                 }
                 Event::Arrival(i) => {
+                    let lane = i % n_lanes;
+                    touched = lane..lane + 1;
                     if trace_on {
-                        push_admission_trace(&mut trace_buf, i as u64, t);
+                        push_admission_trace(&mut trace_buf, i as u64, t, lane as u32);
                     }
-                    core.on_arrival(
+                    cores[lane].on_arrival(
                         Admitted {
                             id: i as u64,
                             arrival: t,
@@ -265,7 +311,10 @@ impl VirtualGateway {
                         &mut formed,
                     );
                 }
-                Event::Deadline => core.due(t, &mut formed),
+                Event::Deadline(l) => {
+                    touched = l..l + 1;
+                    cores[l].due(t, &mut formed);
+                }
             }
             state.settle(
                 &mut formed,
@@ -286,12 +335,17 @@ impl VirtualGateway {
                 self.tel.tracer().record_many(&trace_buf);
                 trace_buf.clear();
             }
-            if let Some(d) = core.next_deadline() {
-                sched.schedule(d, Event::Deadline);
+            for l in touched {
+                if let Some(d) = cores[l].next_deadline() {
+                    sched.schedule(d, Event::Deadline(l));
+                }
             }
         }
         self.tel.tracer().record_many(&trace_buf);
-        debug_assert!(core.is_idle(), "all requests must be dispatched");
+        debug_assert!(
+            cores.iter().all(|c| c.is_idle()),
+            "all requests must be dispatched"
+        );
         finalize_ready(
             &mut next_final,
             decided,
@@ -374,6 +428,7 @@ impl ReplayState {
                 cost: plan.cost,
                 config: fb.config,
                 reason: fb.reason,
+                lane: fb.lane,
             });
             self.total_cost += plan.cost;
             for r in &fb.requests {
@@ -385,6 +440,7 @@ impl ReplayState {
                     dispatched_at: fb.dispatched_at,
                     completed_at,
                     batch: batch_idx,
+                    lane: fb.lane,
                 });
             }
             hook(&fb, &plan);
@@ -411,6 +467,8 @@ impl ReplayState {
                 accepted: n,
                 rejected: 0,
                 completed: n,
+                // The replay is single-threaded: no worker pool, no steals.
+                steals: 0,
             },
             measurements,
             records,

@@ -134,6 +134,8 @@ pub struct TraceEvent {
     pub reason: Option<FlushKind>,
     /// Batch size, attached to `Flush`.
     pub size: Option<u32>,
+    /// Batcher lane that carried the request (0 in unsharded runs).
+    pub lane: u32,
 }
 
 impl TraceEvent {
@@ -146,6 +148,7 @@ impl TraceEvent {
             config: None,
             reason: None,
             size: None,
+            lane: 0,
         }
     }
 
@@ -166,6 +169,11 @@ impl TraceEvent {
 
     pub fn with_size(mut self, size: u32) -> Self {
         self.size = Some(size);
+        self
+    }
+
+    pub fn with_lane(mut self, lane: u32) -> Self {
+        self.lane = lane;
         self
     }
 
@@ -527,7 +535,8 @@ mod tests {
                 timeout_s: 0.05,
             })
             .with_reason(FlushKind::Timeout)
-            .with_size(5);
+            .with_size(5)
+            .with_lane(3);
         let v = crate::serde_json::to_value(&e);
         let back: TraceEvent = crate::serde_json::from_value(v).unwrap();
         assert_eq!(back, e);
