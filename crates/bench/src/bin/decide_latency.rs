@@ -1,0 +1,201 @@
+//! Decision latency: graph-tape reference vs the compiled graph-free
+//! fast path vs the parity-gated int8 sweep, over the full paper grid
+//! (6×6×6 = 216 configurations).
+//!
+//! Each mode answers the same question — "given the current window,
+//! return the optimal (M, B, T)" — through `DeepBatOptimizer::choose`.
+//! The fast path must agree with the graph path on every seed-trace
+//! interval (it is bitwise-equivalent by construction; this bench
+//! re-checks the argmin end to end). Int8 is only timed if it passes the
+//! optimizer's decision-parity gate.
+//!
+//! Results go to `BENCH_decide.json` (or `$DBAT_BENCH_OUT`).
+//!
+//! ```text
+//! cargo run --release --bin decide_latency                 # full
+//! DBAT_BENCH_QUICK=1 cargo run --release --bin decide_latency # CI smoke
+//! ```
+
+use dbat_bench::{report, ExpSettings};
+use dbat_core::{DeepBatOptimizer, ScoringMode};
+use dbat_workload::{window_at_time, TraceKind, HOUR};
+use std::time::Instant;
+
+fn time_per_call(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One warmup call so pools/plans/packs are hot before the clock
+    // starts, then the best of three timed blocks: shared hosts swing
+    // the effective clock by 1.5x run to run, and the minimum is the
+    // standard least-interference estimate.
+    f();
+    (0..3)
+        .map(|_| {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                f();
+            }
+            t0.elapsed().as_secs_f64() / reps as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let s = ExpSettings::from_env();
+    let _telemetry = s.init_telemetry("decide_latency");
+    let quick = std::env::var_os("DBAT_BENCH_QUICK").is_some() || s.fast;
+    let model = s.ensure_finetuned(TraceKind::SyntheticMap);
+    let trace = s.trace(TraceKind::SyntheticMap);
+    let horizon = HOUR.min(trace.horizon());
+    let w = window_at_time(&trace, horizon, s.seq_len, 1.0)
+        .expect("trace has arrivals")
+        .interarrivals;
+
+    let mut opt = DeepBatOptimizer::new(s.grid.clone(), s.slo);
+    let grid_configs = s.grid.len();
+    let reps = if quick { 20 } else { 200 };
+
+    // --- per-mode decision + encode timings -----------------------------
+    opt.set_mode(ScoringMode::Graph);
+    let graph_s = time_per_call(reps, || {
+        let _ = opt.choose(&model, &w);
+    });
+    let graph_encode_s = time_per_call(reps, || {
+        let _ = model.encode_window(&w);
+    });
+
+    opt.set_mode(ScoringMode::Fast);
+    let fast_s = time_per_call(reps, || {
+        let _ = opt.choose(&model, &w);
+    });
+    let fast_encode_s = time_per_call(reps, || {
+        let _ = model.encode_window_fast(&w);
+    });
+
+    // --- argmin parity: fast must match graph on every interval ---------
+    let mut windows = Vec::new();
+    let mut t = 0.0;
+    while t < horizon {
+        if let Some(win) = window_at_time(&trace, t, s.seq_len, 1.0) {
+            windows.push(win.interarrivals);
+        }
+        t += s.decision_interval;
+    }
+    let mut graph_opt = opt.clone();
+    graph_opt.set_mode(ScoringMode::Graph);
+    let mut mismatches = 0usize;
+    for win in &windows {
+        let a = graph_opt.choose(&model, win).chosen.config;
+        let b = opt.choose(&model, win).chosen.config;
+        if a != b {
+            mismatches += 1;
+        }
+    }
+    assert_eq!(
+        mismatches,
+        0,
+        "fast path diverged from the graph path on {mismatches}/{} intervals",
+        windows.len()
+    );
+
+    // --- int8: parity gate, then timing if admitted ---------------------
+    let eps_cost = 0.05;
+    let parity = opt.try_enable_int8(&model, &windows, eps_cost);
+    let int8_s = if parity.passed {
+        Some(time_per_call(reps, || {
+            let _ = opt.choose(&model, &w);
+        }))
+    } else {
+        None
+    };
+
+    // --- report ----------------------------------------------------------
+    report::banner(
+        "decide_latency",
+        "full-grid decision latency by scoring mode",
+    );
+    println!(
+        "{} configs, seq_len {}, {} parity intervals, {} mode\n",
+        grid_configs,
+        s.seq_len,
+        windows.len(),
+        if quick { "quick" } else { "full" }
+    );
+    let us = |x: f64| format!("{:.1}", x * 1e6);
+    let mut rows = vec![
+        vec![
+            "graph (reference)".to_string(),
+            us(graph_s),
+            us(graph_encode_s),
+            "1.0".to_string(),
+        ],
+        vec![
+            "fast (compiled)".to_string(),
+            us(fast_s),
+            us(fast_encode_s),
+            format!("{:.1}", graph_s / fast_s),
+        ],
+    ];
+    if let Some(i8s) = int8_s {
+        rows.push(vec![
+            "int8 (gated)".to_string(),
+            us(i8s),
+            us(fast_encode_s),
+            format!("{:.1}", graph_s / i8s),
+        ]);
+    }
+    report::table(
+        &["mode", "decide_us", "encode_us", "speedup_vs_graph"],
+        &rows,
+    );
+    println!(
+        "\nint8 gate: {}/{} decisions agree (need >=99%), max cost delta {:.4} (eps {eps_cost}) -> {}",
+        parity.agree,
+        parity.intervals,
+        parity.max_cost_delta,
+        if parity.passed { "ENABLED" } else { "kept f64" }
+    );
+
+    // The headline target: a full-grid decision in well under a
+    // millisecond. Quick mode runs on arbitrary CI hardware, so the hard
+    // assertion is reserved for full runs.
+    if !quick {
+        assert!(
+            fast_s < 1e-3,
+            "fast-path decision took {:.3} ms (target < 1 ms)",
+            fast_s * 1e3
+        );
+    }
+
+    let gate_json = serde_json::json!({
+        "intervals": parity.intervals,
+        "agree": parity.agree,
+        "agreement": parity.agreement(),
+        "max_cost_delta": parity.max_cost_delta,
+        "eps_cost": parity.eps_cost,
+        "passed": parity.passed,
+    });
+    let doc = serde_json::json!({
+        "bench": "decide_latency",
+        "quick": quick,
+        "grid_configs": grid_configs,
+        "seq_len": s.seq_len,
+        "reps": reps,
+        "graph_decide_us": graph_s * 1e6,
+        "graph_encode_us": graph_encode_s * 1e6,
+        "fast_decide_us": fast_s * 1e6,
+        "fast_encode_us": fast_encode_s * 1e6,
+        "fast_speedup_vs_graph": graph_s / fast_s,
+        "fast_sub_ms": fast_s < 1e-3,
+        "argmin_parity_intervals": windows.len(),
+        "argmin_mismatches": mismatches,
+        "int8_decide_us": int8_s.map(|x| x * 1e6),
+        "int8_speedup_vs_graph": int8_s.map(|x| graph_s / x),
+        "int8_gate": gate_json,
+    });
+    let path = std::env::var("DBAT_BENCH_OUT").unwrap_or_else(|_| "BENCH_decide.json".to_string());
+    std::fs::write(
+        &path,
+        serde_json::to_string_pretty(&doc).expect("serialisable"),
+    )
+    .expect("bench output writable");
+    println!("results -> {path}");
+}

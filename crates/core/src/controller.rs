@@ -123,7 +123,35 @@ impl DeepBatController {
             }
         };
         rec.decide_s = t_decide.elapsed().as_secs_f64();
+        let t = dbat_telemetry::global();
+        if t.is_enabled() {
+            t.histogram("controller.decide_s").record(rec.decide_s);
+        }
         rec
+    }
+
+    /// Run the optimizer's int8 decision-parity gate over the seed trace:
+    /// one window per decision interval in `[t0, t1)`, compared between the
+    /// f64 fast path and the int8 sweep. Int8 scoring is enabled only when
+    /// the gate passes (see [`DeepBatOptimizer::try_enable_int8`]).
+    pub fn enable_int8_scoring(
+        &mut self,
+        model: &Surrogate,
+        trace: &Trace,
+        t0: f64,
+        t1: f64,
+        eps_cost: f64,
+    ) -> crate::optimizer::Int8Parity {
+        let l = model.cfg.seq_len;
+        let mut windows = Vec::new();
+        let mut t = t0;
+        while t < t1 {
+            if let Some(w) = window_at_time(trace, t, l, 1.0) {
+                windows.push(w.interarrivals);
+            }
+            t += self.decision_interval;
+        }
+        self.optimizer.try_enable_int8(model, &windows, eps_cost)
     }
 
     /// Build the configuration schedule over `[t0, t1)` of the trace.

@@ -8,6 +8,9 @@
 //! * [`parser`] — the Workload Parser (raw interarrivals, no MAP fitting);
 //! * [`buffer`] — the reconfigurable batching Buffer;
 //! * [`surrogate`] — the deep surrogate model (Fig. 3 architecture);
+//! * [`fastpath`] — the surrogate compiled to graph-free kernel calls
+//!   (pre-packed weights, flat scratch, optional int8 grid scoring) for
+//!   sub-millisecond decisions;
 //! * [`traindata`] / [`mod@train`] — offline training on simulator-labelled
 //!   windows, plus OOD fine-tuning;
 //! * [`optimizer`] — the 2-step SLO/cost optimizer with the γ penalty;
@@ -17,6 +20,7 @@
 pub mod buffer;
 pub mod controller;
 pub mod drift;
+pub mod fastpath;
 pub mod optimizer;
 pub mod parser;
 pub mod surrogate;
@@ -30,7 +34,8 @@ pub use controller::{
     IntervalMeasurement, OracleController, RunOutcome, ScheduleEntry, StaticController,
 };
 pub use drift::{DriftDetector, HealthMonitor, WindowStats};
-pub use optimizer::{ConfigPrediction, Decision, DeepBatOptimizer};
+pub use fastpath::SurrogatePlan;
+pub use optimizer::{ConfigPrediction, Decision, DeepBatOptimizer, Int8Parity, ScoringMode};
 pub use parser::WorkloadParser;
 pub use surrogate::{Surrogate, SurrogateConfig};
 pub use train::{

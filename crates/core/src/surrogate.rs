@@ -19,17 +19,24 @@
 //! is what makes DeepBAT's decision latency milliseconds while BATCH
 //! re-solves matrix exponentials per configuration (§IV-F).
 
+use crate::fastpath::SurrogatePlan;
 use dbat_nn::{
-    add_positional, tree_reduce_grads, Adam, Binder, Checkpoint, Graph, InitRng, Linear, Module,
-    MultiHeadAttention, Standardizer, Tensor, TransformerEncoder, Var,
+    add_positional, tree_reduce_grads, Adam, Arena, Binder, Checkpoint, Graph, InitRng, Linear,
+    Module, MultiHeadAttention, Standardizer, Tensor, TransformerEncoder, Var,
 };
 use dbat_workload::DbatError;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Floor added before the log transform of interarrival times.
-const LOG_EPS: f64 = 1e-6;
+pub(crate) const LOG_EPS: f64 = 1e-6;
+
+/// Cap on pooled scratch tapes / arenas retained between calls. Training
+/// warms tapes with batch-sized buffers; without a cap the pool keeps one
+/// such tape per peak-concurrency caller forever. Returns beyond the cap
+/// are dropped, so pools shrink back to steady-state inference needs.
+const SCRATCH_POOL_CAP: usize = 4;
 
 /// Architecture hyper-parameters (paper defaults in `Default`).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -100,6 +107,14 @@ pub struct Surrogate {
     scratch: Mutex<Vec<Graph>>,
     /// Per-shard scratch tapes for the data-parallel train step.
     shard_graphs: Mutex<Vec<Graph>>,
+    /// Lazily compiled graph-free inference plan (see [`SurrogatePlan`]).
+    /// Invalidated on every weight/standardiser update; callers that
+    /// mutate parameters directly (e.g. through [`Module::parameters_mut`])
+    /// must call [`Surrogate::invalidate_plan`] themselves.
+    plan: Mutex<Option<Arc<SurrogatePlan>>>,
+    /// Pooled scratch arenas for the fast path (same checkout protocol as
+    /// `scratch`, same [`SCRATCH_POOL_CAP`]).
+    arenas: Mutex<Vec<Arena>>,
 }
 
 impl Surrogate {
@@ -129,6 +144,8 @@ impl Surrogate {
             },
             scratch: Mutex::new(Vec::new()),
             shard_graphs: Mutex::new(Vec::new()),
+            plan: Mutex::new(None),
+            arenas: Mutex::new(Vec::new()),
         }
     }
 
@@ -141,8 +158,92 @@ impl Surrogate {
         let mut g = self.scratch.lock().unwrap().pop().unwrap_or_default();
         let out = f(&mut g);
         g.reset();
-        self.scratch.lock().unwrap().push(g);
+        self.return_scratch(g);
         out
+    }
+
+    /// Return a scratch tape to the pool, dropping it if the pool is
+    /// already at [`SCRATCH_POOL_CAP`] (so over-provisioned pools shrink).
+    fn return_scratch(&self, g: Graph) {
+        let mut pool = self.scratch.lock().unwrap();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(g);
+        }
+    }
+
+    /// Drop every pooled scratch tape, shard tape, and fast-path arena.
+    /// Call after training: the pools hold batch-sized warmed buffers that
+    /// steady-state inference never needs again.
+    pub fn trim_scratch(&self) {
+        self.scratch.lock().unwrap().clear();
+        self.shard_graphs.lock().unwrap().clear();
+        self.arenas.lock().unwrap().clear();
+    }
+
+    /// The compiled graph-free plan for the current weights, building it
+    /// on first use. Cheap once warm (an `Arc` clone under a lock).
+    pub fn plan(&self) -> Arc<SurrogatePlan> {
+        let mut slot = self.plan.lock().unwrap();
+        if let Some(p) = slot.as_ref() {
+            return Arc::clone(p);
+        }
+        let p = Arc::new(SurrogatePlan::compile(self));
+        *slot = Some(Arc::clone(&p));
+        p
+    }
+
+    /// Drop the compiled plan so the next fast-path call re-snapshots the
+    /// weights. Called automatically by the train steps; required manually
+    /// after any direct parameter or standardiser mutation.
+    pub fn invalidate_plan(&self) {
+        *self.plan.lock().unwrap() = None;
+    }
+
+    /// Run `f` on a pooled fast-path arena (checkout protocol and cap as
+    /// [`Surrogate::with_scratch`]).
+    fn with_arena<R>(&self, f: impl FnOnce(&mut Arena) -> R) -> R {
+        let mut a = self.arenas.lock().unwrap().pop().unwrap_or_default();
+        let out = f(&mut a);
+        let mut pool = self.arenas.lock().unwrap();
+        if pool.len() < SCRATCH_POOL_CAP {
+            pool.push(a);
+        }
+        out
+    }
+
+    /// Graph-free [`Surrogate::encode_window`]: bitwise-identical output,
+    /// no tape, pre-packed weights, flat scratch.
+    pub fn encode_window_fast(&self, window_raw: &[f64]) -> Vec<f64> {
+        let plan = self.plan();
+        self.with_arena(|a| plan.encode_window(window_raw, a))
+    }
+
+    /// Graph-free [`Surrogate::predict_encoded`]: bitwise-identical output.
+    pub fn predict_encoded_fast(&self, e1: &[f64], feats_raw: &Tensor) -> Tensor {
+        let feats = self.preprocess_feats(feats_raw);
+        self.predict_encoded_fast_pre(e1, &feats)
+    }
+
+    /// As [`Surrogate::predict_encoded_fast`] on *already standardised*
+    /// features — the optimizer caches the preprocessed grid tensor and
+    /// skips the per-decision transform.
+    pub fn predict_encoded_fast_pre(&self, e1: &[f64], feats_pre: &Tensor) -> Tensor {
+        let c = feats_pre.shape()[0];
+        let plan = self.plan();
+        let mut out = vec![0.0; c * self.cfg.n_outputs];
+        self.with_arena(|a| plan.score(e1, feats_pre.data(), c, &mut out, a));
+        Tensor::new(vec![c, self.cfg.n_outputs], out)
+    }
+
+    /// Int8 grid sweep on pre-quantized standardised features (see
+    /// [`dbat_linalg::quantize_rows`]). Approximate — gate decisions on
+    /// parity with the f64 path before trusting it.
+    pub fn predict_encoded_int8_pre(&self, e1: &[f64], qfeats: &[i8], qscale: &[f64]) -> Tensor {
+        let c = qscale.len();
+        let plan = self.plan();
+        let mut out = vec![0.0; c * self.cfg.n_outputs];
+        self.with_arena(|a| plan.score_int8(e1, qfeats, qscale, c, &mut out, a));
+        Tensor::new(vec![c, self.cfg.n_outputs], out)
     }
 
     /// Log-transform raw interarrivals, then standardise. Input `[B, L]`.
@@ -299,11 +400,12 @@ impl Surrogate {
         );
         let mut params = self.parameters_mut();
         adam.step(&mut params, &grad_tensors);
+        self.invalidate_plan();
         // Recycle the gradient buffers alongside the tape's tensors.
         for t in grad_tensors {
             g.pool_mut().put(t.into_data());
         }
-        self.scratch.lock().unwrap().push(g);
+        self.return_scratch(g);
         loss_val
     }
 
@@ -424,6 +526,7 @@ impl Surrogate {
         let mut reduced = tree_reduce_grads(per_shard);
         let mut params = self.parameters_mut();
         adam.step(&mut params, &reduced);
+        self.invalidate_plan();
         let mut pool = self.shard_graphs.lock().unwrap();
         for (i, slot) in slots.into_iter().enumerate() {
             let mut graph = slot.graph;
@@ -831,5 +934,117 @@ mod tests {
             let n = logged.numel();
             logged.reshape(vec![n, 1])
         }
+    }
+
+    /// Sweep features for `c` candidates (varying all three columns).
+    fn grid_feats(c: usize) -> Tensor {
+        let mut f = Vec::with_capacity(c * 3);
+        for i in 0..c {
+            f.extend_from_slice(&[
+                512.0 + 128.0 * (i % 7) as f64,
+                (i % 6 + 1) as f64,
+                0.05 * (i % 4) as f64,
+            ]);
+        }
+        Tensor::new(vec![c, 3], f)
+    }
+
+    #[test]
+    fn fast_path_matches_graph_path_bitwise() {
+        for cfg in [SurrogateConfig::tiny(), SurrogateConfig::default()] {
+            let mut m = Surrogate::new(cfg, 13);
+            // Non-trivial standardisers so the preprocess mirror is
+            // exercised with real constants.
+            m.seq_std = Standardizer {
+                mean: vec![-3.7],
+                std: vec![0.42],
+            };
+            m.feat_std = Standardizer {
+                mean: vec![1500.0, 3.0, 0.1],
+                std: vec![900.0, 2.0, 0.07],
+            };
+            let w = raw_window(cfg.seq_len);
+            let e_graph = m.encode_window(&w);
+            let e_fast = m.encode_window_fast(&w);
+            assert_eq!(e_graph, e_fast, "encode diverged ({cfg:?})");
+            for c in [1usize, 3, 216] {
+                let feats = grid_feats(c);
+                let want = m.predict_encoded(&e_graph, &feats);
+                let got = m.predict_encoded_fast(&e_fast, &feats);
+                assert_eq!(want.shape(), got.shape());
+                assert_eq!(want.data(), got.data(), "sweep diverged at C={c}");
+            }
+        }
+    }
+
+    #[test]
+    fn plan_is_invalidated_by_training() {
+        let mut m = tiny();
+        let l = m.cfg.seq_len;
+        let w = raw_window(l);
+        // Warm the plan with the initial weights.
+        let before = m.encode_window_fast(&w);
+        let seq = Tensor::new(vec![1, l], w.clone());
+        let feats = Tensor::new(vec![1, 3], vec![1024.0, 4.0, 0.05]);
+        let tgt = Tensor::new(vec![1, 5], vec![0.1, 0.05, 0.08, 0.1, 0.12]);
+        let wt = Tensor::full(vec![1, 5], 1.0);
+        let mut adam = Adam::new(1e-2);
+        m.train_step(
+            m.preprocess_seq(&seq),
+            m.preprocess_feats(&feats),
+            &tgt,
+            &wt,
+            0.05,
+            1.0,
+            &mut adam,
+        );
+        // The fast path must re-snapshot the stepped weights and keep
+        // matching the graph path exactly.
+        let after_fast = m.encode_window_fast(&w);
+        let after_graph = m.encode_window(&w);
+        assert_ne!(before, after_fast, "train step must change the encoding");
+        assert_eq!(after_fast, after_graph);
+    }
+
+    #[test]
+    fn int8_sweep_tracks_f64_sweep() {
+        let m = tiny();
+        let w = raw_window(m.cfg.seq_len);
+        let e1 = m.encode_window_fast(&w);
+        let c = 16;
+        let pre = m.preprocess_feats(&grid_feats(c));
+        let want = m.predict_encoded_fast_pre(&e1, &pre);
+        let mut qx = vec![0i8; c * 3];
+        let mut qs = vec![0.0; c];
+        dbat_linalg::quantize_rows(pre.data(), c, 3, &mut qx, &mut qs);
+        let got = m.predict_encoded_int8_pre(&e1, &qx, &qs);
+        assert_eq!(got.shape(), want.shape());
+        for (a, b) in want.data().iter().zip(got.data()) {
+            // Quantization error grows with activation magnitude, and an
+            // untrained model's outputs sit near relu kinks that amplify
+            // it: accept a generous 20% relative envelope here. The
+            // decision-parity gate, not this bound, is what admits int8
+            // into production scoring.
+            assert!(
+                (a - b).abs() <= 0.2 * a.abs().max(1.0) && b.is_finite(),
+                "int8 {b} drifted from f64 {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn scratch_pools_are_capped_and_trimmable() {
+        let m = tiny();
+        for _ in 0..3 * SCRATCH_POOL_CAP {
+            m.return_scratch(Graph::new());
+        }
+        assert_eq!(m.scratch.lock().unwrap().len(), SCRATCH_POOL_CAP);
+        let w = raw_window(m.cfg.seq_len);
+        let _ = m.encode_window_fast(&w);
+        assert!(!m.arenas.lock().unwrap().is_empty());
+        m.trim_scratch();
+        assert!(m.scratch.lock().unwrap().is_empty());
+        assert!(m.shard_graphs.lock().unwrap().is_empty());
+        assert!(m.arenas.lock().unwrap().is_empty());
     }
 }

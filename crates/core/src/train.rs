@@ -113,6 +113,8 @@ pub fn fit_standardizers(model: &mut Surrogate, seq_raw: &Tensor, feats_raw: &Te
     let n = logged.numel();
     model.seq_std = Standardizer::fit(&logged.reshape(vec![n, 1]));
     model.feat_std = Standardizer::fit(feats_raw);
+    // The compiled fast-path plan bakes the standardiser constants in.
+    model.invalidate_plan();
 }
 
 /// Full offline training: fits standardisers, runs the epoch loop, tracks a
@@ -199,6 +201,8 @@ pub fn train(model: &mut Surrogate, data: &[TrainSample], tc: &TrainConfig) -> T
         &val_rows
     };
     let final_val_mape = validation_mape(model, data, eval_rows);
+    // Release the batch-sized scratch tapes training warmed up.
+    model.trim_scratch();
     if tel.is_enabled() {
         tel.emit(
             "train.done",
@@ -272,6 +276,7 @@ pub fn fine_tune(
     let secs_per_epoch = t0.elapsed().as_secs_f64() / epochs.max(1) as f64;
     let rows: Vec<usize> = (0..data.len()).collect();
     let final_val_mape = validation_mape(model, data, &rows);
+    model.trim_scratch();
     TrainReport {
         val_losses: train_losses.clone(),
         train_losses,

@@ -55,12 +55,12 @@ pub enum Layout {
 /// `DBAT_GEMM_FORCE_SCALAR=1` (any value other than `0`) disables the FMA
 /// micro-kernels so the portable scalar path can be exercised on x86-64
 /// hardware — CI uses this to run the equivalence suites on both paths.
-fn force_scalar_env() -> bool {
+pub(crate) fn force_scalar_env() -> bool {
     std::env::var_os("DBAT_GEMM_FORCE_SCALAR").is_some_and(|v| v != "0")
 }
 
 #[inline]
-fn use_fma() -> bool {
+pub(crate) fn use_fma_kernels() -> bool {
     #[cfg(target_arch = "x86_64")]
     {
         use std::sync::atomic::{AtomicU8, Ordering};
@@ -342,13 +342,14 @@ pub fn gemm(
     b_layout: Layout,
     out: &mut [f64],
 ) {
-    gemm_with(m, n, k, a, a_layout, b, b_layout, out, use_fma());
+    gemm_with(m, n, k, a, a_layout, b, b_layout, out, use_fma_kernels());
 }
 
 /// [`gemm`] with the micro-kernel choice pinned, so tests can exercise
 /// the scalar path on hardware where runtime detection would pick FMA.
+#[doc(hidden)]
 #[allow(clippy::too_many_arguments)]
-fn gemm_with(
+pub fn gemm_with(
     m: usize,
     n: usize,
     k: usize,
@@ -392,6 +393,102 @@ fn gemm_with(
             });
     } else {
         gemm_rows(a, a_layout, &bpack, m, n, k, nr, 0, m, out, fma);
+    }
+}
+
+/// A B operand packed once into micro-kernel column panels and kept for
+/// reuse across many GEMM calls.
+///
+/// [`gemm`] re-packs B on every invocation, which is the right trade for
+/// one-shot products but pure overhead when the same operand (a layer's
+/// weight matrix) is multiplied every decision interval. `PackedMat`
+/// hoists that pack to model load/refit time: the panel layout, the
+/// `nr` choice, and therefore the micro-kernel dispatch are *identical*
+/// to what [`gemm`] builds internally, so [`gemm_prepacked`] produces
+/// bitwise-identical output to [`gemm`] over the same operands.
+#[derive(Clone, Debug)]
+pub struct PackedMat {
+    k: usize,
+    n: usize,
+    nr: usize,
+    panels: Vec<f64>,
+}
+
+impl PackedMat {
+    /// Pack the logical `k × n` operand B (stored per `layout`).
+    pub fn pack(b: &[f64], layout: Layout, k: usize, n: usize) -> Self {
+        let nr = if n <= NR4 { NR4 } else { NR };
+        let n_panels = n.div_ceil(nr);
+        let mut panels = vec![0.0; n_panels * k * nr];
+        for jb in 0..n_panels {
+            pack_b(
+                b,
+                layout,
+                k,
+                n,
+                jb * nr,
+                nr,
+                &mut panels[jb * k * nr..(jb + 1) * k * nr],
+            );
+        }
+        PackedMat { k, n, nr, panels }
+    }
+
+    /// Logical inner dimension (rows of B).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical output dimension (columns of B).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Elements held by the packed panels (includes zero padding).
+    pub fn packed_len(&self) -> usize {
+        self.panels.len()
+    }
+}
+
+/// Packed matrix multiply against a pre-packed B: logical
+/// `(m × k) · (k × n) -> out` with `k`/`n` taken from `b`. `out` is fully
+/// overwritten (`out.len() == m * n`). Bitwise-identical to [`gemm`] with
+/// the same operands.
+pub fn gemm_prepacked(m: usize, a: &[f64], a_layout: Layout, b: &PackedMat, out: &mut [f64]) {
+    gemm_prepacked_with(m, a, a_layout, b, out, use_fma_kernels());
+}
+
+/// [`gemm_prepacked`] with the micro-kernel choice pinned, so tests can
+/// exercise the scalar path on hardware where detection would pick FMA.
+#[doc(hidden)]
+pub fn gemm_prepacked_with(
+    m: usize,
+    a: &[f64],
+    a_layout: Layout,
+    b: &PackedMat,
+    out: &mut [f64],
+    fma: bool,
+) {
+    let (n, k, nr) = (b.n, b.k, b.nr);
+    debug_assert_eq!(out.len(), m * n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 {
+        out.fill(0.0);
+        return;
+    }
+    if m * n * k > PAR_FLOPS && m > ROW_BLOCK {
+        let bpack = &b.panels;
+        out.par_chunks_mut(ROW_BLOCK * n)
+            .enumerate()
+            .for_each(|(blk, chunk)| {
+                let row0 = blk * ROW_BLOCK;
+                let row1 = (row0 + ROW_BLOCK).min(m);
+                gemm_rows(a, a_layout, bpack, m, n, k, nr, row0, row1, chunk, fma);
+            });
+    } else {
+        gemm_rows(a, a_layout, &b.panels, m, n, k, nr, 0, m, out, fma);
     }
 }
 
@@ -507,6 +604,36 @@ mod tests {
     fn zero_k_zeroes_output() {
         let mut out = vec![7.0; 6];
         gemm(2, 3, 0, &[], Layout::Normal, &[], Layout::Normal, &mut out);
+        assert!(out.iter().all(|&x| x == 0.0));
+    }
+
+    /// Pre-packing B once must reproduce the per-call pack bit for bit,
+    /// on both micro-kernel variants and both B layouts.
+    #[test]
+    fn prepacked_matches_gemm_bitwise_across_ragged_shapes() {
+        for fma in [use_fma_kernels(), false] {
+            for &(m, n, k) in SHAPES {
+                let a = fill(m * k, 1 + m as u64);
+                let b = fill(k * n, 2 + n as u64);
+                let bt = transpose(&b, k, n);
+                for (bl, bb) in [(Layout::Normal, &b), (Layout::Transposed, &bt)] {
+                    let mut want = vec![0.0; m * n];
+                    gemm_with(m, n, k, &a, Layout::Normal, bb, bl, &mut want, fma);
+                    let packed = PackedMat::pack(bb, bl, k, n);
+                    assert_eq!((packed.k(), packed.n()), (k, n));
+                    let mut got = vec![0.0; m * n];
+                    gemm_prepacked_with(m, &a, Layout::Normal, &packed, &mut got, fma);
+                    assert_eq!(got, want, "({m},{n},{k}) {bl:?} fma={fma}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prepacked_zero_k_zeroes_output() {
+        let packed = PackedMat::pack(&[], Layout::Normal, 0, 3);
+        let mut out = vec![7.0; 6];
+        gemm_prepacked(2, &[], Layout::Normal, &packed, &mut out);
         assert!(out.iter().all(|&x| x == 0.0));
     }
 }

@@ -1,0 +1,323 @@
+//! Per-channel symmetric int8 quantized matmul for the surrogate's grid
+//! scoring sweep.
+//!
+//! Weights quantize once per model refit (per *output channel*, symmetric
+//! around zero, scale `maxabs / 127`); activations quantize per row at
+//! call time. Accumulation is exact `i8 × i8 → i32`, so the scalar and
+//! AVX2 paths produce *identical* integer dots — the only rounding is the
+//! shared quantize/dequantize arithmetic, which both paths execute with
+//! the same f64 expressions. That makes `DBAT_GEMM_FORCE_SCALAR` a pure
+//! dispatch switch here, never a numerics switch.
+//!
+//! This path intentionally trades accuracy for speed, so callers gate it
+//! behind a decision-parity check (see `dbat-core`'s optimizer): the int8
+//! sweep is only enabled when it picks the same config as the f64 path on
+//! ≥99% of reference intervals.
+
+use crate::gemm::force_scalar_env;
+
+/// Symmetric quantization ceiling: values map to `[-127, 127]` (−128 is
+/// unused so negation stays in range).
+pub const I8_QMAX: f64 = 127.0;
+
+#[inline]
+fn use_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::atomic::{AtomicU8, Ordering};
+        static CACHED: AtomicU8 = AtomicU8::new(0);
+        match CACHED.load(Ordering::Relaxed) {
+            1 => true,
+            2 => false,
+            _ => {
+                let ok = !force_scalar_env() && std::arch::is_x86_feature_detected!("avx2");
+                CACHED.store(if ok { 1 } else { 2 }, Ordering::Relaxed);
+                ok
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = force_scalar_env;
+        false
+    }
+}
+
+/// A weight matrix quantized per output channel, stored channel-major so
+/// each output column's int8 row is contiguous for the dot kernels.
+#[derive(Clone, Debug)]
+pub struct QuantizedMat {
+    k: usize,
+    n: usize,
+    /// `wq[j * k + p] = round(W[p, j] / scale[j])` — channel-major.
+    wq: Vec<i8>,
+    /// Per-output-channel dequantization scale (`maxabs / 127`, or `1.0`
+    /// for an all-zero channel).
+    scale: Vec<f64>,
+}
+
+impl QuantizedMat {
+    /// Quantize a `k × n` row-major weight matrix per output column.
+    pub fn quantize(w: &[f64], k: usize, n: usize) -> Self {
+        assert_eq!(w.len(), k * n);
+        let mut scale = vec![1.0; n];
+        for (j, s) in scale.iter_mut().enumerate() {
+            let mut mx = 0.0f64;
+            for p in 0..k {
+                mx = mx.max(w[p * n + j].abs());
+            }
+            if mx > 0.0 {
+                *s = mx / I8_QMAX;
+            }
+        }
+        let mut wq = vec![0i8; n * k];
+        for j in 0..n {
+            for p in 0..k {
+                wq[j * k + p] = (w[p * n + j] / scale[j]).round().clamp(-I8_QMAX, I8_QMAX) as i8;
+            }
+        }
+        QuantizedMat { k, n, wq, scale }
+    }
+
+    /// Logical inner dimension (rows of W).
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Logical output dimension (columns of W).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Per-output-channel dequantization scales.
+    pub fn scales(&self) -> &[f64] {
+        &self.scale
+    }
+}
+
+/// Symmetric per-row activation quantization: `xq[i, :] = round(x[i, :] /
+/// s_i)` with `s_i = maxabs(x[i, :]) / 127` (or `1.0` for an all-zero
+/// row). Writes into caller-provided slices so hot paths can reuse
+/// scratch (`xq.len() == rows * k`, `xscale.len() == rows`).
+pub fn quantize_rows(x: &[f64], rows: usize, k: usize, xq: &mut [i8], xscale: &mut [f64]) {
+    assert_eq!(x.len(), rows * k);
+    assert_eq!(xq.len(), rows * k);
+    assert_eq!(xscale.len(), rows);
+    for i in 0..rows {
+        let row = &x[i * k..(i + 1) * k];
+        let mx = row.iter().fold(0.0f64, |m, &v| m.max(v.abs()));
+        let s = if mx > 0.0 { mx / I8_QMAX } else { 1.0 };
+        xscale[i] = s;
+        for (q, &v) in xq[i * k..(i + 1) * k].iter_mut().zip(row) {
+            *q = (v / s).round().clamp(-I8_QMAX, I8_QMAX) as i8;
+        }
+    }
+}
+
+#[inline]
+fn dot_i8_scalar(a: &[i8], b: &[i8]) -> i32 {
+    let mut acc = 0i32;
+    for (&x, &y) in a.iter().zip(b) {
+        acc += x as i32 * y as i32;
+    }
+    acc
+}
+
+/// AVX2 int8 dot: widen both operands to i16 lanes, `madd` to i32 pairs,
+/// horizontal-sum. Exact — identical to [`dot_i8_scalar`].
+///
+/// # Safety
+/// Caller must ensure the CPU supports AVX2 and `a.len() == b.len()`.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn dot_i8_avx2(a: &[i8], b: &[i8]) -> i32 {
+    use std::arch::x86_64::*;
+    let k = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut p = 0usize;
+    while p + 16 <= k {
+        let av = _mm256_cvtepi8_epi16(_mm_loadu_si128(a.as_ptr().add(p).cast()));
+        let bv = _mm256_cvtepi8_epi16(_mm_loadu_si128(b.as_ptr().add(p).cast()));
+        acc = _mm256_add_epi32(acc, _mm256_madd_epi16(av, bv));
+        p += 16;
+    }
+    let s = _mm_add_epi32(
+        _mm256_castsi256_si128(acc),
+        _mm256_extracti128_si256::<1>(acc),
+    );
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b0100_1110>(s));
+    let s = _mm_add_epi32(s, _mm_shuffle_epi32::<0b0000_0001>(s));
+    let mut dot = _mm_cvtsi128_si32(s);
+    while p < k {
+        dot += a[p] as i32 * b[p] as i32;
+        p += 1;
+    }
+    dot
+}
+
+/// Quantized matmul + dequantize + bias:
+/// `out[i, j] = dot_i32(xq[i, :], wq[j, :]) · (xscale[i] · wscale[j]) + bias[j]`.
+///
+/// `xq`/`xscale` come from [`quantize_rows`]; `w` from
+/// [`QuantizedMat::quantize`]. `out` is fully overwritten.
+pub fn gemm_i8(
+    rows: usize,
+    xq: &[i8],
+    xscale: &[f64],
+    w: &QuantizedMat,
+    bias: &[f64],
+    out: &mut [f64],
+) {
+    gemm_i8_with(rows, xq, xscale, w, bias, out, use_avx2());
+}
+
+/// [`gemm_i8`] with the dot-kernel choice pinned, so tests can exercise
+/// the scalar path on hardware where detection would pick AVX2.
+#[doc(hidden)]
+pub fn gemm_i8_with(
+    rows: usize,
+    xq: &[i8],
+    xscale: &[f64],
+    w: &QuantizedMat,
+    bias: &[f64],
+    out: &mut [f64],
+    simd: bool,
+) {
+    let (k, n) = (w.k, w.n);
+    assert_eq!(xq.len(), rows * k);
+    assert_eq!(xscale.len(), rows);
+    assert_eq!(bias.len(), n);
+    assert_eq!(out.len(), rows * n);
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = simd;
+    for i in 0..rows {
+        let xrow = &xq[i * k..(i + 1) * k];
+        let si = xscale[i];
+        let orow = &mut out[i * n..(i + 1) * n];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let wrow = &w.wq[j * k..(j + 1) * k];
+            #[cfg(target_arch = "x86_64")]
+            // SAFETY: `simd` is true only when AVX2 was detected at
+            // runtime; both slices have length k.
+            let dot = if simd {
+                unsafe { dot_i8_avx2(xrow, wrow) }
+            } else {
+                dot_i8_scalar(xrow, wrow)
+            };
+            #[cfg(not(target_arch = "x86_64"))]
+            let dot = dot_i8_scalar(xrow, wrow);
+            *o = dot as f64 * (si * w.scale[j]) + bias[j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fill(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 4000) as f64 / 1000.0 - 2.0
+            })
+            .collect()
+    }
+
+    fn reference(rows: usize, k: usize, n: usize, x: &[f64], w: &[f64], bias: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; rows * n];
+        for i in 0..rows {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for p in 0..k {
+                    acc += x[i * k + p] * w[p * n + j];
+                }
+                out[i * n + j] = acc + bias[j];
+            }
+        }
+        out
+    }
+
+    const SHAPES: &[(usize, usize, usize)] = &[
+        (1, 1, 1),
+        (3, 5, 7),
+        (1, 16, 5),
+        (216, 3, 16),
+        (216, 32, 32),
+        (7, 33, 9),
+        (2, 100, 4),
+    ];
+
+    /// The AVX2 and scalar dot kernels must agree *exactly* — integer
+    /// accumulation leaves no room for ULP drift.
+    #[test]
+    fn simd_and_scalar_paths_are_bitwise_identical() {
+        for &(rows, k, n) in SHAPES {
+            let x = fill(rows * k, 3 + rows as u64);
+            let w = QuantizedMat::quantize(&fill(k * n, 5 + n as u64), k, n);
+            let bias = fill(n, 7);
+            let mut xq = vec![0i8; rows * k];
+            let mut xs = vec![0.0; rows];
+            quantize_rows(&x, rows, k, &mut xq, &mut xs);
+            let mut a = vec![0.0; rows * n];
+            let mut b = vec![0.0; rows * n];
+            gemm_i8_with(rows, &xq, &xs, &w, &bias, &mut a, false);
+            gemm_i8_with(rows, &xq, &xs, &w, &bias, &mut b, use_avx2());
+            assert_eq!(a, b, "({rows},{k},{n})");
+        }
+    }
+
+    /// Quantized output tracks the f64 reference within the expected
+    /// per-channel 8-bit error envelope.
+    #[test]
+    fn quantized_matmul_tracks_f64_reference() {
+        for &(rows, k, n) in SHAPES {
+            let x = fill(rows * k, 3 + rows as u64);
+            let wraw = fill(k * n, 5 + n as u64);
+            let bias = fill(n, 7);
+            let w = QuantizedMat::quantize(&wraw, k, n);
+            let mut xq = vec![0i8; rows * k];
+            let mut xs = vec![0.0; rows];
+            quantize_rows(&x, rows, k, &mut xq, &mut xs);
+            let mut got = vec![0.0; rows * n];
+            gemm_i8(rows, &xq, &xs, &w, &bias, &mut got);
+            let want = reference(rows, k, n, &x, &wraw, &bias);
+            // Error per product ≲ (|x|+|w|)·scale/2; sum over k products.
+            for (i, (g, e)) in got.iter().zip(&want).enumerate() {
+                let bound = 0.05 * k as f64 + 1e-9;
+                assert!((g - e).abs() <= bound, "({rows},{k},{n})[{i}]: {g} vs {e}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rows_and_channels_are_safe() {
+        let w = QuantizedMat::quantize(&[0.0, 0.0, 0.0, 0.0], 2, 2);
+        assert_eq!(w.scales(), &[1.0, 1.0]);
+        let mut xq = vec![0i8; 2];
+        let mut xs = vec![0.0; 1];
+        quantize_rows(&[0.0, 0.0], 1, 2, &mut xq, &mut xs);
+        assert_eq!(xs, vec![1.0]);
+        let mut out = vec![9.0; 2];
+        gemm_i8(1, &xq, &xs, &w, &[1.5, -2.5], &mut out);
+        assert_eq!(out, vec![1.5, -2.5]);
+    }
+
+    /// Round-trip of the weight quantization itself: dequantized weights
+    /// are within half a step of the originals.
+    #[test]
+    fn weight_quantization_round_trip_error_is_bounded() {
+        let (k, n) = (13, 9);
+        let w = fill(k * n, 11);
+        let q = QuantizedMat::quantize(&w, k, n);
+        for j in 0..n {
+            for p in 0..k {
+                let deq = q.wq[j * k + p] as f64 * q.scale[j];
+                assert!((deq - w[p * n + j]).abs() <= q.scale[j] * 0.5 + 1e-12);
+            }
+        }
+    }
+}

@@ -10,7 +10,15 @@
 //! * [`Mat`] — dense row-major `f64` matrices whose `matmul` runs on the
 //!   packed [`mod@gemm`] engine;
 //! * [`mod@gemm`] — packed, register-tiled GEMM micro-kernels (normal and
-//!   transposed layouts) shared with the `dbat-nn` tensor kernels;
+//!   transposed layouts) shared with the `dbat-nn` tensor kernels, plus
+//!   [`PackedMat`]/[`gemm_prepacked`] for operands packed once at model
+//!   load and reused every call;
+//! * [`mod@int8`] — per-channel symmetric int8 quantized matmul for the
+//!   surrogate's parity-gated grid-scoring sweep;
+//! * [`mod@exp`] — deterministic vectorised `exp` ([`exp_inplace`]) and the
+//!   fused row softmax ([`softmax_rows_inplace`]): AVX2+FMA lanes with a
+//!   bitwise-identical scalar mirror, honouring `DBAT_GEMM_FORCE_SCALAR`
+//!   like the GEMM kernels;
 //! * [`lu`] — LU factorisation, solves, inverses, determinants;
 //! * [`stationary`] — GTH-based stationary distributions (numerically robust
 //!   for rate matrices spanning many orders of magnitude);
@@ -19,15 +27,19 @@
 //! * [`mod@kron`] — Kronecker products/sums for expanded (phase × level)
 //!   generators.
 
+pub mod exp;
 pub mod expm;
 pub mod gemm;
+pub mod int8;
 pub mod kron;
 pub mod lu;
 pub mod matrix;
 pub mod stationary;
 
+pub use exp::{exp_inplace, exp_rn, softmax_rows_inplace, softmax_rows_scaled_inplace};
 pub use expm::{expm, Uniformizer};
-pub use gemm::{gemm, gemm_worthwhile, Layout};
+pub use gemm::{gemm, gemm_prepacked, gemm_worthwhile, Layout, PackedMat};
+pub use int8::{gemm_i8, quantize_rows, QuantizedMat, I8_QMAX};
 pub use kron::{kron, kron_sum};
 pub use lu::{inverse, solve, LinalgError, Lu};
 pub use matrix::Mat;

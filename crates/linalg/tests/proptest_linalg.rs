@@ -1,6 +1,11 @@
 //! Property-based tests for the linear-algebra substrate.
 
-use dbat_linalg::{ctmc_stationary, expm, kron, solve, Mat, Uniformizer};
+use dbat_linalg::gemm::{gemm_prepacked_with, gemm_with};
+use dbat_linalg::int8::gemm_i8_with;
+use dbat_linalg::{
+    ctmc_stationary, expm, gemm, gemm_prepacked, kron, quantize_rows, solve, Layout, Mat,
+    PackedMat, QuantizedMat, Uniformizer,
+};
 use proptest::prelude::*;
 
 /// Strategy: a small random matrix with entries in [-5, 5].
@@ -95,4 +100,98 @@ proptest! {
         let lhs = kron(&a.scale(s), &b);
         prop_assert!(lhs.approx_eq(&k.scale(s), 1e-9));
     }
+}
+
+proptest! {
+    // Pre-packing B once is bitwise-identical to the per-call pack, on
+    // ragged shapes straddling tile widths, for both the dispatched and
+    // the pinned-scalar micro-kernels and both B layouts.
+    #[test]
+    fn prepacked_matches_per_call_pack_bitwise(
+        m in 1usize..40, n in 1usize..40, k in 1usize..24, seed in 0u64..1000,
+        flags in 0u8..4
+    ) {
+        check_prepacked(m, n, k, seed, flags & 1 != 0, flags & 2 != 0);
+    }
+
+    // Int8 scoring: the pinned-scalar and dispatched dot kernels agree
+    // exactly, and both track the f64 product within the 8-bit error
+    // envelope.
+    #[test]
+    fn int8_scalar_and_dispatched_agree_and_track_f64(
+        rows in 1usize..32, k in 1usize..48, n in 1usize..20, seed in 0u64..1000
+    ) {
+        check_int8(rows, k, n, seed);
+    }
+}
+
+fn check_prepacked(
+    m: usize,
+    n: usize,
+    k: usize,
+    seed: u64,
+    b_transposed: bool,
+    force_scalar: bool,
+) {
+    let a = pseudo(m * k, seed);
+    let b = pseudo(k * n, seed ^ 0xBEEF);
+    let layout = if b_transposed {
+        Layout::Transposed
+    } else {
+        Layout::Normal
+    };
+    let mut want = vec![0.0; m * n];
+    if force_scalar {
+        gemm_with(m, n, k, &a, Layout::Normal, &b, layout, &mut want, false);
+    } else {
+        gemm(m, n, k, &a, Layout::Normal, &b, layout, &mut want);
+    }
+    let packed = PackedMat::pack(&b, layout, k, n);
+    let mut got = vec![0.0; m * n];
+    if force_scalar {
+        gemm_prepacked_with(m, &a, Layout::Normal, &packed, &mut got, false);
+    } else {
+        gemm_prepacked(m, &a, Layout::Normal, &packed, &mut got);
+    }
+    assert_eq!(got, want);
+}
+
+fn check_int8(rows: usize, k: usize, n: usize, seed: u64) {
+    let x = pseudo(rows * k, seed);
+    let wraw = pseudo(k * n, seed ^ 0xF00D);
+    let bias = pseudo(n, seed ^ 0xB1A5);
+    let w = QuantizedMat::quantize(&wraw, k, n);
+    let mut xq = vec![0i8; rows * k];
+    let mut xs = vec![0.0; rows];
+    quantize_rows(&x, rows, k, &mut xq, &mut xs);
+    let mut scalar = vec![0.0; rows * n];
+    let mut auto = vec![0.0; rows * n];
+    gemm_i8_with(rows, &xq, &xs, &w, &bias, &mut scalar, false);
+    dbat_linalg::gemm_i8(rows, &xq, &xs, &w, &bias, &mut auto);
+    assert_eq!(&scalar, &auto);
+    // f64 reference: per-product error ≲ quant steps; sum over k.
+    for i in 0..rows {
+        for j in 0..n {
+            let mut acc = 0.0;
+            for p in 0..k {
+                acc += x[i * k + p] * wraw[p * n + j];
+            }
+            let want = acc + bias[j];
+            let bound = 0.05 * k as f64 + 1e-9;
+            assert!((scalar[i * n + j] - want).abs() <= bound);
+        }
+    }
+}
+
+/// Cheap deterministic pseudo-random values in [-2, 2].
+fn pseudo(n: usize, seed: u64) -> Vec<f64> {
+    let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+    (0..n)
+        .map(|_| {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 4000) as f64 / 1000.0 - 2.0
+        })
+        .collect()
 }

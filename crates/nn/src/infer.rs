@@ -1,0 +1,596 @@
+//! Graph-free inference plans: the layer stack compiled to direct kernel
+//! calls over one flat reusable scratch arena.
+//!
+//! The autograd [`Graph`](crate::graph::Graph) is the right tool for
+//! training, but pure inference pays for tape nodes, gradient
+//! bookkeeping, buffer-pool checkouts, and a fresh B-operand pack on
+//! every GEMM. A plan removes all of that: weights are packed **once**
+//! at compile time ([`PackedMat`]), activations live in a single
+//! caller-owned [`Arena`], and each stage is a direct function call.
+//!
+//! Every stage mirrors the corresponding graph op *exactly* — the same
+//! `gemm_worthwhile` kernel dispatch, the same accumulation order, the
+//! same elementwise formulas — so a plan forward is **bitwise identical**
+//! to the graph forward over the same weights. The graph path stays
+//! in-tree as the tested reference; the equivalence is asserted by unit
+//! and property tests.
+
+use crate::layers::{EncoderLayer, LayerNorm, Linear, MultiHeadAttention, TransformerEncoder};
+use crate::tensor::naive_gemm_acc;
+use dbat_linalg::{gemm, gemm_prepacked, gemm_worthwhile, Layout, PackedMat};
+use rayon::prelude::*;
+
+/// One flat scratch block reused across inference calls.
+///
+/// [`Arena::split`] carves it into non-overlapping mutable slices, growing
+/// the backing buffer on demand (steady state: zero allocations). Slice
+/// contents are unspecified on checkout; stages that accumulate must zero
+/// their slice first.
+#[derive(Default, Debug)]
+pub struct Arena {
+    buf: Vec<f64>,
+    qbuf: Vec<i8>,
+}
+
+fn split_slices<'a, T, const N: usize>(v: &'a mut Vec<T>, lens: &[usize; N]) -> [&'a mut [T]; N]
+where
+    T: Default + Clone,
+{
+    let total: usize = lens.iter().sum();
+    if v.len() < total {
+        v.resize(total, T::default());
+    }
+    let mut rest = &mut v[..];
+    let mut out = Vec::with_capacity(N);
+    for &l in lens {
+        let (head, tail) = rest.split_at_mut(l);
+        out.push(head);
+        rest = tail;
+    }
+    match out.try_into() {
+        Ok(arr) => arr,
+        Err(_) => unreachable!("split length preserved"),
+    }
+}
+
+impl Arena {
+    pub fn new() -> Self {
+        Arena::default()
+    }
+
+    /// Current capacity of the f64 backing block.
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Carve `N` non-overlapping f64 slices of the given lengths.
+    pub fn split<const N: usize>(&mut self, lens: [usize; N]) -> [&mut [f64]; N] {
+        split_slices(&mut self.buf, &lens)
+    }
+
+    /// Carve f64 and i8 slices in one call (for quantized stages that
+    /// need both activation and int8 scratch simultaneously).
+    pub fn split_mixed<const N: usize, const M: usize>(
+        &mut self,
+        lens: [usize; N],
+        qlens: [usize; M],
+    ) -> ([&mut [f64]; N], [&mut [i8]; M]) {
+        let Arena { buf, qbuf } = self;
+        (split_slices(buf, &lens), split_slices(qbuf, &qlens))
+    }
+}
+
+/// In-place ReLU, mirroring the graph's `relu` (`x.max(0.0)`).
+pub fn relu_inplace(x: &mut [f64]) {
+    for v in x {
+        *v = v.max(0.0);
+    }
+}
+
+/// A [`Linear`] layer compiled for inference: B-panels packed once, raw
+/// weights kept for the small-operand fallback so kernel dispatch matches
+/// the graph path exactly.
+#[derive(Clone, Debug)]
+pub struct PackedLinear {
+    packed: PackedMat,
+    w: Vec<f64>,
+    bias: Vec<f64>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl PackedLinear {
+    pub fn compile(l: &Linear) -> Self {
+        let (k, n) = (l.in_dim(), l.out_dim());
+        PackedLinear {
+            packed: PackedMat::pack(l.w.data(), Layout::Normal, k, n),
+            w: l.w.data().to_vec(),
+            bias: l.b.data().to_vec(),
+            in_dim: k,
+            out_dim: n,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Raw row-major `[in, out]` weights (for quantized compilation).
+    pub fn weights(&self) -> &[f64] {
+        &self.w
+    }
+
+    /// Bias vector `[out]`.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// `out[rows, out_dim] = x[rows, in_dim] · W + b`, mirroring the graph
+    /// path (`matmul` then `add_bias`) bit for bit.
+    pub fn forward(&self, rows: usize, x: &[f64], out: &mut [f64]) {
+        let (k, n) = (self.in_dim, self.out_dim);
+        debug_assert_eq!(x.len(), rows * k);
+        debug_assert_eq!(out.len(), rows * n);
+        if gemm_worthwhile(rows, n, k) {
+            gemm_prepacked(rows, x, Layout::Normal, &self.packed, out);
+        } else {
+            out.fill(0.0);
+            naive_gemm_acc(rows, n, k, x, &self.w, out);
+        }
+        for row in out.chunks_mut(n.max(1)) {
+            for (o, &b) in row.iter_mut().zip(&self.bias) {
+                *o += b;
+            }
+        }
+    }
+}
+
+/// A [`LayerNorm`] compiled for inference (in-place row normalisation).
+#[derive(Clone, Debug)]
+pub struct LayerNormPlan {
+    gamma: Vec<f64>,
+    beta: Vec<f64>,
+    eps: f64,
+    dim: usize,
+}
+
+impl LayerNormPlan {
+    pub fn compile(ln: &LayerNorm) -> Self {
+        LayerNormPlan {
+            gamma: ln.gamma.data().to_vec(),
+            beta: ln.beta.data().to_vec(),
+            eps: ln.eps,
+            dim: ln.gamma.numel(),
+        }
+    }
+
+    /// In-place row-wise layer norm, mirroring `Graph::layer_norm`.
+    pub fn forward(&self, x: &mut [f64]) {
+        let d = self.dim;
+        for row in x.chunks_mut(d.max(1)) {
+            let mu: f64 = row.iter().sum::<f64>() / d as f64;
+            let var: f64 = row.iter().map(|&v| (v - mu) * (v - mu)).sum::<f64>() / d as f64;
+            let sigma = (var + self.eps).sqrt();
+            for (j, v) in row.iter_mut().enumerate() {
+                let xhat = (*v - mu) / sigma;
+                *v = self.gamma[j] * xhat + self.beta[j];
+            }
+        }
+    }
+}
+
+/// `[B, S, H·dh] -> [B·H, S, dh]` head split (reshape + permute_0213).
+fn split_heads(batch: usize, seq: usize, h: usize, dh: usize, src: &[f64], dst: &mut [f64]) {
+    for b in 0..batch {
+        for si in 0..seq {
+            for hi in 0..h {
+                let s0 = ((b * seq + si) * h + hi) * dh;
+                let d0 = ((b * h + hi) * seq + si) * dh;
+                dst[d0..d0 + dh].copy_from_slice(&src[s0..s0 + dh]);
+            }
+        }
+    }
+}
+
+/// `[B·H, S, dh] -> [B, S, H·dh]` head merge (inverse of [`split_heads`]).
+fn merge_heads(batch: usize, seq: usize, h: usize, dh: usize, src: &[f64], dst: &mut [f64]) {
+    for b in 0..batch {
+        for si in 0..seq {
+            for hi in 0..h {
+                let s0 = ((b * h + hi) * seq + si) * dh;
+                let d0 = ((b * seq + si) * h + hi) * dh;
+                dst[d0..d0 + dh].copy_from_slice(&src[s0..s0 + dh]);
+            }
+        }
+    }
+}
+
+/// A [`MultiHeadAttention`] compiled for inference.
+#[derive(Clone, Debug)]
+pub struct MhaPlan {
+    wq: PackedLinear,
+    wk: PackedLinear,
+    wv: PackedLinear,
+    wo: PackedLinear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MhaPlan {
+    pub fn compile(m: &MultiHeadAttention) -> Self {
+        MhaPlan {
+            wq: PackedLinear::compile(&m.wq),
+            wk: PackedLinear::compile(&m.wk),
+            wv: PackedLinear::compile(&m.wv),
+            wo: PackedLinear::compile(&m.wo),
+            heads: m.heads,
+            dim: m.wq.in_dim(),
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Length of the `scores` scratch slice [`forward`](Self::forward)
+    /// needs: per head, `S·S` attention scores plus an `S·dh` context
+    /// block, carved from one buffer so the per-head pipeline can be
+    /// distributed with a single parallel driver.
+    pub fn scores_len(&self, batch: usize, seq: usize) -> usize {
+        let dh = self.dim / self.heads;
+        batch * self.heads * seq * (seq + dh)
+    }
+
+    /// Self-attention over `x: [B, S, D]` into `out: [B, S, D]`, mirroring
+    /// `MultiHeadAttention::forward` stage by stage. Scratch slices:
+    /// `proj`/`qh`/`kh`/`vh` of `B·S·D` and `scores` of
+    /// [`scores_len`](Self::scores_len).
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward(
+        &self,
+        batch: usize,
+        seq: usize,
+        x: &[f64],
+        out: &mut [f64],
+        proj: &mut [f64],
+        qh: &mut [f64],
+        kh: &mut [f64],
+        vh: &mut [f64],
+        scores: &mut [f64],
+    ) {
+        let (d, h) = (self.dim, self.heads);
+        let dh = d / h;
+        let rows = batch * seq;
+        let nb = batch * h;
+        let chunk_len = seq * seq + seq * dh;
+        debug_assert_eq!(x.len(), rows * d);
+        debug_assert_eq!(out.len(), rows * d);
+        debug_assert_eq!(scores.len(), nb * chunk_len);
+
+        self.wq.forward(rows, x, proj);
+        split_heads(batch, seq, h, dh, proj, qh);
+        self.wk.forward(rows, x, proj);
+        split_heads(batch, seq, h, dh, proj, kh);
+        self.wv.forward(rows, x, proj);
+        split_heads(batch, seq, h, dh, proj, vh);
+
+        // Per head: scores = c·(Q·Kᵀ) → softmax → ctx = attn·V, the same
+        // per-item kernel dispatch as the graph path's bmm_nt/scale/
+        // softmax/bmm pipeline (identical arithmetic, fused per head for
+        // locality). Each head owns one `[S·S scores | S·dh ctx]` chunk,
+        // and head arithmetic is head-independent, so distributing the
+        // chunks over rayon cannot change a bit — it only hides the
+        // wall-clock of the three hottest kernels behind each other.
+        let packed_scores = gemm_worthwhile(seq, seq, dh);
+        let packed_ctx = gemm_worthwhile(seq, dh, seq);
+        let c = 1.0 / (dh as f64).sqrt();
+        let qh_r: &[f64] = qh;
+        let kh_r: &[f64] = kh;
+        let vh_r: &[f64] = vh;
+        let head = |(i, chunk): (usize, &mut [f64])| {
+            let (sc, ctx) = chunk.split_at_mut(seq * seq);
+            let qb = &qh_r[i * seq * dh..(i + 1) * seq * dh];
+            let kb = &kh_r[i * seq * dh..(i + 1) * seq * dh];
+            let vb = &vh_r[i * seq * dh..(i + 1) * seq * dh];
+            if packed_scores {
+                gemm(seq, seq, dh, qb, Layout::Normal, kb, Layout::Transposed, sc);
+            } else {
+                for row in 0..seq {
+                    let arow = &qb[row * dh..(row + 1) * dh];
+                    let orow = &mut sc[row * seq..(row + 1) * seq];
+                    for (o, brow) in orow.iter_mut().zip(kb.chunks_exact(dh.max(1))) {
+                        let mut acc = 0.0;
+                        for (&xv, &yv) in arow.iter().zip(brow) {
+                            acc += xv * yv;
+                        }
+                        *o = acc;
+                    }
+                }
+            }
+            // Scale is fused into the softmax kernel; bit-equal to the
+            // graph path's separate scale op (monotone rounding — see
+            // dbat_linalg::softmax_rows_scaled_inplace).
+            dbat_linalg::softmax_rows_scaled_inplace(sc, seq, c);
+            if packed_ctx {
+                gemm(seq, dh, seq, sc, Layout::Normal, vb, Layout::Normal, ctx);
+            } else {
+                ctx.fill(0.0);
+                naive_gemm_acc(seq, dh, seq, sc, vb, ctx);
+            }
+        };
+        if nb > 1 && nb * seq * seq >= 16_384 {
+            scores.par_chunks_mut(chunk_len).enumerate().for_each(head);
+        } else {
+            for item in scores.chunks_mut(chunk_len).enumerate() {
+                head(item);
+            }
+        }
+        // Gather the per-head ctx blocks and merge back to [B, S, D].
+        for i in 0..nb {
+            proj[i * seq * dh..(i + 1) * seq * dh]
+                .copy_from_slice(&scores[i * chunk_len + seq * seq..(i + 1) * chunk_len]);
+        }
+        merge_heads(batch, seq, h, dh, proj, qh);
+        self.wo.forward(rows, qh, out);
+    }
+}
+
+/// One post-norm encoder layer compiled for inference.
+#[derive(Clone, Debug)]
+pub struct EncoderLayerPlan {
+    mha: MhaPlan,
+    ln1: LayerNormPlan,
+    ff1: PackedLinear,
+    ff2: PackedLinear,
+    ln2: LayerNormPlan,
+}
+
+impl EncoderLayerPlan {
+    pub fn compile(l: &EncoderLayer) -> Self {
+        EncoderLayerPlan {
+            mha: MhaPlan::compile(&l.mha),
+            ln1: LayerNormPlan::compile(&l.ln1),
+            ff1: PackedLinear::compile(&l.ff1),
+            ff2: PackedLinear::compile(&l.ff2),
+            ln2: LayerNormPlan::compile(&l.ln2),
+        }
+    }
+
+    /// `x ← LN2(LN1(x + MHA(x)) + FF(LN1(…)))` in place, mirroring
+    /// `EncoderLayer::forward`.
+    #[allow(clippy::too_many_arguments)]
+    fn forward(
+        &self,
+        batch: usize,
+        seq: usize,
+        x: &mut [f64],
+        proj: &mut [f64],
+        qh: &mut [f64],
+        kh: &mut [f64],
+        vh: &mut [f64],
+        att: &mut [f64],
+        scores: &mut [f64],
+        ffh: &mut [f64],
+    ) {
+        let rows = batch * seq;
+        self.mha
+            .forward(batch, seq, x, att, proj, qh, kh, vh, scores);
+        // Residual 1 + LN1: x now holds x1.
+        for (xv, &av) in x.iter_mut().zip(att.iter()) {
+            *xv += av;
+        }
+        self.ln1.forward(x);
+        // Feed-forward on x1, then residual 2 + LN2.
+        self.ff1.forward(rows, x, ffh);
+        relu_inplace(ffh);
+        self.ff2.forward(rows, ffh, proj);
+        for (xv, &hv) in x.iter_mut().zip(proj.iter()) {
+            *xv += hv;
+        }
+        self.ln2.forward(x);
+    }
+}
+
+/// A [`TransformerEncoder`] stack compiled to a graph-free forward.
+#[derive(Clone, Debug)]
+pub struct InferencePlan {
+    layers: Vec<EncoderLayerPlan>,
+    dim: usize,
+    heads: usize,
+    ff_hidden: usize,
+}
+
+impl InferencePlan {
+    /// Compile the encoder's current weights. The plan snapshots the
+    /// weights — rebuild after any refit (see `Surrogate::invalidate_plan`
+    /// in `dbat-core`).
+    pub fn compile(enc: &TransformerEncoder) -> Self {
+        let (dim, heads, ff_hidden) = enc
+            .layers
+            .first()
+            .map(|l| (l.mha.wq.in_dim(), l.mha.heads, l.ff1.out_dim()))
+            .unwrap_or((0, 1, 0));
+        InferencePlan {
+            layers: enc.layers.iter().map(EncoderLayerPlan::compile).collect(),
+            dim,
+            heads,
+            ff_hidden,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    pub fn heads(&self) -> usize {
+        self.heads
+    }
+
+    /// Scratch slice lengths for a `[batch, seq, dim]` forward, in the
+    /// order [`forward_with`] expects them.
+    pub fn scratch_lens(&self, batch: usize, seq: usize) -> [usize; 7] {
+        let bsd = batch * seq * self.dim;
+        [
+            bsd,
+            bsd,
+            bsd,
+            bsd,
+            bsd,
+            batch * self.heads * seq * (seq + self.dim / self.heads),
+            batch * seq * self.ff_hidden,
+        ]
+    }
+
+    /// In-place forward over `x` (flattened `[batch, seq, dim]`), using
+    /// scratch from `arena`.
+    pub fn forward(&self, batch: usize, seq: usize, x: &mut [f64], arena: &mut Arena) {
+        let [proj, qh, kh, vh, att, scores, ffh] = arena.split(self.scratch_lens(batch, seq));
+        self.forward_with(batch, seq, x, proj, qh, kh, vh, att, scores, ffh);
+    }
+
+    /// As [`forward`](Self::forward) with caller-carved scratch slices
+    /// (lengths per [`scratch_lens`](Self::scratch_lens)).
+    #[allow(clippy::too_many_arguments)]
+    pub fn forward_with(
+        &self,
+        batch: usize,
+        seq: usize,
+        x: &mut [f64],
+        proj: &mut [f64],
+        qh: &mut [f64],
+        kh: &mut [f64],
+        vh: &mut [f64],
+        att: &mut [f64],
+        scores: &mut [f64],
+        ffh: &mut [f64],
+    ) {
+        debug_assert_eq!(x.len(), batch * seq * self.dim);
+        for l in &self.layers {
+            l.forward(batch, seq, x, proj, qh, kh, vh, att, scores, ffh);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Graph;
+    use crate::init::InitRng;
+    use crate::layers::Binder;
+    use crate::tensor::Tensor;
+
+    fn pseudo(n: usize, seed: u64) -> Vec<f64> {
+        let mut x = seed.wrapping_mul(0x9E3779B97F4A7C15).max(1);
+        (0..n)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                (x % 2000) as f64 / 1000.0 - 1.0
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packed_linear_matches_graph_linear_bitwise() {
+        // Shapes straddling the gemm_worthwhile threshold on both sides.
+        for &(rows, ind, outd) in &[
+            (1usize, 4usize, 4usize),
+            (3, 16, 5),
+            (216, 3, 16),
+            (256, 16, 16),
+            (216, 32, 32),
+        ] {
+            let mut rng = InitRng::new(7);
+            let lin = Linear::new(ind, outd, &mut rng);
+            let x = Tensor::new(vec![rows, ind], pseudo(rows * ind, 3));
+            let mut g = Graph::new();
+            let mut b = Binder::new(&mut g);
+            let xv = b.g.leaf(x.clone());
+            let yv = lin.forward(&mut b, xv);
+            let want = g.value(yv).data().to_vec();
+
+            let plan = PackedLinear::compile(&lin);
+            let mut got = vec![0.0; rows * outd];
+            plan.forward(rows, x.data(), &mut got);
+            assert_eq!(got, want, "({rows},{ind},{outd})");
+        }
+    }
+
+    #[test]
+    fn mha_plan_matches_graph_attention_bitwise() {
+        for &(batch, seq, dim, heads) in &[
+            (1usize, 1usize, 16usize, 4usize),
+            (2, 5, 8, 2),
+            (1, 64, 16, 4),
+        ] {
+            let mut rng = InitRng::new(11);
+            let mha = MultiHeadAttention::new(dim, heads, &mut rng);
+            let x = Tensor::new(vec![batch, seq, dim], pseudo(batch * seq * dim, 5));
+            let mut g = Graph::new();
+            let mut b = Binder::new(&mut g);
+            let xv = b.g.leaf(x.clone());
+            let yv = mha.forward(&mut b, xv);
+            let want = g.value(yv).data().to_vec();
+
+            let plan = MhaPlan::compile(&mha);
+            let bsd = batch * seq * dim;
+            let mut arena = Arena::new();
+            let [out, proj, qh, kh, vh, scores] =
+                arena.split([bsd, bsd, bsd, bsd, bsd, plan.scores_len(batch, seq)]);
+            plan.forward(batch, seq, x.data(), out, proj, qh, kh, vh, scores);
+            assert_eq!(&*out, &want[..], "({batch},{seq},{dim},{heads})");
+        }
+    }
+
+    #[test]
+    fn inference_plan_matches_graph_encoder_bitwise() {
+        for &(batch, seq, dim, heads, ff, layers) in &[
+            (1usize, 8usize, 8usize, 2usize, 16usize, 1usize),
+            (2, 5, 8, 2, 16, 2),
+            (1, 256, 16, 4, 32, 2),
+        ] {
+            let mut rng = InitRng::new(23);
+            let enc = TransformerEncoder::new(layers, dim, heads, ff, &mut rng);
+            let x = Tensor::new(vec![batch, seq, dim], pseudo(batch * seq * dim, 9));
+            let mut g = Graph::new();
+            let mut b = Binder::new(&mut g);
+            let xv = b.g.leaf(x.clone());
+            let yv = enc.forward(&mut b, xv);
+            let want = g.value(yv).data().to_vec();
+
+            let plan = InferencePlan::compile(&enc);
+            let mut arena = Arena::new();
+            let mut got = x.data().to_vec();
+            plan.forward(batch, seq, &mut got, &mut arena);
+            assert_eq!(got, want, "({batch},{seq},{dim},{heads},{ff},{layers})");
+        }
+    }
+
+    #[test]
+    fn arena_split_is_disjoint_and_reusable() {
+        let mut arena = Arena::new();
+        {
+            let [a, b] = arena.split([3, 2]);
+            a.fill(1.0);
+            b.fill(2.0);
+            assert_eq!(a, &[1.0; 3]);
+            assert_eq!(b, &[2.0; 2]);
+        }
+        // Re-splitting reuses the same backing block without shrinking.
+        let cap = arena.capacity();
+        let _ = arena.split([2, 2]);
+        assert_eq!(arena.capacity(), cap);
+        let ([f], [q]) = arena.split_mixed([4], [6]);
+        assert_eq!(f.len(), 4);
+        assert_eq!(q.len(), 6);
+    }
+}

@@ -9,6 +9,9 @@
 //!   against central finite differences in the test suite);
 //! * [`layers`] — Linear, LayerNorm, multi-head attention, Transformer
 //!   encoder, sinusoidal positional encoding;
+//! * [`infer`] — graph-free inference plans: the layer stack compiled to
+//!   direct kernel calls with pre-packed weights over a flat scratch
+//!   arena, bitwise-equivalent to the graph forward;
 //! * [`optim`] — Adam with global-norm clipping;
 //! * [`init`] — deterministic Xavier/normal initialisation;
 //! * [`data`] — standardisation and shuffled mini-batching;
@@ -16,6 +19,7 @@
 
 pub mod data;
 pub mod graph;
+pub mod infer;
 pub mod init;
 pub mod layers;
 pub mod optim;
@@ -24,6 +28,9 @@ pub mod tensor;
 
 pub use data::{gather_rows, shuffled_batches, Standardizer};
 pub use graph::{BufferPool, Graph, Var};
+pub use infer::{
+    relu_inplace, Arena, EncoderLayerPlan, InferencePlan, LayerNormPlan, MhaPlan, PackedLinear,
+};
 pub use init::{normal_init, xavier_uniform, InitRng};
 pub use layers::{
     add_positional, positional_encoding, Binder, EncoderLayer, LayerNorm, Linear, Module,

@@ -294,8 +294,17 @@ pub fn matmul2d_naive(a: &Tensor, b: &Tensor) -> Tensor {
     Tensor::new(vec![m, n], out)
 }
 
-/// Naive accumulating `ikj` kernel into a zeroed buffer (serial).
-fn naive_gemm_acc(m: usize, n: usize, k: usize, ad: &[f64], bd: &[f64], out: &mut [f64]) {
+/// Naive accumulating `ikj` kernel into a zeroed buffer (serial). Shared
+/// with the graph-free inference plans so both paths take bit-identical
+/// small-operand fallbacks.
+pub(crate) fn naive_gemm_acc(
+    m: usize,
+    n: usize,
+    k: usize,
+    ad: &[f64],
+    bd: &[f64],
+    out: &mut [f64],
+) {
     for (i, row) in out.chunks_mut(n.max(1)).enumerate().take(m) {
         for p in 0..k {
             let aip = ad[i * k + p];
@@ -563,20 +572,17 @@ pub fn permute_0213(t: &Tensor) -> Tensor {
 }
 
 /// Softmax over the last axis.
+///
+/// Runs on [`dbat_linalg::softmax_rows_inplace`] — the fused, vectorised
+/// max/exp/sum/divide kernel — because the attention softmax dominates
+/// the non-GEMM cost of a decision (`layers · heads · seq²`
+/// exponentials per forward). The compiled inference plans call the same
+/// kernel, which is what keeps the graph-free fast path bitwise equal to
+/// this graph op.
 pub fn softmax_lastdim(t: &Tensor) -> Tensor {
     let d = *t.shape().last().expect("softmax needs at least 1-D");
     let mut out = t.data().to_vec();
-    for row in out.chunks_mut(d) {
-        let max = row.iter().fold(f64::NEG_INFINITY, |m, &x| m.max(x));
-        let mut sum = 0.0;
-        for x in row.iter_mut() {
-            *x = (*x - max).exp();
-            sum += *x;
-        }
-        for x in row.iter_mut() {
-            *x /= sum;
-        }
-    }
+    dbat_linalg::softmax_rows_inplace(&mut out, d);
     Tensor::new(t.shape().to_vec(), out)
 }
 

@@ -252,3 +252,67 @@ fn packed_kernels_match_naive_on_tile_edges() {
         }
     }
 }
+
+/// Ragged encoder-forward configuration for the inference-plan
+/// equivalence property: dims straddle head counts, tile widths, and the
+/// `gemm_worthwhile` dispatch threshold.
+type PlanCase = ((usize, usize, usize, usize), (usize, usize, u64));
+
+fn plan_case() -> impl Strategy<Value = PlanCase> {
+    (
+        (
+            1usize..3,
+            1usize..24,
+            prop::sample::select(vec![4usize, 8, 12, 16]),
+            prop::sample::select(vec![1usize, 2, 4]),
+        ),
+        (1usize..40, 1usize..3, 0u64..1_000_000),
+    )
+}
+
+proptest! {
+    // The compiled InferencePlan must reproduce the autograd graph
+    // forward bit for bit across ragged batch/seq/dim/head/ff shapes.
+    #[test]
+    fn inference_plan_equals_graph_forward(case in plan_case()) {
+        let ((batch, seq, dim, heads), (ff, layers, seed)) = case;
+        check_plan_equivalence(batch, seq, dim, heads, ff, layers, seed);
+    }
+}
+
+fn check_plan_equivalence(
+    batch: usize,
+    seq: usize,
+    dim: usize,
+    heads: usize,
+    ff: usize,
+    layers: usize,
+    seed: u64,
+) {
+    use dbat_nn::{Arena, InferencePlan, TransformerEncoder};
+    let mut rng = InitRng::new(seed);
+    let enc = TransformerEncoder::new(layers, dim, heads, ff, &mut rng);
+    let n = batch * seq * dim;
+    let data: Vec<f64> = (0..n)
+        .map(|i| {
+            let mut x = (seed + 1).wrapping_mul(0x9E3779B97F4A7C15) ^ (i as u64);
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            (x % 2000) as f64 / 1000.0 - 1.0
+        })
+        .collect();
+    let x = Tensor::new(vec![batch, seq, dim], data);
+
+    let mut g = Graph::new();
+    let mut b = Binder::new(&mut g);
+    let xv = b.g.leaf(x.clone());
+    let yv = enc.forward(&mut b, xv);
+    let want = g.value(yv).data().to_vec();
+
+    let plan = InferencePlan::compile(&enc);
+    let mut arena = Arena::new();
+    let mut got = x.data().to_vec();
+    plan.forward(batch, seq, &mut got, &mut arena);
+    assert_eq!(got, want, "({batch},{seq},{dim},{heads},{ff},{layers})");
+}
