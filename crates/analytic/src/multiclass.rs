@@ -1,0 +1,85 @@
+//! Analytic (BATCH-model) group scorer for the multi-class joint decision.
+//!
+//! Fits a MAP to the group's interarrival stream and solves the analytic
+//! batch model on every grid configuration — the model-based counterpart
+//! to the simulation oracle and the surrogate fast path. Returns no
+//! candidates when the fit fails (too little data), which
+//! [`dbat_sim::joint_decide`] treats as an infeasible segment.
+
+use crate::fit::fit_map;
+use crate::model::BatchModel;
+use dbat_sim::multi::{GroupScore, GroupScorer};
+use dbat_sim::{ConfigGrid, SimParams};
+
+/// Scores group configs with the fitted analytic batch model.
+pub struct AnalyticGroupScorer {
+    pub grid: ConfigGrid,
+    pub params: SimParams,
+    /// Constrained percentile (the paper uses p95).
+    pub percentile: f64,
+}
+
+impl GroupScorer for AnalyticGroupScorer {
+    fn name(&self) -> &'static str {
+        "analytic"
+    }
+
+    fn sweep(&mut self, arrivals: &[f64]) -> Vec<GroupScore> {
+        let ia: Vec<f64> = arrivals.windows(2).map(|w| w[1] - w[0]).collect();
+        let Some(fit) = fit_map(&ia) else {
+            return Vec::new();
+        };
+        let model = BatchModel::from_fit(&fit, self.params);
+        model
+            .evaluate_grid(&self.grid)
+            .into_iter()
+            .map(|e| GroupScore {
+                config: e.config,
+                latency: e.percentile(self.percentile),
+                cost: e.cost_per_request * arrivals.len() as f64,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbat_sim::multi::joint_decide;
+    use dbat_workload::Trace;
+    use dbat_workload::{ClassedTrace, Map, RequestClass, Rng};
+
+    #[test]
+    fn analytic_scorer_feeds_joint_decide() {
+        let map = Map::poisson(80.0);
+        let mut rng = Rng::new(5);
+        let arr = map.simulate(&mut rng, 0.0, 60.0);
+        let horizon = arr.last().copied().unwrap_or(1.0) + 1.0;
+        let trace = Trace::new(arr, horizon);
+        let classes = vec![
+            RequestClass::with_weight(0, 0.08, 1.0),
+            RequestClass::with_weight(1, 0.8, 1.0),
+        ];
+        let classed = ClassedTrace::tag_weighted(trace, &classes, 17).unwrap();
+        let mut scorer = AnalyticGroupScorer {
+            grid: ConfigGrid::paper_default(),
+            params: SimParams::default(),
+            percentile: 95.0,
+        };
+        let joint = joint_decide(&classed, &classes, &mut scorer).unwrap();
+        assert!(joint.feasible, "Poisson traffic at these SLOs is servable");
+        assert_eq!(joint.assignment.n_classes(), 2);
+        assert!(joint.predicted_cost > 0.0);
+    }
+
+    #[test]
+    fn unfittable_stream_yields_no_candidates() {
+        let mut scorer = AnalyticGroupScorer {
+            grid: ConfigGrid::tiny(),
+            params: SimParams::default(),
+            percentile: 95.0,
+        };
+        assert!(scorer.sweep(&[]).is_empty());
+        assert!(scorer.sweep(&[0.3]).is_empty());
+    }
+}

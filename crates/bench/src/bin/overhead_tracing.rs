@@ -25,7 +25,8 @@
 
 use dbat_bench::report::{banner, f, table};
 use dbat_serve::{
-    Admission, DrainMode, Gateway, GatewayConfig, ProfiledBackend, VirtualGateway, WallClock,
+    Admission, DrainMode, Gateway, GatewayConfig, ProfiledBackend, Request, VirtualGateway,
+    WallClock,
 };
 use dbat_sim::{LambdaConfig, SimParams};
 use dbat_telemetry::Telemetry;
@@ -63,7 +64,7 @@ fn gateway_run(n: u64, traced: bool) -> f64 {
     let t0 = std::time::Instant::now();
     let mut accepted = 0u64;
     while accepted < n {
-        match gateway.submit() {
+        match gateway.submit(Request::default()) {
             Admission::Accepted { .. } => accepted += 1,
             Admission::Rejected { .. } => std::thread::yield_now(),
             Admission::Closed => unreachable!("gateway closed mid-bench"),

@@ -14,6 +14,8 @@
 //! * [`traindata`] / [`mod@train`] — offline training on simulator-labelled
 //!   windows, plus OOD fine-tuning;
 //! * [`optimizer`] — the 2-step SLO/cost optimizer with the γ penalty;
+//! * [`multiclass`] — the surrogate-backed group scorer behind the
+//!   multi-SLO joint decision ([`dbat_sim::multi::joint_decide`]);
 //! * [`controller`] — the online control loop and the measurement harness
 //!   shared by every evaluation figure.
 
@@ -21,6 +23,7 @@ pub mod buffer;
 pub mod controller;
 pub mod drift;
 pub mod fastpath;
+pub mod multiclass;
 pub mod optimizer;
 pub mod parser;
 pub mod surrogate;
@@ -35,6 +38,7 @@ pub use controller::{
 };
 pub use drift::{DriftDetector, HealthMonitor, WindowStats};
 pub use fastpath::SurrogatePlan;
+pub use multiclass::SurrogateGroupScorer;
 pub use optimizer::{ConfigPrediction, Decision, DeepBatOptimizer, Int8Parity, ScoringMode};
 pub use parser::WorkloadParser;
 pub use surrogate::{Surrogate, SurrogateConfig};

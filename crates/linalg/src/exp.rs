@@ -291,7 +291,7 @@ pub fn softmax_rows_inplace(xs: &mut [f64], d: usize) {
 /// without a separate scaling pass. Requires `scale > 0`; the result is
 /// bitwise identical to multiplying every element by `scale` first and
 /// then calling [`softmax_rows_inplace`] (monotone rounding makes the
-/// fused max/subtract exact — see [`softmax_row_scalar`]'s notes). This
+/// fused max/subtract exact — see `softmax_row_scalar`'s notes). This
 /// is what lets attention fold its `1/√d_h` score scaling into the
 /// softmax for free while staying bit-equal to the graph path's
 /// scale-then-softmax ops.

@@ -435,7 +435,7 @@ impl InferencePlan {
     }
 
     /// Scratch slice lengths for a `[batch, seq, dim]` forward, in the
-    /// order [`forward_with`] expects them.
+    /// order [`Self::forward_with`] expects them.
     pub fn scratch_lens(&self, batch: usize, seq: usize) -> [usize; 7] {
         let bsd = batch * seq * self.dim;
         [

@@ -22,6 +22,7 @@
 //! simulates intervals in isolation.
 
 use dbat_sim::LambdaConfig;
+use dbat_workload::ClassId;
 use serde::{Deserialize, Serialize};
 
 /// Why a batch left the buffer.
@@ -36,11 +37,13 @@ pub enum FlushReason {
 }
 
 /// An admitted request: its gateway-assigned id (ids are assigned in
-/// arrival order) and its arrival stamp in virtual seconds.
+/// arrival order), its arrival stamp in virtual seconds, and the
+/// request class it was submitted under (0 in single-class runs).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct Admitted {
     pub id: u64,
     pub arrival: f64,
+    pub class: ClassId,
 }
 
 /// A dispatched batch, ready for a worker.
@@ -258,7 +261,11 @@ mod tests {
     use super::*;
 
     fn req(id: u64, t: f64) -> Admitted {
-        Admitted { id, arrival: t }
+        Admitted {
+            id,
+            arrival: t,
+            class: 0,
+        }
     }
 
     #[test]

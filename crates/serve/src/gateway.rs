@@ -44,12 +44,14 @@ use crate::batcher::{Admitted, BatcherCore, FlushReason, FormedBatch};
 use crate::clock::Clock;
 use crate::outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
 use dbat_sim::{
-    Controller, DecisionContext, DecisionRecord, IntervalMeasurement, LambdaConfig, LatencySummary,
+    ClassAssignment, Controller, DecisionContext, DecisionRecord, FunctionGroup,
+    IntervalMeasurement, LambdaConfig, LatencySummary,
 };
 use dbat_telemetry::{
     Counter, FlushKind, Gauge, Histogram, SpanId, Telemetry, TraceConfig, TraceEvent, TraceId,
     TraceStage,
 };
+use dbat_workload::ClassId;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -59,6 +61,44 @@ use std::time::{Duration, Instant};
 /// Upper bound on any single condvar wait: liveness backstop so state
 /// changes (drain, stop) are observed promptly even without a wakeup.
 const MAX_IDLE_WAIT: Duration = Duration::from_millis(100);
+
+/// One request offered for admission. The old bare-float surface is
+/// subsumed: `Request::default()` is the legacy single-class submission
+/// (class 0, stamped at admission on the gateway clock).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Request {
+    /// Explicit arrival stamp in virtual seconds. `None` (the default)
+    /// stamps the request at admission on the gateway clock — the only
+    /// exact option under concurrent submitters. An explicit stamp is
+    /// clamped to stay non-decreasing within its lane so the per-lane
+    /// arrival log keeps its sorted invariant.
+    pub arrival: Option<f64>,
+    /// Request class (indexes [`GatewayConfig::groups`] assignments).
+    pub class: ClassId,
+}
+
+impl Request {
+    /// A class-tagged request, stamped at admission.
+    pub fn of_class(class: ClassId) -> Self {
+        Request {
+            arrival: None,
+            class,
+        }
+    }
+
+    /// A request with an explicit arrival stamp (class 0).
+    pub fn at(arrival: f64) -> Self {
+        Request {
+            arrival: Some(arrival),
+            class: 0,
+        }
+    }
+
+    pub fn with_class(mut self, class: ClassId) -> Self {
+        self.class = class;
+        self
+    }
+}
 
 /// What happens when a request meets a full admission queue.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -126,6 +166,14 @@ pub struct GatewayConfig {
     /// process-global hub; tests inject a scoped `Arc::new(Telemetry::new())`
     /// so parallel gateways never contend on shared counters.
     pub telemetry: Arc<Telemetry>,
+    /// Heterogeneous function groups for multi-class serving. When
+    /// non-empty, lane `g` runs `groups[g].config` and serves exactly
+    /// the classes assigned to group `g`: submissions route by
+    /// `Request::class` (covering every class exactly once is
+    /// validated at startup), `lanes`/`initial` are superseded (one
+    /// lane per group), and the `serve.class.<i>.*` counters track each
+    /// class. Empty (the default) keeps the homogeneous sharded gateway.
+    pub groups: Vec<FunctionGroup>,
 }
 
 impl Default for GatewayConfig {
@@ -143,6 +191,7 @@ impl Default for GatewayConfig {
             percentile: 95.0,
             record_outcome: true,
             telemetry: dbat_telemetry::global_arc(),
+            groups: Vec::new(),
         }
     }
 }
@@ -156,12 +205,14 @@ pub(crate) fn flush_kind(reason: FlushReason) -> FlushKind {
     }
 }
 
-/// The trace-model mirror of a [`LambdaConfig`].
-pub(crate) fn trace_config(config: &LambdaConfig) -> TraceConfig {
+/// The trace-model mirror of a [`LambdaConfig`], tagged with the
+/// function group that owns it (0 outside multi-group serving).
+pub(crate) fn trace_config(config: &LambdaConfig, group: u32) -> TraceConfig {
     TraceConfig {
         memory_mb: config.memory_mb,
         batch_size: config.batch_size,
         timeout_s: config.timeout_s,
+        group,
     }
 }
 
@@ -190,9 +241,10 @@ pub(crate) fn push_batch_trace(
     fb: &FormedBatch,
     batch_idx: u64,
     completed_at: f64,
+    group: u32,
 ) {
     let span = SpanId(batch_idx);
-    let cfg = trace_config(&fb.config);
+    let cfg = trace_config(&fb.config, group);
     let reason = flush_kind(fb.reason);
     let lane = fb.lane;
     out.reserve(1 + 3 * fb.requests.len());
@@ -250,10 +302,20 @@ struct Inbox {
     submitted: u64,
     accepted: u64,
     rejected: u64,
+    /// Last arrival stamped on this lane: explicit `Request::arrival`
+    /// stamps are clamped against it so the lane stays sorted.
+    last_arrival: f64,
     closed: bool,
     drain: Option<DrainMode>,
     /// Boundary-ordered reconfiguration commands for this lane's batcher.
     reconfigs: VecDeque<Reconfig>,
+}
+
+/// Per-class telemetry handles (`serve.class.<i>.accepted` /
+/// `serve.class.<i>.completed`; resolved only when telemetry is on).
+struct ClassTel {
+    accepted: Arc<Counter>,
+    completed: Arc<Counter>,
 }
 
 /// Per-lane telemetry handles (`None` when telemetry is disabled).
@@ -385,6 +447,13 @@ struct Shared {
     steals: AtomicU64,
     /// Keep the per-lane arrival logs (needed by the control thread).
     record_arrivals: bool,
+    /// Class → lane routing for grouped gateways (`None` = homogeneous).
+    routes: Option<ClassAssignment>,
+    /// Initial configuration per lane: `groups[g].config` when grouped,
+    /// `cfg.initial` on every lane otherwise.
+    lane_configs: Vec<LambdaConfig>,
+    /// Indexed by class id; empty when telemetry is disabled.
+    class_tel: Vec<ClassTel>,
     tel: Option<ServeTel>,
 }
 
@@ -462,7 +531,6 @@ impl Gateway {
         backend: Arc<dyn InferenceBackend>,
         ctl: Option<(Box<dyn Controller + Send>, DecisionRecord)>,
     ) -> Gateway {
-        assert!(cfg.lanes >= 1, "need at least one batcher lane");
         assert!(cfg.workers >= 1, "need at least one worker");
         assert!(cfg.queue_capacity >= 1, "need a positive queue capacity");
         assert!(
@@ -474,15 +542,48 @@ impl Gateway {
             "controlled runs measure intervals from per-request records; \
              record_outcome must stay enabled"
         );
-        cfg.initial
-            .validate()
-            .expect("invalid initial configuration");
+        // Grouped gateways: one lane per function group, class-routed
+        // admissions, per-group configs fixed at startup (the joint
+        // decide runs offline — a control thread would overwrite the
+        // heterogeneous per-group configs with one broadcast config).
+        let (n_lanes, lane_configs, routes) = if cfg.groups.is_empty() {
+            assert!(cfg.lanes >= 1, "need at least one batcher lane");
+            cfg.initial
+                .validate()
+                .expect("invalid initial configuration");
+            (cfg.lanes, vec![cfg.initial; cfg.lanes], None)
+        } else {
+            assert!(
+                ctl.is_none(),
+                "grouped gateways are statically configured; run the joint \
+                 decide offline and restart with the new groups"
+            );
+            let n_classes = cfg
+                .groups
+                .iter()
+                .flat_map(|g| g.classes.iter())
+                .map(|&c| c as usize + 1)
+                .max()
+                .unwrap_or(0);
+            let assignment = ClassAssignment::from_groups(&cfg.groups, n_classes)
+                .expect("invalid function groups");
+            let lane_configs: Vec<LambdaConfig> = cfg.groups.iter().map(|g| g.config).collect();
+            (cfg.groups.len(), lane_configs, Some(assignment))
+        };
         let tel = ServeTel::resolve(&cfg.telemetry);
-        let lanes = (0..cfg.lanes)
-            .map(|i| Lane::new(&cfg.telemetry, i))
-            .collect();
+        let n_classes = routes.as_ref().map_or(1, ClassAssignment::n_classes);
+        let class_tel: Vec<ClassTel> = if cfg.telemetry.is_enabled() {
+            (0..n_classes)
+                .map(|i| ClassTel {
+                    accepted: cfg.telemetry.counter(&format!("serve.class.{i}.accepted")),
+                    completed: cfg.telemetry.counter(&format!("serve.class.{i}.completed")),
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let lanes = (0..n_lanes).map(|i| Lane::new(&cfg.telemetry, i)).collect();
         let record_arrivals = ctl.is_some();
-        let n_lanes = cfg.lanes;
         let n_workers = cfg.workers;
         let shared = Arc::new(Shared {
             cfg,
@@ -500,6 +601,9 @@ impl Gateway {
             next_id: AtomicU64::new(0),
             steals: AtomicU64::new(0),
             record_arrivals,
+            routes,
+            lane_configs,
+            class_tel,
             tel,
         });
         let batchers = (0..n_lanes)
@@ -561,10 +665,32 @@ impl Gateway {
         self.shared.steals.load(Ordering::Relaxed)
     }
 
-    /// Offer one request on an automatically chosen lane (per-thread
-    /// round-robin, so concurrent submitters spread across lanes).
-    /// Blocks only under [`BackpressurePolicy::Block`] with a full queue.
-    pub fn submit(&self) -> Admission {
+    /// Offer one request. Grouped gateways route by `req.class` to the
+    /// owning group's lane; homogeneous gateways round-robin per thread,
+    /// so concurrent submitters spread across lanes. A class no group
+    /// serves is refused (counted as rejected, `retry_after_s` infinite —
+    /// retrying cannot help). Blocks only under
+    /// [`BackpressurePolicy::Block`] with a full queue.
+    pub fn submit(&self, req: Request) -> Admission {
+        if let Some(routes) = &self.shared.routes {
+            if (req.class as usize) >= routes.n_classes() {
+                let shared = &*self.shared;
+                let mut inbox = shared.lanes[0].inbox.lock().unwrap();
+                inbox.submitted += 1;
+                if let Some(tel) = &shared.tel {
+                    tel.submitted.inc();
+                }
+                return reject(
+                    &mut inbox,
+                    shared,
+                    Admission::Rejected {
+                        retry_after_s: f64::INFINITY,
+                    },
+                );
+            }
+            let lane = routes.group_of(req.class) as usize;
+            return self.submit_to(lane, req);
+        }
         let n = self.shared.lanes.len();
         let lane = LANE_CURSOR.with(|c| {
             let mut v = c.get();
@@ -578,13 +704,14 @@ impl Gateway {
             c.set(v.wrapping_add(1));
             v % n
         });
-        self.submit_to(lane)
+        self.submit_to(lane, req)
     }
 
     /// Offer one request on a specific lane (`lane % lanes()`), stamped
     /// on arrival. The explicit form exists for load harnesses and
-    /// tests that pin producers to lanes; `submit` round-robins.
-    pub fn submit_to(&self, lane: usize) -> Admission {
+    /// tests that pin producers to lanes; `submit` round-robins (and, on
+    /// grouped gateways, routes by class — pinning bypasses the routes).
+    pub fn submit_to(&self, lane: usize, req: Request) -> Admission {
         let shared = &*self.shared;
         let lane = &shared.lanes[lane % shared.lanes.len()];
         let mut inbox = lane.inbox.lock().unwrap();
@@ -616,14 +743,27 @@ impl Gateway {
                 }
             }
         }
-        let arrival = shared.clock.now();
+        // Explicit stamps are clamped to the lane's last arrival so the
+        // per-lane log (and the batcher's arrival order) stays sorted.
+        let arrival = req
+            .arrival
+            .unwrap_or_else(|| shared.clock.now())
+            .max(inbox.last_arrival);
+        inbox.last_arrival = arrival;
         let id = shared.next_id.fetch_add(1, Ordering::Relaxed);
-        let admitted = Admitted { id, arrival };
+        let admitted = Admitted {
+            id,
+            arrival,
+            class: req.class,
+        };
         if shared.record_arrivals {
             inbox.log.push(admitted);
         }
         inbox.pending.push_back(admitted);
         inbox.accepted += 1;
+        if let Some(ct) = shared.class_tel.get(req.class as usize) {
+            ct.accepted.inc();
+        }
         let depth = shared.in_flight.fetch_add(1, Ordering::AcqRel) + 1;
         let lane_depth = lane.depth.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(tel) = &shared.tel {
@@ -752,7 +892,7 @@ fn reject(inbox: &mut Inbox, shared: &Shared, outcome: Admission) -> Admission {
 fn batcher_loop(shared: &Shared, lane_idx: usize) {
     let lane = &shared.lanes[lane_idx];
     let clock = shared.clock.as_ref();
-    let mut core = BatcherCore::for_lane(shared.cfg.initial, lane_idx as u32);
+    let mut core = BatcherCore::for_lane(shared.lane_configs[lane_idx], lane_idx as u32);
     let mut formed: Vec<FormedBatch> = Vec::new();
     loop {
         let mut work: VecDeque<Admitted> = VecDeque::new();
@@ -927,12 +1067,20 @@ fn worker_loop(shared: &Shared, home: usize) {
                     completed_at,
                     batch: batch_idx,
                     lane: fb.lane,
+                    class: r.class,
                 });
             }
         }
         if let Some(tel) = &shared.tel {
             for r in &fb.requests {
                 tel.latency.record(completed_at - r.arrival);
+            }
+        }
+        if !shared.class_tel.is_empty() {
+            for r in &fb.requests {
+                if let Some(ct) = shared.class_tel.get(r.class as usize) {
+                    ct.completed.inc();
+                }
             }
         }
         done.total_cost += plan.cost;
@@ -947,7 +1095,9 @@ fn worker_loop(shared: &Shared, home: usize) {
             for r in &fb.requests {
                 push_admission_trace(&mut events, r.id, r.arrival, fb.lane);
             }
-            push_batch_trace(&mut events, &fb, batch_idx as u64, completed_at);
+            // On grouped gateways the lane *is* the function group.
+            let group = if shared.routes.is_some() { fb.lane } else { 0 };
+            push_batch_trace(&mut events, &fb, batch_idx as u64, completed_at, group);
             tracer.record_many(&events);
         }
         let depth = shared.in_flight.fetch_sub(size as u64, Ordering::AcqRel) - size as u64;
@@ -1196,7 +1346,7 @@ mod tests {
         let gw = quick_gateway(64, BackpressurePolicy::Block);
         let mut accepted = 0u64;
         for _ in 0..25 {
-            match gw.submit() {
+            match gw.submit(Request::default()) {
                 Admission::Accepted { .. } => accepted += 1,
                 other => panic!("unexpected admission {other:?}"),
             }
@@ -1269,12 +1419,15 @@ mod tests {
         // The gate is shut: nothing completes, so in-flight only grows.
         // The capacity-th request is still accepted ...
         for _ in 0..4 {
-            assert!(matches!(gw.submit(), Admission::Accepted { .. }));
+            assert!(matches!(
+                gw.submit(Request::default()),
+                Admission::Accepted { .. }
+            ));
         }
         // ... and the one past exactly-full capacity is rejected with the
         // configured retry hint.
         assert_eq!(
-            gw.submit(),
+            gw.submit(Request::default()),
             Admission::Rejected {
                 retry_after_s: 0.25
             }
@@ -1297,7 +1450,10 @@ mod tests {
     #[test]
     fn closed_gateway_refuses_submissions() {
         let gw = quick_gateway(8, BackpressurePolicy::Reject { retry_after_s: 0.1 });
-        assert!(matches!(gw.submit(), Admission::Accepted { .. }));
+        assert!(matches!(
+            gw.submit(Request::default()),
+            Admission::Accepted { .. }
+        ));
         // Shut down via a second handle is impossible (shutdown consumes);
         // instead verify the closed flag path through drain.
         let out = gw.shutdown(DrainMode::Immediate);
@@ -1322,7 +1478,10 @@ mod tests {
             Arc::new(ProfiledBackend::default()),
         );
         for _ in 0..5 {
-            assert!(matches!(gw.submit(), Admission::Accepted { .. }));
+            assert!(matches!(
+                gw.submit(Request::default()),
+                Admission::Accepted { .. }
+            ));
         }
         let out = gw.shutdown(DrainMode::Immediate);
         assert_eq!(out.counts.completed, 5);
@@ -1348,7 +1507,10 @@ mod tests {
             Arc::new(ProfiledBackend::default()),
         );
         for i in 0..200usize {
-            assert!(matches!(gw.submit_to(i % 4), Admission::Accepted { .. }));
+            assert!(matches!(
+                gw.submit_to(i % 4, Request::default()),
+                Admission::Accepted { .. }
+            ));
         }
         let out = gw.shutdown(DrainMode::Graceful);
         assert_eq!(out.counts.accepted, 200);
@@ -1364,6 +1526,64 @@ mod tests {
         }
         for r in &out.requests {
             assert_eq!(r.lane, out.batches[r.batch].lane);
+        }
+    }
+
+    #[test]
+    fn grouped_gateway_routes_classes_to_their_group_lane() {
+        let hub = Arc::new(Telemetry::new());
+        hub.enable();
+        let fast = LambdaConfig::new(3008, 1, 0.0);
+        let cheap = LambdaConfig::new(1024, 8, 0.01);
+        let cfg = GatewayConfig {
+            queue_capacity: 512,
+            backpressure: BackpressurePolicy::Block,
+            workers: 2,
+            telemetry: hub.clone(),
+            groups: vec![
+                FunctionGroup::new(fast, vec![0]),
+                FunctionGroup::new(cheap, vec![1]),
+            ],
+            ..GatewayConfig::default()
+        };
+        let gw = Gateway::start(
+            cfg,
+            Arc::new(WallClock::with_speedup(100.0)),
+            Arc::new(ProfiledBackend::default()),
+        );
+        for i in 0..60u16 {
+            assert!(matches!(
+                gw.submit(Request::of_class(i % 2)),
+                Admission::Accepted { .. }
+            ));
+        }
+        // A class no group serves is refused, permanently.
+        assert!(matches!(
+            gw.submit(Request::of_class(7)),
+            Admission::Rejected { .. }
+        ));
+        let out = gw.shutdown(DrainMode::Graceful);
+        assert_eq!(out.counts.accepted, 60);
+        assert_eq!(out.counts.completed, 60);
+        assert_eq!(out.counts.rejected, 1);
+        assert!(out.counts.conserved());
+        // Class i rides lane i only, under its group's config.
+        for r in &out.requests {
+            assert_eq!(r.lane, r.class as u32);
+        }
+        for b in &out.batches {
+            assert_eq!(b.config, if b.lane == 0 { fast } else { cheap });
+        }
+        // The serve.class.<i>.* stream reconciles with the outcome.
+        for class in 0..2u64 {
+            assert_eq!(
+                hub.counter(&format!("serve.class.{class}.accepted")).get(),
+                30
+            );
+            assert_eq!(
+                hub.counter(&format!("serve.class.{class}.completed")).get(),
+                30
+            );
         }
     }
 
@@ -1384,7 +1604,10 @@ mod tests {
             Arc::new(ProfiledBackend::default()),
         );
         for _ in 0..100 {
-            assert!(matches!(gw.submit(), Admission::Accepted { .. }));
+            assert!(matches!(
+                gw.submit(Request::default()),
+                Admission::Accepted { .. }
+            ));
         }
         let out = gw.shutdown(DrainMode::Graceful);
         assert_eq!(out.counts.accepted, 100);

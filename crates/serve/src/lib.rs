@@ -29,6 +29,10 @@
 //!   with bounded admission and explicit backpressure, a work-stealing
 //!   worker pool, a control thread running any [`dbat_sim::Controller`]
 //!   (reconfigurations broadcast to every lane), graceful drain.
+//!   Multi-class mode: configure [`GatewayConfig::groups`] with
+//!   heterogeneous [`dbat_sim::FunctionGroup`]s and `submit` routes
+//!   each [`Request`] to the lane serving its class, with per-class
+//!   `serve.class.<i>.*` telemetry.
 //! * [`replay`] — [`VirtualGateway`]: the same machinery as a
 //!   single-threaded discrete-event loop, **bitwise-equivalent** to
 //!   [`dbat_sim::simulate_batching`] under the profiled backend
@@ -55,8 +59,10 @@ pub mod scripted;
 pub use backend::{BatchPlan, InferenceBackend, ProfiledBackend};
 pub use batcher::{Admitted, BatcherCore, FlushReason, FormedBatch};
 pub use clock::{Clock, VirtualClock, WallClock};
-pub use gateway::{Admission, BackpressurePolicy, DrainMode, Gateway, GatewayConfig};
-pub use loadgen::{drive, drive_concurrent, ConcurrentLoadStats, LaneAssignment, LoadStats};
+pub use gateway::{Admission, BackpressurePolicy, DrainMode, Gateway, GatewayConfig, Request};
+pub use loadgen::{
+    drive, drive_classed, drive_concurrent, ConcurrentLoadStats, LaneAssignment, LoadStats,
+};
 pub use outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
 pub use replay::VirtualGateway;
 pub use scripted::ScriptedController;

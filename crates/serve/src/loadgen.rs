@@ -9,7 +9,8 @@
 //! business: drive a [`crate::WallClock::with_speedup`] gateway to
 //! compress hours of trace into seconds of wall time.
 
-use crate::gateway::{Admission, Gateway};
+use crate::gateway::{Admission, Gateway, Request};
+use dbat_workload::ClassedTrace;
 use std::time::{Duration, Instant};
 
 /// Tally of one load-generation run.
@@ -35,7 +36,29 @@ pub fn drive(gateway: &Gateway, timestamps: &[f64]) -> LoadStats {
     for &t in timestamps {
         clock.sleep_until(t);
         stats.submitted += 1;
-        match gateway.submit() {
+        match gateway.submit(Request::default()) {
+            Admission::Accepted { .. } => stats.accepted += 1,
+            Admission::Rejected { .. } => stats.rejected += 1,
+            Admission::Closed => {
+                stats.closed += 1;
+                break;
+            }
+        }
+    }
+    stats
+}
+
+/// Replay a class-tagged trace into the gateway: each arrival is
+/// submitted as its labelled class, so a grouped gateway routes it to
+/// the function group serving that class. Same open-loop discipline as
+/// [`drive`].
+pub fn drive_classed(gateway: &Gateway, trace: &ClassedTrace) -> LoadStats {
+    let clock = gateway.clock();
+    let mut stats = LoadStats::default();
+    for (&t, &class) in trace.trace().timestamps().iter().zip(trace.labels()) {
+        clock.sleep_until(t);
+        stats.submitted += 1;
+        match gateway.submit(Request::of_class(class)) {
             Admission::Accepted { .. } => stats.accepted += 1,
             Admission::Rejected { .. } => stats.rejected += 1,
             Admission::Closed => {
@@ -131,8 +154,8 @@ pub fn drive_concurrent(
                         stats.submitted += 1;
                         let t0 = Instant::now();
                         let adm = match lanes {
-                            LaneAssignment::RoundRobin => gateway.submit(),
-                            LaneAssignment::Pinned => gateway.submit_to(p),
+                            LaneAssignment::RoundRobin => gateway.submit(Request::default()),
+                            LaneAssignment::Pinned => gateway.submit_to(p, Request::default()),
                         };
                         stats.submit_ns += t0.elapsed().as_nanos() as u64;
                         match adm {
@@ -190,6 +213,38 @@ mod tests {
         // Arrival stamps respect the requested pacing (never early).
         for (r, &t) in out.requests.iter().zip(&ts) {
             assert!(r.arrival + 1e-9 >= t, "arrived {} before {}", r.arrival, t);
+        }
+    }
+
+    #[test]
+    fn classed_drive_routes_by_label_through_a_grouped_gateway() {
+        use dbat_sim::FunctionGroup;
+        use dbat_workload::Trace;
+        let cfg = GatewayConfig {
+            queue_capacity: 256,
+            backpressure: BackpressurePolicy::Block,
+            workers: 2,
+            groups: vec![
+                FunctionGroup::new(LambdaConfig::new(3008, 1, 0.0), vec![0]),
+                FunctionGroup::new(LambdaConfig::new(1024, 8, 0.005), vec![1]),
+            ],
+            ..GatewayConfig::default()
+        };
+        let gw = crate::gateway::Gateway::start(
+            cfg,
+            Arc::new(WallClock::with_speedup(200.0)),
+            Arc::new(ProfiledBackend::default()),
+        );
+        let ts: Vec<f64> = (0..40).map(|i| i as f64 * 0.02).collect();
+        let labels = (0..40).map(|i| (i % 2) as u16).collect();
+        let classed = ClassedTrace::new(Trace::new(ts, 1.0), labels).unwrap();
+        let stats = drive_classed(&gw, &classed);
+        assert_eq!(stats.accepted, 40);
+        let out = gw.shutdown(DrainMode::Graceful);
+        assert!(out.counts.conserved());
+        assert_eq!(out.completed_by_class(), vec![20, 20]);
+        for r in &out.requests {
+            assert_eq!(r.lane, r.class as u32, "class routed to its group lane");
         }
     }
 

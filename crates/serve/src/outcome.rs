@@ -5,6 +5,7 @@
 
 use crate::batcher::FlushReason;
 use dbat_sim::{DecisionRecord, IntervalMeasurement, LambdaConfig, LatencySummary};
+use dbat_workload::ClassId;
 use serde::{Deserialize, Serialize};
 
 /// One request as served by the gateway.
@@ -22,6 +23,8 @@ pub struct ServedRequest {
     pub batch: usize,
     /// Batcher lane that carried the request (0 in unsharded runs).
     pub lane: u32,
+    /// Request class it was submitted under (0 in single-class runs).
+    pub class: ClassId,
 }
 
 impl ServedRequest {
@@ -141,6 +144,33 @@ impl ServeOutcome {
         }
         out
     }
+
+    /// Completed-request count per class (index = class id). Sums to
+    /// `counts.completed` whenever per-request records were kept.
+    pub fn completed_by_class(&self) -> Vec<u64> {
+        let classes = self
+            .requests
+            .iter()
+            .map(|r| r.class as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut out = vec![0u64; classes];
+        for r in &self.requests {
+            out[r.class as usize] += 1;
+        }
+        out
+    }
+
+    /// Latency summary over one class's completed requests.
+    pub fn class_summary(&self, class: ClassId) -> LatencySummary {
+        let lat: Vec<f64> = self
+            .requests
+            .iter()
+            .filter(|r| r.class == class)
+            .map(|r| r.latency())
+            .collect();
+        LatencySummary::from_latencies(&lat)
+    }
 }
 
 #[cfg(test)]
@@ -179,6 +209,7 @@ mod tests {
                     completed_at: 0.3,
                     batch: 0,
                     lane: 0,
+                    class: 0,
                 },
                 ServedRequest {
                     id: 1,
@@ -187,6 +218,7 @@ mod tests {
                     completed_at: 0.3,
                     batch: 0,
                     lane: 0,
+                    class: 1,
                 },
             ],
             batches: vec![ServedBatch {
@@ -214,6 +246,8 @@ mod tests {
         assert_eq!(out.latencies(), vec![0.3, 0.25]);
         assert_eq!(out.mean_batch_size(), 2.0);
         assert_eq!(out.completed_by_lane(), vec![2]);
+        assert_eq!(out.completed_by_class(), vec![1, 1]);
+        assert_eq!(out.class_summary(1).count, 1);
         assert!((out.cost_per_request() - 5e-7).abs() < 1e-18);
         assert_eq!(out.requests[1].wait(), 0.05);
     }

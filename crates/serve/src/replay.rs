@@ -29,11 +29,11 @@ use crate::gateway::{push_admission_trace, push_batch_trace};
 use crate::outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
 use dbat_sim::engine::Scheduler;
 use dbat_sim::{
-    Controller, DecisionContext, IntervalMeasurement, LambdaConfig, LatencySummary, SimConfig,
-    SimParams,
+    ClassAssignment, Controller, DecisionContext, FunctionGroup, IntervalMeasurement, LambdaConfig,
+    LatencySummary, SimConfig, SimParams,
 };
 use dbat_telemetry::{Telemetry, TraceEvent};
-use dbat_workload::Trace;
+use dbat_workload::{ClassId, ClassedTrace, Trace};
 use std::sync::Arc;
 
 enum Event {
@@ -115,7 +115,7 @@ impl VirtualGateway {
         for (i, &a) in arrivals.iter().enumerate() {
             sched.schedule(a, Event::Arrival(i));
         }
-        let mut state = ReplayState::new(arrivals.to_vec());
+        let mut state = ReplayState::new(arrivals.to_vec(), false);
         let mut formed: Vec<FormedBatch> = Vec::new();
         let tracer = self.tel.tracer();
         // Tracing stages into a plain local Vec — the replay loop is
@@ -139,6 +139,107 @@ impl VirtualGateway {
                         Admitted {
                             id: i as u64,
                             arrival: t,
+                            class: 0,
+                        },
+                        &mut formed,
+                    );
+                }
+                Event::Deadline(l) => {
+                    lane = l;
+                    cores[lane].due(t, &mut formed);
+                }
+            }
+            state.settle(
+                &mut formed,
+                self.backend.as_ref(),
+                trace_on,
+                &mut trace_buf,
+                |_, _| {},
+            );
+            if trace_buf.len() >= TRACE_CHUNK {
+                tracer.record_many(&trace_buf);
+                trace_buf.clear();
+            }
+            if let Some(d) = cores[lane].next_deadline() {
+                sched.schedule(d, Event::Deadline(lane));
+            }
+        }
+        tracer.record_many(&trace_buf);
+        debug_assert!(
+            cores.iter().all(|c| c.is_idle()),
+            "all requests must be dispatched"
+        );
+        state.into_outcome(Vec::new(), Vec::new())
+    }
+
+    /// Replay heterogeneous function groups over a class-tagged trace:
+    /// one batcher lane per group, each arrival routed to the lane whose
+    /// group serves its class (the validated [`ClassAssignment`]). Lane
+    /// `g` runs group `g`'s configuration, so the events touching one
+    /// lane are exactly a single-lane [`VirtualGateway::replay`] over
+    /// that group's class-filtered arrivals — per-request stamps and
+    /// per-batch costs are bitwise-equal to
+    /// [`dbat_sim::simulate_batching_multi`]'s per-group outcomes. Only
+    /// `total_cost` may differ in the last bits: the replay accumulates
+    /// it in global dispatch order, the simulator group by group. Batch
+    /// trace events carry the group id. Ignores `with_lanes`; the group
+    /// list fixes the lane count.
+    pub fn replay_grouped(
+        &mut self,
+        trace: &ClassedTrace,
+        groups: &[FunctionGroup],
+    ) -> ServeOutcome {
+        assert!(!groups.is_empty(), "need at least one function group");
+        assert!(
+            groups.iter().all(|g| g.params.is_none()),
+            "the replay gateway plans every batch with its one backend; \
+             per-group SimParams overrides are a simulator-only feature"
+        );
+        let n_classes = groups
+            .iter()
+            .flat_map(|g| g.classes.iter())
+            .map(|&c| c as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let assignment =
+            ClassAssignment::from_groups(groups, n_classes).expect("invalid function groups");
+        let arrivals = trace.trace().timestamps().to_vec();
+        check_arrivals(&arrivals);
+        let labels: Vec<ClassId> = trace.labels().to_vec();
+        assert!(
+            labels.iter().all(|&c| (c as usize) < n_classes),
+            "trace labels a class no group serves"
+        );
+        let mut cores: Vec<BatcherCore> = groups
+            .iter()
+            .enumerate()
+            .map(|(g, grp)| BatcherCore::for_lane(grp.config, g as u32))
+            .collect();
+        let mut sched: Scheduler<Event> = Scheduler::new();
+        for (i, &a) in arrivals.iter().enumerate() {
+            sched.schedule(a, Event::Arrival(i));
+        }
+        let mut state = ReplayState::new(arrivals, true);
+        let mut formed: Vec<FormedBatch> = Vec::new();
+        let tracer = self.tel.tracer();
+        let trace_on = tracer.is_active();
+        let mut trace_buf: Vec<TraceEvent> = Vec::new();
+        while let Some((t, ev)) = sched.pop() {
+            self.clock.advance_to(t);
+            let lane;
+            match ev {
+                Event::Boundary(_) => unreachable!("grouped replay schedules no boundaries"),
+                Event::Arrival(i) => {
+                    let class = labels[i];
+                    lane = assignment.group_of(class) as usize;
+                    if trace_on {
+                        push_admission_trace(&mut trace_buf, i as u64, t, lane as u32);
+                    }
+                    cores[lane].on_arrival(
+                        Admitted {
+                            id: i as u64,
+                            arrival: t,
+                            class,
                         },
                         &mut formed,
                     );
@@ -205,10 +306,9 @@ impl VirtualGateway {
             t = end;
         }
 
-        let ts = trace.timestamps();
+        let arrivals: Vec<f64> = trace.slice_raw(t0, t1).to_vec();
         let lo = trace.lower_bound(t0);
-        let hi = trace.lower_bound(t1);
-        let arrivals: Vec<f64> = ts[lo..hi].to_vec();
+        let hi = lo + arrivals.len();
         check_arrivals(&arrivals);
 
         // Request-id boundaries per interval: ids [bounds[k], bounds[k+1])
@@ -247,7 +347,7 @@ impl VirtualGateway {
         let mut cores: Vec<BatcherCore> = (0..n_lanes)
             .map(|l| BatcherCore::for_lane(LambdaConfig::new(512, 1, 0.0), l as u32))
             .collect();
-        let mut state = ReplayState::new(arrivals);
+        let mut state = ReplayState::new(arrivals, false);
         let mut formed: Vec<FormedBatch> = Vec::new();
         let trace_on = self.tel.tracer().is_active();
         let mut trace_buf: Vec<TraceEvent> = Vec::new();
@@ -307,6 +407,7 @@ impl VirtualGateway {
                         Admitted {
                             id: i as u64,
                             arrival: t,
+                            class: 0,
                         },
                         &mut formed,
                     );
@@ -387,16 +488,21 @@ struct ReplayState {
     requests: Vec<Option<ServedRequest>>,
     batches: Vec<ServedBatch>,
     total_cost: f64,
+    /// Grouped replays identify lane `g` with function group `g`; trace
+    /// events then carry the lane as the group id. Homogeneous replays
+    /// report group 0 regardless of lane count.
+    grouped: bool,
 }
 
 impl ReplayState {
-    fn new(arrivals: Vec<f64>) -> Self {
+    fn new(arrivals: Vec<f64>, grouped: bool) -> Self {
         let n = arrivals.len();
         ReplayState {
             arrivals,
             requests: vec![None; n],
             batches: Vec::new(),
             total_cost: 0.0,
+            grouped,
         }
     }
 
@@ -417,7 +523,8 @@ impl ReplayState {
             let completed_at = fb.dispatched_at + plan.service_s;
             let batch_idx = self.batches.len();
             if trace_on {
-                push_batch_trace(trace_buf, &fb, batch_idx as u64, completed_at);
+                let group = if self.grouped { fb.lane } else { 0 };
+                push_batch_trace(trace_buf, &fb, batch_idx as u64, completed_at, group);
             }
             self.batches.push(ServedBatch {
                 opened_at: fb.opened_at,
@@ -441,6 +548,7 @@ impl ReplayState {
                     completed_at,
                     batch: batch_idx,
                     lane: fb.lane,
+                    class: r.class,
                 });
             }
             hook(&fb, &plan);
@@ -599,6 +707,59 @@ mod tests {
             if r.requests > 0 {
                 assert!(r.measured.is_some());
             }
+        }
+    }
+
+    #[test]
+    fn grouped_replay_matches_multi_simulator_per_group() {
+        use dbat_sim::simulate_batching_multi;
+        use dbat_workload::RequestClass;
+        let params = SimParams::default();
+        let ts = burst_trace();
+        let labels: Vec<ClassId> = (0..ts.len()).map(|i| (i % 2) as ClassId).collect();
+        let classed = ClassedTrace::new(Trace::new(ts, 6.5), labels).unwrap();
+        let classes = vec![RequestClass::new(0, 0.08), RequestClass::new(1, 0.8)];
+        let groups = vec![
+            FunctionGroup::new(LambdaConfig::new(3008, 1, 0.0), vec![0]),
+            FunctionGroup::new(LambdaConfig::new(1024, 8, 0.025), vec![1]),
+        ];
+        let sim = simulate_batching_multi(&classed, &classes, &groups, &params).unwrap();
+        let mut gw = VirtualGateway::from_params(&params);
+        let out = gw.replay_grouped(&classed, &groups);
+        assert!(out.counts.conserved());
+        assert_eq!(out.counts.completed, classed.len() as u64);
+        for (g, grp_out) in sim.groups.iter().enumerate() {
+            let mine: Vec<&ServedRequest> =
+                out.requests.iter().filter(|r| r.lane == g as u32).collect();
+            assert_eq!(mine.len(), grp_out.sim.requests.len());
+            for (r, s) in mine.iter().zip(&grp_out.sim.requests) {
+                assert_eq!(r.arrival.to_bits(), s.arrival.to_bits());
+                assert_eq!(r.dispatched_at.to_bits(), s.dispatch.to_bits());
+                assert_eq!(r.completed_at.to_bits(), s.completion.to_bits());
+                assert_eq!(r.class as usize, g); // one class per group here
+            }
+            let my_batches: Vec<&ServedBatch> =
+                out.batches.iter().filter(|b| b.lane == g as u32).collect();
+            assert_eq!(my_batches.len(), grp_out.sim.batches.len());
+            for (b, s) in my_batches.iter().zip(&grp_out.sim.batches) {
+                assert_eq!(b.cost.to_bits(), s.cost.to_bits());
+                assert_eq!(b.size, s.size);
+            }
+        }
+    }
+
+    #[test]
+    fn single_group_replay_is_bitwise_the_unsharded_replay() {
+        let params = SimParams::default();
+        let cfg = LambdaConfig::new(2048, 4, 0.05);
+        let classed = ClassedTrace::uniform(Trace::new(burst_trace(), 6.5), 0);
+        let groups = vec![FunctionGroup::new(cfg, vec![0])];
+        let plain = VirtualGateway::from_params(&params).replay(classed.trace().timestamps(), &cfg);
+        let grouped = VirtualGateway::from_params(&params).replay_grouped(&classed, &groups);
+        assert_eq!(plain.total_cost.to_bits(), grouped.total_cost.to_bits());
+        assert_eq!(plain.requests.len(), grouped.requests.len());
+        for (a, b) in plain.requests.iter().zip(&grouped.requests) {
+            assert_eq!(a.completed_at.to_bits(), b.completed_at.to_bits());
         }
     }
 

@@ -443,6 +443,8 @@ pub fn record_sim_trace(
         memory_mb: config.memory_mb,
         batch_size: config.batch_size,
         timeout_s: config.timeout_s,
+        // The offline driver simulates one homogeneous pool.
+        group: 0,
     };
     // Anchor each batch-level Flush on its first member request.
     let mut first_member: Vec<Option<u64>> = vec![None; out.batches.len()];

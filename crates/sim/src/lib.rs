@@ -14,7 +14,10 @@
 //!   throttling, stragglers) layered on the batching DES;
 //! * [`controller`] — the [`Controller`] trait the closed-loop policies
 //!   implement, plus the shared measurement/audit machinery and driver;
-//! * [`mod@sweep`] — rayon-parallel exhaustive grid search (Eq. 10 optimum).
+//! * [`mod@sweep`] — rayon-parallel exhaustive grid search (Eq. 10 optimum);
+//! * [`multi`] — multi-SLO request classes served by heterogeneous
+//!   function groups, with the HarmonyBatch-style joint partition/config
+//!   decision ([`joint_decide`]).
 
 pub mod batching;
 pub mod concurrency;
@@ -23,6 +26,7 @@ pub mod controller;
 pub mod engine;
 pub mod faults;
 pub mod metrics;
+pub mod multi;
 pub mod pricing;
 pub mod service;
 pub mod sweep;
@@ -44,6 +48,11 @@ pub use faults::{
     FaultPlanBuilder, FaultSimOutcome, RetryPolicy, StragglerFault, ThrottleFault,
 };
 pub use metrics::{vcr, LatencySummary, PERCENTILE_KEYS};
+pub use multi::{
+    joint_decide, simulate_batching_multi, simulate_faults_multi, single_config_baseline,
+    ClassAssignment, ClassOutcome, FaultGroupOutcome, FunctionGroup, GroupOutcome, GroupScore,
+    GroupScorer, JointDecision, MultiFaultOutcome, MultiSimOutcome, OracleGroupScorer,
+};
 pub use pricing::Pricing;
 pub use service::ServiceProfile;
 pub use sweep::{best_feasible, evaluate, ground_truth, sweep, Evaluation};

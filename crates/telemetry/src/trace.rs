@@ -116,6 +116,9 @@ pub struct TraceConfig {
     pub memory_mb: u32,
     pub batch_size: u32,
     pub timeout_s: f64,
+    /// The function group this config belongs to (0 outside multi-SLO
+    /// grouped serving, where each group runs its own `(M,B,T)`).
+    pub group: u32,
 }
 
 /// One trace event. `Copy` and allocation-free so recording never touches
@@ -533,6 +536,7 @@ mod tests {
                 memory_mb: 2048,
                 batch_size: 8,
                 timeout_s: 0.05,
+                group: 1,
             })
             .with_reason(FlushKind::Timeout)
             .with_size(5)

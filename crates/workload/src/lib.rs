@@ -15,8 +15,13 @@
 //!   generators (Fig. 4/5 workloads);
 //! * [`error`] — the workspace-wide [`DbatError`] for fallible APIs;
 //! * [`stats`] — empirical moments, ACF, IDC, percentiles, MAPE;
-//! * [`window`] — fixed-length interarrival windows (the surrogate's input).
+//! * [`window`] — fixed-length interarrival windows (the surrogate's input);
+//! * [`class`] — multi-SLO request classes and class-tagged traces;
+//! * [`config`] — the typed [`AppConfig`] surface (TOML/JSON) shared by
+//!   the experiment binaries and examples.
 
+pub mod class;
+pub mod config;
 pub mod error;
 pub mod io;
 pub mod map;
@@ -28,6 +33,11 @@ pub mod trace;
 pub mod traces;
 pub mod window;
 
+pub use class::{validate_classes, ClassId, ClassedTrace, RequestClass};
+pub use config::{
+    AppConfig, AppConfigBuilder, ClassSpec, ControllerSection, FaultsSection, GatewaySection,
+    SimSection,
+};
 pub use error::DbatError;
 pub use io::{read_trace, read_trace_auto, write_trace, TraceIoError};
 pub use map::{Map, MapError};

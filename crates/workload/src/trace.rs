@@ -74,6 +74,19 @@ impl Trace {
         }
     }
 
+    /// Arrivals in `[t0, t1)` as a borrowed sub-slice, **without** the
+    /// rebasing [`Trace::slice`] applies. Rebasing subtracts `t0` from
+    /// every timestamp, which perturbs the float bits of the arrivals —
+    /// enough to break bitwise-equivalence comparisons between a sliced
+    /// replay and a full-trace run. Use this when the window must carry
+    /// the exact original timestamps.
+    pub fn slice_raw(&self, t0: f64, t1: f64) -> &[f64] {
+        assert!(t1 >= t0, "slice_raw requires t1 >= t0");
+        let lo = self.lower_bound(t0);
+        let hi = self.lower_bound(t1);
+        &self.timestamps[lo..hi]
+    }
+
     /// Arrival counts in consecutive bins of width `bin` (covers the horizon).
     pub fn counts(&self, bin: f64) -> Vec<usize> {
         assert!(bin > 0.0);
@@ -145,6 +158,19 @@ mod tests {
         let s = t().slice(1.0, 4.0);
         assert_eq!(s.timestamps(), &[0.0, 0.5, 2.0]);
         assert_eq!(s.horizon(), 3.0);
+    }
+
+    #[test]
+    fn slice_raw_preserves_bits() {
+        let ts = vec![0.1 + 1e-17, 1.0 / 3.0, 0.7, 2.9];
+        let tr = Trace::new(ts.clone(), 3.0);
+        let s = tr.slice_raw(0.2, 1.0);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[0].to_bits(), (1.0f64 / 3.0).to_bits());
+        assert_eq!(s[1].to_bits(), 0.7f64.to_bits());
+        // Whole-trace slice is the timestamps themselves.
+        assert_eq!(tr.slice_raw(0.0, 3.0), tr.timestamps());
+        assert!(tr.slice_raw(1.0, 1.0).is_empty());
     }
 
     #[test]

@@ -96,6 +96,18 @@ impl TraceKind {
         }
     }
 
+    /// Parse a config-file workload name (the [`Self::name`] strings,
+    /// plus `map` for the synthetic MAP workload).
+    pub fn parse(name: &str) -> Option<TraceKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "azure" => Some(TraceKind::AzureLike),
+            "twitter" => Some(TraceKind::TwitterLike),
+            "alibaba" => Some(TraceKind::AlibabaLike),
+            "synthetic" | "map" => Some(TraceKind::SyntheticMap),
+            _ => None,
+        }
+    }
+
     /// Generate a full 24-hour trace.
     pub fn generate(&self, seed: u64) -> Trace {
         self.generate_for(seed, DAY)

@@ -2,27 +2,31 @@
 //! wall clock, fed by the open-loop load generator, hot-reconfigured by
 //! a scripted controller at every decision boundary.
 //!
-//! Replays an azure-like diurnal trace at `DBAT_SERVE_SPEEDUP`x time
-//! scale (default 64: ~2 s of wall time for the default 120 s horizon),
-//! then drains gracefully and checks the gateway's conservation law —
-//! every submitted request is accepted+completed or explicitly rejected.
+//! Configuration comes from the one typed surface: `--config <path>`
+//! loads an [`AppConfig`] TOML/JSON file, and `--set section.key=value`
+//! flags override individual fields. The legacy `DBAT_SERVE_*` env vars
+//! are still honored on top.
 //!
 //! ```sh
 //! cargo run --release --example live_gateway
-//! DBAT_SERVE_HORIZON=300 DBAT_SERVE_SPEEDUP=128 \
-//!     cargo run --release --example live_gateway
+//! cargo run --release --example live_gateway -- \
+//!     --set gateway.horizon_s=300 --set gateway.speedup=128
+//! # a config file, with one field overridden at the command line:
+//! cargo run --release --example live_gateway -- \
+//!     --config exp.toml --set gateway.workers=8
 //! # expose live metrics and keep serving them after the drain:
-//! DBAT_METRICS_ADDR=127.0.0.1:9184 DBAT_SERVE_LINGER=20 \
-//!     cargo run --release --example live_gateway &
+//! cargo run --release --example live_gateway -- \
+//!     --set 'gateway.metrics_addr="127.0.0.1:9184"' \
+//!     --set gateway.linger_s=20 &
 //! curl -s http://127.0.0.1:9184/metrics | grep serve_completed_total
 //! ```
 //!
-//! Set `DBAT_METRICS_ADDR` to start the pull-based exporter (Prometheus
-//! text at `/metrics`, JSON at `/snapshot`); `DBAT_SERVE_LINGER` keeps
-//! the process alive that many seconds after the drain so a scraper can
-//! still read the final counters. The flight recorder keeps the most
-//! recent trace events and dumps them to the telemetry sinks when the
-//! drain completes.
+//! With `gateway.metrics_addr` set the pull-based exporter serves
+//! Prometheus text at `/metrics` and JSON at `/snapshot`;
+//! `gateway.linger_s` keeps the process alive that many seconds after
+//! the drain so a scraper can still read the final counters. The flight
+//! recorder keeps the most recent trace events and dumps them to the
+//! telemetry sinks when the drain completes.
 
 use deepbat::prelude::*;
 use std::sync::Arc;
@@ -35,33 +39,42 @@ fn env_f64(key: &str, default: f64) -> f64 {
 }
 
 fn main() {
-    let horizon = env_f64("DBAT_SERVE_HORIZON", 120.0);
-    let speedup = env_f64("DBAT_SERVE_SPEEDUP", 64.0);
-    let decision_interval = 30.0;
+    let app = AppConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("config error: {e}");
+        std::process::exit(2);
+    });
+    let horizon = env_f64("DBAT_SERVE_HORIZON", app.gateway.horizon_s);
+    let speedup = env_f64("DBAT_SERVE_SPEEDUP", app.gateway.speedup);
+    let decision_interval = app.sim.decision_interval_s.min(horizon);
     deepbat::telemetry::init_from_env(None);
     let tel = telemetry();
     tel.enable();
 
     // Pull-based metrics endpoint (opt-in): Prometheus text at /metrics,
     // JSON at /snapshot, served from a plain std TcpListener thread.
-    let exporter =
-        std::env::var("DBAT_METRICS_ADDR").ok().map(|addr| {
-            match MetricsExporter::start(global_arc(), &addr) {
-                Ok(e) => {
-                    println!("metrics exporter listening on http://{}/metrics", e.addr());
-                    e
-                }
-                Err(err) => panic!("failed to bind metrics exporter on {addr}: {err}"),
-            }
-        });
+    let metrics_addr = std::env::var("DBAT_METRICS_ADDR")
+        .ok()
+        .or_else(|| app.gateway.metrics_addr.clone());
+    let exporter = metrics_addr.map(|addr| match MetricsExporter::start(global_arc(), &addr) {
+        Ok(e) => {
+            println!("metrics exporter listening on http://{}/metrics", e.addr());
+            e
+        }
+        Err(err) => panic!("failed to bind metrics exporter on {addr}: {err}"),
+    });
 
     // Flight recorder: keep the most recent trace events in a bounded
     // ring; they are dumped to the sinks when the drain completes.
     tel.tracer().enable_flight(4096);
 
-    let trace = TraceKind::AzureLike.generate_for(7, horizon);
+    let kind = TraceKind::parse(&app.sim.workload).unwrap_or_else(|| {
+        eprintln!("config error: unknown sim.workload `{}`", app.sim.workload);
+        std::process::exit(2);
+    });
+    let trace = kind.generate_for(app.sim.seed, horizon);
     println!(
-        "azure-like trace: {} requests over {horizon:.0}s, replayed at {speedup:.0}x",
+        "{} trace: {} requests over {horizon:.0}s, replayed at {speedup:.0}x",
+        kind.name(),
         trace.len()
     );
 
@@ -79,14 +92,31 @@ fn main() {
             }
         })
         .collect();
-    let ctl = ScriptedController::new(script, 0.1);
+    let ctl = ScriptedController::new(script, app.sim.slo);
 
+    let workers = app.gateway.workers as usize;
     let cfg = GatewayConfig {
-        queue_capacity: 4096,
-        workers: 8,
+        // The config surface's 0 means "unbounded"; the gateway wants a
+        // positive bound, so unbounded maps to the largest one.
+        queue_capacity: if app.gateway.queue_capacity == 0 {
+            usize::MAX
+        } else {
+            app.gateway.queue_capacity as usize
+        },
+        lanes: if app.gateway.lanes == 0 {
+            workers
+        } else {
+            app.gateway.lanes as usize
+        },
+        workers,
+        backpressure: if app.gateway.backpressure {
+            BackpressurePolicy::Reject { retry_after_s: 0.1 }
+        } else {
+            BackpressurePolicy::Block
+        },
         decision_interval,
-        slo: 0.1,
-        percentile: 95.0,
+        slo: app.sim.slo,
+        percentile: app.sim.percentile,
         ..GatewayConfig::default()
     };
     let gateway = Gateway::start_controlled(
@@ -141,7 +171,7 @@ fn main() {
     println!("\n{}", tel.summary_table());
 
     // Keep serving /metrics for scrapers after the drain, if asked.
-    let linger = env_f64("DBAT_SERVE_LINGER", 0.0);
+    let linger = env_f64("DBAT_SERVE_LINGER", app.gateway.linger_s);
     if exporter.is_some() && linger > 0.0 {
         println!("lingering {linger:.0}s for metric scrapes...");
         std::thread::sleep(std::time::Duration::from_secs_f64(linger));

@@ -13,18 +13,28 @@
 //! accounting — lands in
 //! `target/deepbat/telemetry/online_controller.jsonl`.
 //!
+//! SLO, percentile, cadence and seeds come from the typed config
+//! surface: pass `--config <path>` (TOML/JSON [`AppConfig`]) and/or
+//! `--set section.key=value` overrides.
+//!
 //! ```sh
 //! cargo run --release --example online_controller
+//! cargo run --release --example online_controller -- \
+//!     --set sim.slo=0.08 --set sim.decision_interval_s=20
 //! ```
 
 use deepbat::prelude::*;
 use std::sync::Arc;
 
 fn main() {
-    let slo = 0.1;
+    let app = AppConfig::from_args(std::env::args().skip(1)).unwrap_or_else(|e| {
+        eprintln!("config error: {e}");
+        std::process::exit(2);
+    });
+    let slo = app.sim.slo;
     let seq_len = 64;
-    let percentile = 95.0;
-    let decision_interval = 30.0;
+    let percentile = app.sim.percentile;
+    let decision_interval = app.sim.decision_interval_s.min(60.0);
     let grid = ConfigGrid::paper_default();
     let params = SimParams::default();
 
@@ -38,7 +48,7 @@ fn main() {
     // A workload that shifts intensity mid-stream (quiet -> burst).
     let quiet = Map::poisson(15.0);
     let bursty = Mmpp2::from_targets(80.0, 60.0, 10.0, 0.3).to_map().unwrap();
-    let mut rng = Rng::new(3);
+    let mut rng = Rng::new(app.sim.seed);
     let mut ts = quiet.simulate(&mut rng, 0.0, 300.0);
     ts.extend(bursty.simulate(&mut rng, 300.0, 300.0));
     let trace = Trace::new(ts, 600.0);

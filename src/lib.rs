@@ -48,6 +48,44 @@
 //! println!("serve with {}", decision.chosen.config);
 //! ```
 //!
+//! ## Multi-SLO, multi-class serving
+//!
+//! Heterogeneous workloads carry more than one deadline. Tag the trace
+//! with [`prelude::RequestClass`]es, let [`prelude::joint_decide`] merge
+//! compatible SLOs into heterogeneous [`prelude::FunctionGroup`]s
+//! (HarmonyBatch-style), and serve each group under its own `(M, B, T)`:
+//!
+//! ```no_run
+//! use deepbat::prelude::*;
+//!
+//! // Two classes: interactive (80 ms p95) and background (800 ms p95).
+//! let classes = vec![RequestClass::new(0, 0.08), RequestClass::new(1, 0.8)];
+//! let trace = ClassedTrace::tag_weighted(
+//!     TraceKind::AzureLike.generate_for(7, 600.0), &classes, 3).unwrap();
+//!
+//! // Jointly pick the cheapest group partition meeting every SLO.
+//! let mut scorer = OracleGroupScorer {
+//!     grid: ConfigGrid::paper_default(),
+//!     params: SimParams::default(),
+//!     percentile: 0.95,
+//! };
+//! let plan = joint_decide(&trace, &classes, &mut scorer).unwrap();
+//!
+//! // Ground truth for the plan: one simulated pool per group.
+//! let out = simulate_batching_multi(
+//!     &trace, &classes, &plan.groups, &SimParams::default()).unwrap();
+//! println!("{} groups, total ${:.6}", plan.groups.len(), out.total_cost);
+//!
+//! // Or serve it live: one gateway lane per group, routed by class.
+//! let cfg = GatewayConfig { groups: plan.groups.clone(), ..GatewayConfig::default() };
+//! let gw = Gateway::start(cfg,
+//!     std::sync::Arc::new(WallClock::new()),
+//!     std::sync::Arc::new(ProfiledBackend::default()));
+//! gw.submit(Request::of_class(1));
+//! let served = gw.shutdown(DrainMode::Graceful);
+//! assert_eq!(served.completed_by_class()[1], 1);
+//! ```
+//!
 //! See `examples/` for runnable end-to-end scenarios and `crates/bench` for
 //! the regenerators of every figure and table in the paper's evaluation.
 
@@ -70,17 +108,23 @@ pub mod prelude {
     };
     pub use dbat_nn::{Module, Tensor};
     pub use dbat_serve::{
-        Admission, BackpressurePolicy, Clock, DrainMode, Gateway, GatewayConfig, InferenceBackend,
-        ProfiledBackend, ScriptedController, ServeOutcome, VirtualClock, VirtualGateway, WallClock,
+        drive_classed, Admission, BackpressurePolicy, Clock, DrainMode, Gateway, GatewayConfig,
+        InferenceBackend, ProfiledBackend, Request, ScriptedController, ServeOutcome, VirtualClock,
+        VirtualGateway, WallClock,
     };
     pub use dbat_sim::{
-        simulate_batching, simulate_faults, vcr_of, ConfigGrid, FaultPlan, FaultPlanBuilder,
-        IntervalMeasurement, LambdaConfig, LatencySummary, OracleController, Pricing, RunOutcome,
-        ServiceProfile, SimConfig, SimOutcome, SimParams, StaticController,
+        joint_decide, simulate_batching, simulate_batching_multi, simulate_faults,
+        simulate_faults_multi, single_config_baseline, vcr_of, ClassAssignment, ConfigGrid,
+        FaultPlan, FaultPlanBuilder, FunctionGroup, GroupScore, GroupScorer, IntervalMeasurement,
+        JointDecision, LambdaConfig, LatencySummary, OracleController, OracleGroupScorer, Pricing,
+        RunOutcome, ServiceProfile, SimConfig, SimOutcome, SimParams, StaticController,
     };
     pub use dbat_telemetry::{
         global as telemetry, global_arc, BurnRate, BurnRateConfig, JsonlSink, MemorySink,
         MetricsExporter, Telemetry, TraceEvent, TraceStage,
     };
-    pub use dbat_workload::{DbatError, Map, Mmpp2, Rng, Trace, TraceKind, Window, DAY, HOUR};
+    pub use dbat_workload::{
+        AppConfig, ClassId, ClassedTrace, DbatError, Map, Mmpp2, RequestClass, Rng, Trace,
+        TraceKind, Window, DAY, HOUR,
+    };
 }

@@ -90,18 +90,16 @@ fn reconfiguration_split_is_bitwise_equivalent_per_interval() {
     assert!(out.counts.conserved());
     assert_eq!(out.counts.completed, trace.len() as u64);
 
-    let ts = trace.timestamps();
     let mut req_cursor = 0usize;
     for (k, &cfg) in [cfg_a, cfg_b].iter().enumerate() {
         let (start, end) = (k as f64 * interval, (k + 1) as f64 * interval);
-        let lo = trace.lower_bound(start);
-        let hi = trace.lower_bound(end);
-        // NOTE: un-rebased slice — Trace::slice would shift timestamps
-        // and perturb the float arithmetic below the comparison's bar.
-        let sim = simulate_batching(&ts[lo..hi], &cfg, &params, None);
+        // Un-rebased window: `Trace::slice` would shift timestamps and
+        // perturb the float arithmetic below the comparison's bar.
+        let window = trace.slice_raw(start, end);
+        let sim = simulate_batching(window, &cfg, &params, None);
 
         // Per-request stamps, in arrival order, bitwise.
-        for (r, s) in out.requests[req_cursor..req_cursor + (hi - lo)]
+        for (r, s) in out.requests[req_cursor..req_cursor + window.len()]
             .iter()
             .zip(&sim.requests)
         {
@@ -109,7 +107,7 @@ fn reconfiguration_split_is_bitwise_equivalent_per_interval() {
             assert_eq!(r.dispatched_at.to_bits(), s.dispatch.to_bits());
             assert_eq!(r.completed_at.to_bits(), s.completion.to_bits());
         }
-        req_cursor += hi - lo;
+        req_cursor += window.len();
 
         // Per-batch records of this interval (windows *opened* in it,
         // even if dispatched past its end), in dispatch order, bitwise.
@@ -131,7 +129,7 @@ fn reconfiguration_split_is_bitwise_equivalent_per_interval() {
         let cost: f64 = batches.iter().map(|b| b.cost).sum();
         assert_eq!(cost.to_bits(), sim.total_cost.to_bits());
         let m = &out.measurements[k];
-        assert_eq!(m.requests, hi - lo);
+        assert_eq!(m.requests, window.len());
         assert_eq!(
             m.cost_per_request.to_bits(),
             sim.cost_per_request().to_bits()
@@ -163,6 +161,7 @@ fn reconfiguration_never_splits_or_drops_a_formed_batch() {
         deepbat::serve::Admitted {
             id: 0,
             arrival: 1.00,
+            class: 0,
         },
         &mut out,
     );
@@ -170,6 +169,7 @@ fn reconfiguration_never_splits_or_drops_a_formed_batch() {
         deepbat::serve::Admitted {
             id: 1,
             arrival: 1.02,
+            class: 0,
         },
         &mut out,
     );
@@ -215,7 +215,7 @@ fn drain_during_shutdown_delivers_every_accepted_request_exactly_once() {
                 // Unpaced bursts so a backlog exists when shutdown starts.
                 while !stop.load(Ordering::Relaxed) {
                     submitted.fetch_add(1, Ordering::Relaxed);
-                    match gateway.submit() {
+                    match gateway.submit(deepbat::serve::Request::default()) {
                         Admission::Accepted { .. } => {
                             accepted.fetch_add(1, Ordering::Relaxed);
                         }

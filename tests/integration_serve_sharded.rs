@@ -50,7 +50,7 @@ fn lane_metrics_reconcile_with_global_completed_total() {
     );
     for i in 0..400usize {
         assert!(matches!(
-            gateway.submit_to(i % lanes),
+            gateway.submit_to(i % lanes, Request::default()),
             Admission::Accepted { .. }
         ));
     }
@@ -168,7 +168,7 @@ fn blocked_submitters_resolve_as_rejections_during_shutdown() {
     // Fill capacity exactly; the gate is shut so nothing completes.
     for i in 0..capacity {
         assert!(matches!(
-            gateway.submit_to(i % 2),
+            gateway.submit_to(i % 2, Request::default()),
             Admission::Accepted { .. }
         ));
     }
@@ -176,7 +176,7 @@ fn blocked_submitters_resolve_as_rejections_during_shutdown() {
     let blocked: Vec<_> = (0..4)
         .map(|i| {
             let gw = gateway.clone();
-            std::thread::spawn(move || gw.submit_to(i % 2))
+            std::thread::spawn(move || gw.submit_to(i % 2, Request::default()))
         })
         .collect();
     // Let them reach the space_cv wait (timed waits make this robust
@@ -249,7 +249,7 @@ fn stress_randomized_lanes_keep_fifo_and_exactly_once() {
                 let mut sent: Vec<(u64, usize)> = Vec::with_capacity(per_thread);
                 for _ in 0..per_thread {
                     let lane = rng.below(lanes);
-                    match gw.submit_to(lane) {
+                    match gw.submit_to(lane, Request::default()) {
                         Admission::Accepted { id } => sent.push((id, lane)),
                         other => panic!("unexpected admission under Block: {other:?}"),
                     }
