@@ -43,6 +43,17 @@ pub fn usd_micro(v: f64) -> String {
     format!("{:.4}", v * 1e6)
 }
 
+/// Format a goodput as requests/second with its SLO-attainment share —
+/// the two numbers every token-discipline table wants side by side.
+pub fn goodput_rps(g: &dbat_sim::Goodput) -> String {
+    format!("{:.2}", g.rps())
+}
+
+/// Format the SLO-attainment percentage of a goodput cell.
+pub fn goodput_pct(g: &dbat_sim::Goodput) -> String {
+    format!("{:.1}%", g.attainment_pct())
+}
+
 /// A crude inline bar for terminal "plots" (value in [0, 1]).
 pub fn bar(frac: f64, width: usize) -> String {
     let n = ((frac.clamp(0.0, 1.0)) * width as f64).round() as usize;
@@ -75,5 +86,19 @@ mod tests {
     #[should_panic(expected = "row width mismatch")]
     fn ragged_rows_panic() {
         table(&["a", "b"], &[vec!["1".into()]]);
+    }
+
+    #[test]
+    fn goodput_columns() {
+        let g = dbat_sim::Goodput {
+            served: 200,
+            ok: 150,
+            horizon_s: 100.0,
+        };
+        assert_eq!(goodput_rps(&g), "1.50");
+        assert_eq!(goodput_pct(&g), "75.0%");
+        let empty = dbat_sim::Goodput::default();
+        assert_eq!(goodput_rps(&empty), "0.00");
+        assert_eq!(goodput_pct(&empty), "0.0%");
     }
 }

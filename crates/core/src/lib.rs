@@ -47,5 +47,6 @@ pub use train::{
     validation_mape_split, TrainConfig, TrainReport,
 };
 pub use traindata::{
-    generate_dataset, label, label_replicated, window_to_arrivals, TrainSample, LABEL_REPLICAS,
+    generate_dataset, generate_token_dataset, label, label_replicated, label_tokens,
+    window_to_arrivals, TrainSample, LABEL_REPLICAS,
 };

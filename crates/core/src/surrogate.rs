@@ -51,7 +51,8 @@ pub struct SurrogateConfig {
     pub ff_hidden: usize,
     /// Number of stacked encoder layers (paper: 2, Fig. 15b).
     pub n_layers: usize,
-    /// Number of scalar configuration features (M, B, T).
+    /// Number of scalar configuration features: 3 for `(M, B, T)`, 7 when
+    /// the window's token statistics ride along (see [`Self::tokens`]).
     pub n_features: usize,
     /// Output width: cost + four latency percentiles.
     pub n_outputs: usize,
@@ -82,6 +83,23 @@ impl SurrogateConfig {
             n_layers: 1,
             n_features: 3,
             n_outputs: 5,
+        }
+    }
+
+    /// Token-aware encoding: `(M, B, T)` plus the four window token
+    /// statistics `[mean_prompt, p95_prompt, mean_output, p95_output]`.
+    pub fn tokens() -> Self {
+        SurrogateConfig {
+            n_features: 7,
+            ..SurrogateConfig::default()
+        }
+    }
+
+    /// [`Self::tiny`] with the 7-feature token encoding.
+    pub fn tiny_tokens() -> Self {
+        SurrogateConfig {
+            n_features: 7,
+            ..SurrogateConfig::tiny()
         }
     }
 }

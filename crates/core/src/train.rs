@@ -70,8 +70,8 @@ pub struct TrainReport {
     pub secs_per_epoch: f64,
 }
 
-/// Assemble `[N, L]` seq, `[N, 3]` feats, `[N, 5]` targets, `[N, 5]` weights
-/// from samples.
+/// Assemble `[N, L]` seq, `[N, F]` feats, `[N, 5]` targets, `[N, 5]` weights
+/// from samples (`F` = 3 for token-blind samples, 7 with token stats).
 pub fn to_tensors(data: &[TrainSample], violation_weight: f64) -> (Tensor, Tensor, Tensor, Tensor) {
     to_tensors_weighted(data, violation_weight, 1.0)
 }
@@ -85,14 +85,17 @@ pub fn to_tensors_weighted(
     let n = data.len();
     assert!(n > 0, "empty dataset");
     let l = data[0].window.len();
+    let f_dim = data[0].feature_vec().len();
     let mut seq = Vec::with_capacity(n * l);
-    let mut feats = Vec::with_capacity(n * 3);
+    let mut feats = Vec::with_capacity(n * f_dim);
     let mut targets = Vec::with_capacity(n * 5);
     let mut weights = Vec::with_capacity(n * 5);
     for s in data {
         assert_eq!(s.window.len(), l, "ragged windows");
+        let fv = s.feature_vec();
+        assert_eq!(fv.len(), f_dim, "mixed token-blind and token samples");
         seq.extend_from_slice(&s.window);
-        feats.extend_from_slice(&s.feature_vec());
+        feats.extend_from_slice(&fv);
         targets.extend_from_slice(&s.target);
         let w = if s.violates { violation_weight } else { 1.0 };
         weights.push(w);
@@ -100,7 +103,7 @@ pub fn to_tensors_weighted(
     }
     (
         Tensor::new(vec![n, l], seq),
-        Tensor::new(vec![n, 3], feats),
+        Tensor::new(vec![n, f_dim], feats),
         Tensor::new(vec![n, 5], targets),
         Tensor::new(vec![n, 5], weights),
     )
@@ -303,6 +306,7 @@ pub fn validation_mape_split(
     }
     let samples: Vec<&TrainSample> = rows.iter().map(|&i| &data[i]).collect();
     let l = samples[0].window.len();
+    let f_dim = samples[0].feature_vec().len();
     let mut seq = Vec::new();
     let mut feats = Vec::new();
     for s in &samples {
@@ -311,7 +315,7 @@ pub fn validation_mape_split(
     }
     let pred = model.predict(
         &Tensor::new(vec![samples.len(), l], seq),
-        &Tensor::new(vec![samples.len(), 3], feats),
+        &Tensor::new(vec![samples.len(), f_dim], feats),
     );
     let mut acc_cost = 0.0;
     let mut n_cost = 0usize;
@@ -395,6 +399,45 @@ mod tests {
         );
         assert!(report.final_val_mape.is_finite());
         assert!(report.secs_per_epoch > 0.0);
+    }
+
+    #[test]
+    fn token_features_train_end_to_end() {
+        // The 7-feature encoding (M, B, T + window token stats) must flow
+        // through tensor assembly, training, and validation unchanged.
+        use crate::traindata::generate_token_dataset;
+        use dbat_sim::TokenParams;
+        use dbat_workload::{LognormalTokens, TokenMix, TokenizedTrace};
+        let map = Map::poisson(40.0);
+        let mut rng = Rng::new(13);
+        let trace = Trace::new(map.simulate(&mut rng, 0.0, 200.0), 200.0);
+        let tokenized =
+            TokenizedTrace::sample(trace, &TokenMix::Lognormal(LognormalTokens::chat()), 29);
+        let data = generate_token_dataset(
+            &tokenized,
+            &ConfigGrid::tiny(),
+            &TokenParams::llm_like(),
+            40,
+            16,
+            2.0,
+            3,
+        );
+        let (s, f, t, w) = to_tensors(&data, 3.0);
+        assert_eq!(f.shape(), &[40, 7]);
+        assert_eq!((s.shape()[0], t.shape()[1], w.shape()[1]), (40, 5, 5));
+        let mut model = Surrogate::new(SurrogateConfig::tiny_tokens(), 5);
+        let tc = TrainConfig {
+            epochs: 12,
+            batch_size: 8,
+            lr: 3e-3,
+            val_fraction: 0.15,
+            ..TrainConfig::default()
+        };
+        let report = train(&mut model, &data, &tc);
+        let first = report.train_losses[0];
+        let last = *report.train_losses.last().unwrap();
+        assert!(last < first, "loss should drop: {first} -> {last}");
+        assert!(report.final_val_mape.is_finite());
     }
 
     #[test]

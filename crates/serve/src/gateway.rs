@@ -114,10 +114,70 @@ pub enum BackpressurePolicy {
 pub enum Admission {
     /// Admitted with a dense id (ids are allocated gateway-globally).
     Accepted { id: u64 },
-    /// Refused by backpressure; retry after the hinted delay.
-    Rejected { retry_after_s: f64 },
+    /// Refused. `retry_after_s` is the backpressure retry hint; `None`
+    /// means retrying can never help (e.g. the request's class is not
+    /// served by any group) — previously reported as `∞`, which does
+    /// not survive a JSON round trip.
+    Rejected { retry_after_s: Option<f64> },
     /// The gateway is shutting down and accepts no new work.
     Closed,
+}
+
+// Hand-written serde: the derive handles unit-only enums, and `∞` is
+// not representable in JSON anyway — `Rejected` omits the field for
+// "never retry" instead.
+impl serde::Serialize for Admission {
+    fn serialize(&self) -> serde::Value {
+        let mut m = serde::Map::new();
+        match self {
+            Admission::Accepted { id } => {
+                m.insert("status".into(), serde::Value::String("accepted".into()));
+                m.insert("id".into(), serde::Value::Number(*id as f64));
+            }
+            Admission::Rejected { retry_after_s } => {
+                m.insert("status".into(), serde::Value::String("rejected".into()));
+                if let Some(s) = retry_after_s {
+                    m.insert("retry_after_s".into(), serde::Value::Number(*s));
+                }
+            }
+            Admission::Closed => {
+                m.insert("status".into(), serde::Value::String("closed".into()));
+            }
+        }
+        serde::Value::Object(m)
+    }
+}
+
+impl serde::Deserialize for Admission {
+    fn deserialize(v: &serde::Value) -> Result<Self, serde::Error> {
+        let status = v
+            .get("status")
+            .and_then(|s| s.as_str())
+            .ok_or_else(|| serde::Error::new("admission needs a status string"))?;
+        match status {
+            "accepted" => {
+                let id = v
+                    .get("id")
+                    .and_then(|i| i.as_u64())
+                    .ok_or_else(|| serde::Error::new("accepted admission needs an id"))?;
+                Ok(Admission::Accepted { id })
+            }
+            "rejected" => {
+                let retry_after_s = match v.get("retry_after_s") {
+                    None => None,
+                    Some(s) => Some(
+                        s.as_f64()
+                            .ok_or_else(|| serde::Error::new("retry_after_s must be a number"))?,
+                    ),
+                };
+                Ok(Admission::Rejected { retry_after_s })
+            }
+            "closed" => Ok(Admission::Closed),
+            other => Err(serde::Error::new(format!(
+                "unknown admission status {other:?}"
+            ))),
+        }
+    }
 }
 
 /// How `shutdown` disposes of buffered requests.
@@ -668,7 +728,7 @@ impl Gateway {
     /// Offer one request. Grouped gateways route by `req.class` to the
     /// owning group's lane; homogeneous gateways round-robin per thread,
     /// so concurrent submitters spread across lanes. A class no group
-    /// serves is refused (counted as rejected, `retry_after_s` infinite —
+    /// serves is refused (counted as rejected, `retry_after_s: None` —
     /// retrying cannot help). Blocks only under
     /// [`BackpressurePolicy::Block`] with a full queue.
     pub fn submit(&self, req: Request) -> Admission {
@@ -684,7 +744,7 @@ impl Gateway {
                     &mut inbox,
                     shared,
                     Admission::Rejected {
-                        retry_after_s: f64::INFINITY,
+                        retry_after_s: None,
                     },
                 );
             }
@@ -727,7 +787,13 @@ impl Gateway {
         while shared.in_flight.load(Ordering::Acquire) as usize >= shared.cfg.queue_capacity {
             match shared.cfg.backpressure {
                 BackpressurePolicy::Reject { retry_after_s } => {
-                    return reject(&mut inbox, shared, Admission::Rejected { retry_after_s });
+                    return reject(
+                        &mut inbox,
+                        shared,
+                        Admission::Rejected {
+                            retry_after_s: Some(retry_after_s),
+                        },
+                    );
                 }
                 BackpressurePolicy::Block => {
                     // Timed wait: workers signal space without the lane
@@ -1429,7 +1495,7 @@ mod tests {
         assert_eq!(
             gw.submit(Request::default()),
             Admission::Rejected {
-                retry_after_s: 0.25
+                retry_after_s: Some(0.25)
             }
         );
         // Release the executions and drain: every accepted request is
@@ -1445,6 +1511,35 @@ mod tests {
         assert_eq!(out.counts.rejected, 1);
         assert_eq!(out.counts.completed, 4);
         assert!(out.counts.conserved());
+    }
+
+    #[test]
+    fn admission_round_trips_through_json() {
+        // `Rejected { retry_after_s: None }` used to be `∞`, which JSON
+        // cannot represent; the sentinel must survive a full round trip.
+        let cases = [
+            Admission::Accepted { id: 42 },
+            Admission::Rejected {
+                retry_after_s: Some(0.25),
+            },
+            Admission::Rejected {
+                retry_after_s: None,
+            },
+            Admission::Closed,
+        ];
+        for adm in cases {
+            let text = serde_json::to_string(&adm).expect("serializable");
+            let back: Admission = serde_json::from_str(&text).expect("parseable");
+            assert_eq!(back, adm, "round trip of {text}");
+        }
+        // The no-retry sentinel omits the field entirely.
+        let text = serde_json::to_string(&Admission::Rejected {
+            retry_after_s: None,
+        })
+        .unwrap();
+        assert!(!text.contains("retry_after_s"), "got {text}");
+        // Unknown statuses are a clear error, not a silent default.
+        assert!(serde_json::from_str::<Admission>("{\"status\":\"weird\"}").is_err());
     }
 
     #[test]

@@ -41,6 +41,9 @@
 //!   a multi-producer concurrent driver for admission throughput.
 //! * [`scripted`] — a controller replaying a fixed configuration script
 //!   (predetermined reconfigurations for tests and ablations).
+//! * [`tokens`] — [`ContinuousBackend`]: the continuous-batching token
+//!   discipline behind the same [`Clock`] trait; virtual-clock replays
+//!   are bitwise equal to `dbat_sim::simulate_tokens_continuous`.
 //!
 //! Telemetry: live runs emit `serve.*` metrics (admission counters,
 //! queue-depth gauge, flush-reason counters, reconfig events, per-batch
@@ -55,6 +58,7 @@ pub mod loadgen;
 pub mod outcome;
 pub mod replay;
 pub mod scripted;
+pub mod tokens;
 
 pub use backend::{BatchPlan, InferenceBackend, ProfiledBackend};
 pub use batcher::{Admitted, BatcherCore, FlushReason, FormedBatch};
@@ -66,3 +70,4 @@ pub use loadgen::{
 pub use outcome::{ServeCounts, ServeOutcome, ServedBatch, ServedRequest};
 pub use replay::VirtualGateway;
 pub use scripted::ScriptedController;
+pub use tokens::ContinuousBackend;

@@ -177,13 +177,12 @@ impl VirtualGateway {
     /// group serves its class (the validated [`ClassAssignment`]). Lane
     /// `g` runs group `g`'s configuration, so the events touching one
     /// lane are exactly a single-lane [`VirtualGateway::replay`] over
-    /// that group's class-filtered arrivals — per-request stamps and
-    /// per-batch costs are bitwise-equal to
-    /// [`dbat_sim::simulate_batching_multi`]'s per-group outcomes. Only
-    /// `total_cost` may differ in the last bits: the replay accumulates
-    /// it in global dispatch order, the simulator group by group. Batch
-    /// trace events carry the group id. Ignores `with_lanes`; the group
-    /// list fixes the lane count.
+    /// that group's class-filtered arrivals — per-request stamps,
+    /// per-batch costs, **and** the total are bitwise-equal to
+    /// [`dbat_sim::simulate_batching_multi`]: cost accumulates per lane
+    /// and the total folds lane by lane in group-id order, exactly the
+    /// simulator's fold. Batch trace events carry the group id. Ignores
+    /// `with_lanes`; the group list fixes the lane count.
     pub fn replay_grouped(
         &mut self,
         trace: &ClassedTrace,
@@ -488,6 +487,12 @@ struct ReplayState {
     requests: Vec<Option<ServedRequest>>,
     batches: Vec<ServedBatch>,
     total_cost: f64,
+    /// Grouped replays accumulate cost per lane (= per group) and fold
+    /// the total in group-id order, matching
+    /// `simulate_batching_multi`'s group-by-group fold bit for bit; the
+    /// interleaved-dispatch-order fold used before PR 10 differed from
+    /// the simulator in the last bits.
+    lane_costs: Vec<f64>,
     /// Grouped replays identify lane `g` with function group `g`; trace
     /// events then carry the lane as the group id. Homogeneous replays
     /// report group 0 regardless of lane count.
@@ -502,14 +507,17 @@ impl ReplayState {
             requests: vec![None; n],
             batches: Vec::new(),
             total_cost: 0.0,
+            lane_costs: Vec::new(),
             grouped,
         }
     }
 
     /// Settle freshly formed batches: plan each one, stamp completions,
-    /// accumulate cost in dispatch order (the simulator's fold order).
-    /// The replay never calls `execute` — each invocation runs on its own
-    /// autoscaled instance, so completion is dispatch + planned service.
+    /// accumulate cost in the simulator's fold order — dispatch order
+    /// for homogeneous replays, per lane (folded in group-id order at
+    /// the end) for grouped ones. The replay never calls `execute` —
+    /// each invocation runs on its own autoscaled instance, so
+    /// completion is dispatch + planned service.
     fn settle(
         &mut self,
         formed: &mut Vec<FormedBatch>,
@@ -537,7 +545,15 @@ impl ReplayState {
                 reason: fb.reason,
                 lane: fb.lane,
             });
-            self.total_cost += plan.cost;
+            if self.grouped {
+                let lane = fb.lane as usize;
+                if lane >= self.lane_costs.len() {
+                    self.lane_costs.resize(lane + 1, 0.0);
+                }
+                self.lane_costs[lane] += plan.cost;
+            } else {
+                self.total_cost += plan.cost;
+            }
             for r in &fb.requests {
                 let slot = &mut self.requests[r.id as usize];
                 debug_assert!(slot.is_none(), "request {} served twice", r.id);
@@ -566,10 +582,16 @@ impl ReplayState {
             .into_iter()
             .map(|r| r.expect("every request served"))
             .collect();
+        let total_cost = if self.grouped {
+            // Group-id-order fold: bitwise the multi-simulator's total.
+            self.lane_costs.iter().sum()
+        } else {
+            self.total_cost
+        };
         ServeOutcome {
             requests,
             batches: self.batches,
-            total_cost: self.total_cost,
+            total_cost,
             counts: ServeCounts {
                 submitted: n,
                 accepted: n,
@@ -746,6 +768,10 @@ mod tests {
                 assert_eq!(b.size, s.size);
             }
         }
+        // The multi-group total folds per group in group-id order, so it
+        // is bitwise the simulator's — exact equality, not "last bits
+        // may differ".
+        assert_eq!(out.total_cost.to_bits(), sim.total_cost.to_bits());
     }
 
     #[test]

@@ -1,0 +1,205 @@
+//! The continuous-batching serving discipline behind the [`Clock`] trait.
+//!
+//! [`ContinuousBackend`] drives the *same* clock-free state machine as
+//! the simulator — [`dbat_sim::ContinuousCore`] — pacing each event
+//! through a [`Clock`]:
+//!
+//! * under a [`crate::VirtualClock`] the loop is the simulator's event
+//!   loop verbatim (sleeping to `t` sets `now = t` exactly), so replays
+//!   are **bitwise equal** to [`dbat_sim::simulate_tokens_continuous`]
+//!   by construction — the equivalence test pins this;
+//! * under a [`crate::WallClock`] the same loop paces decode steps in
+//!   real (optionally time-scaled) seconds, which is the live serving
+//!   mode.
+//!
+//! Event times always come from the core's canonical schedule, never
+//! from `clock.now()` — the clock paces, it does not stamp. That is the
+//! whole trick: wall-clock jitter can delay *when* a step executes but
+//! never *what* it computes.
+//!
+//! Live runs publish `serve.decode.*` metrics and per-step
+//! [`TraceStage::DecodeStep`](dbat_telemetry::TraceStage) trace events
+//! (via [`dbat_sim::record_token_trace`]) when telemetry is enabled.
+
+use crate::clock::Clock;
+use dbat_sim::{record_token_trace, ContinuousCore, LambdaConfig, TokenParams, TokenSimOutcome};
+use dbat_workload::{TokenSlo, TokenizedTrace};
+
+/// Continuous-batching engine fleet served behind a [`Clock`].
+#[derive(Clone, Copy, Debug)]
+pub struct ContinuousBackend {
+    params: TokenParams,
+    replicas: usize,
+}
+
+impl ContinuousBackend {
+    /// `replicas` continuous-batching engines under `params`.
+    pub fn new(params: TokenParams, replicas: usize) -> Self {
+        assert!(replicas >= 1, "at least one engine replica");
+        ContinuousBackend { params, replicas }
+    }
+
+    pub fn params(&self) -> &TokenParams {
+        &self.params
+    }
+
+    pub fn replicas(&self) -> usize {
+        self.replicas
+    }
+
+    /// Serve a tokenized trace to completion, pacing every arrival and
+    /// decode-step boundary through `clock`.
+    pub fn serve(
+        &self,
+        clock: &dyn Clock,
+        tokenized: &TokenizedTrace,
+        config: &LambdaConfig,
+    ) -> TokenSimOutcome {
+        let mut core = ContinuousCore::new(
+            tokenized.arrivals(),
+            tokenized.specs(),
+            config,
+            &self.params,
+            self.replicas,
+        );
+        while let Some((t, ev)) = core.next_event() {
+            clock.sleep_until(t);
+            core.apply(t, ev);
+        }
+        let out = core.into_outcome();
+        self.publish(&out, config);
+        out
+    }
+
+    /// Serve and summarise goodput in one call (live-run convenience).
+    pub fn serve_with_goodput(
+        &self,
+        clock: &dyn Clock,
+        tokenized: &TokenizedTrace,
+        config: &LambdaConfig,
+        slo: &TokenSlo,
+    ) -> (TokenSimOutcome, dbat_sim::Goodput) {
+        let out = self.serve(clock, tokenized, config);
+        let g = out.goodput(slo, tokenized.trace().horizon());
+        (out, g)
+    }
+
+    /// `serve.decode.*` metrics and decode-step trace events, read off
+    /// the settled outcome (stamps only — never perturbs the run).
+    fn publish(&self, out: &TokenSimOutcome, config: &LambdaConfig) {
+        let t = dbat_telemetry::global();
+        if t.is_enabled() {
+            t.counter("serve.decode.steps")
+                .add(out.invocations.len() as u64);
+            t.counter("serve.decode.completed")
+                .add(out.served.len() as u64);
+            t.counter("serve.decode.rejected").add(out.rejected as u64);
+            let cohort = t.histogram("serve.decode.cohort");
+            for inv in &out.invocations {
+                cohort.record(inv.size as f64);
+            }
+            let tracer = t.tracer();
+            if tracer.is_active() {
+                record_token_trace(tracer, out, config, 0, 0);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::{VirtualClock, WallClock};
+    use dbat_sim::simulate_tokens_continuous;
+    use dbat_workload::{ClassedTrace, LognormalTokens, RequestClass, TokenMix, Trace, TraceKind};
+
+    /// The acceptance gate: a VirtualClock replay of the continuous
+    /// token discipline over a classed Azure-like trace is bitwise equal
+    /// to `dbat_sim::tokens`.
+    #[test]
+    fn virtual_replay_bitwise_equals_simulator_on_classed_azure_like_trace() {
+        let full = TraceKind::AzureLike.generate_for(11, 300.0);
+        let ts: Vec<f64> = full.timestamps().iter().copied().take(900).collect();
+        let horizon = ts.last().copied().unwrap_or(0.0) + 1.0;
+        let trace = Trace::new(ts, horizon);
+        // Class tags ride along exactly as in multi-SLO serving; the
+        // token discipline serves the merged arrival sequence.
+        let classed = ClassedTrace::tag_weighted(
+            trace,
+            &[
+                RequestClass::with_weight(0, 0.3, 1.0),
+                RequestClass::with_weight(1, 1.0, 2.0),
+            ],
+            0xC1A55,
+        )
+        .expect("valid classes");
+        let tokenized = TokenizedTrace::sample(
+            classed.trace().clone(),
+            &TokenMix::Lognormal(LognormalTokens::chat()),
+            17,
+        );
+        let cfg = LambdaConfig::new(3008, 16, 0.1);
+        let params = TokenParams::llm_like();
+        for replicas in [1, 4] {
+            let sim = simulate_tokens_continuous(
+                tokenized.arrivals(),
+                tokenized.specs(),
+                &cfg,
+                &params,
+                replicas,
+            );
+            let clock = VirtualClock::new();
+            let out = ContinuousBackend::new(params, replicas).serve(&clock, &tokenized, &cfg);
+            assert!(out.conserved());
+            assert_eq!(out.served.len(), sim.served.len());
+            assert_eq!(out.rejected, sim.rejected);
+            assert_eq!(out.invocations.len(), sim.invocations.len());
+            for (a, b) in out.served.iter().zip(&sim.served) {
+                assert_eq!(a.arrival.to_bits(), b.arrival.to_bits());
+                assert_eq!(a.dispatch.to_bits(), b.dispatch.to_bits());
+                assert_eq!(a.first_token.to_bits(), b.first_token.to_bits());
+                assert_eq!(a.completion.to_bits(), b.completion.to_bits());
+            }
+            for (a, b) in out.invocations.iter().zip(&sim.invocations) {
+                assert_eq!(a.start.to_bits(), b.start.to_bits());
+                assert_eq!(a.busy_s.to_bits(), b.busy_s.to_bits());
+                assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+                assert_eq!((a.size, a.joined, a.engine), (b.size, b.joined, b.engine));
+            }
+            assert_eq!(out.total_cost.to_bits(), sim.total_cost.to_bits());
+            // The clock ended exactly at the last event.
+            let last = out
+                .invocations
+                .iter()
+                .map(|i| i.start + i.busy_s)
+                .fold(0.0f64, f64::max);
+            assert_eq!(clock.now().to_bits(), last.to_bits());
+        }
+    }
+
+    #[test]
+    fn wall_clock_serving_produces_the_same_stamps() {
+        // A short burst at high speedup: wall pacing must not change a
+        // single stamp relative to the simulator (the clock only paces).
+        let trace = Trace::new(vec![0.0, 0.02, 0.05, 0.3], 1.0);
+        let tokenized =
+            TokenizedTrace::sample(trace, &TokenMix::Lognormal(LognormalTokens::chat()), 5);
+        let cfg = LambdaConfig::new(2048, 4, 0.05);
+        let params = TokenParams::llm_like();
+        let sim =
+            simulate_tokens_continuous(tokenized.arrivals(), tokenized.specs(), &cfg, &params, 2);
+        let clock = WallClock::with_speedup(400.0);
+        let (out, g) = ContinuousBackend::new(params, 2).serve_with_goodput(
+            &clock,
+            &tokenized,
+            &cfg,
+            &dbat_workload::TokenSlo::new(0.5, 0.1),
+        );
+        assert_eq!(out.served.len(), sim.served.len());
+        for (a, b) in out.served.iter().zip(&sim.served) {
+            assert_eq!(a.completion.to_bits(), b.completion.to_bits());
+        }
+        assert_eq!(out.total_cost.to_bits(), sim.total_cost.to_bits());
+        assert_eq!(g.served, 4);
+    }
+}

@@ -393,6 +393,10 @@ pub struct RunOutcome {
     pub records: Vec<DecisionRecord>,
     /// Aggregate fault accounting over the whole run.
     pub counts: FaultCounts,
+    /// Token-SLO goodput, reported by the token-aware driver
+    /// ([`crate::tokens::run_controller_tokens`]); `None` on the
+    /// token-blind paths, which have no TTFT/TPOT notion.
+    pub goodput: Option<crate::tokens::Goodput>,
 }
 
 impl RunOutcome {
@@ -597,6 +601,7 @@ pub fn run_controller<C: Controller + ?Sized>(
         measurements,
         records,
         counts,
+        goodput: None,
     }
 }
 

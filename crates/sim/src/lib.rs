@@ -17,7 +17,11 @@
 //! * [`mod@sweep`] — rayon-parallel exhaustive grid search (Eq. 10 optimum);
 //! * [`multi`] — multi-SLO request classes served by heterogeneous
 //!   function groups, with the HarmonyBatch-style joint partition/config
-//!   decision ([`joint_decide`]).
+//!   decision ([`joint_decide`]);
+//! * [`tokens`] — the token-aware two-phase service model (prefill +
+//!   per-step decode), KV-capacity-constrained admission, the
+//!   continuous-batching discipline ([`ContinuousCore`]), and goodput
+//!   under TTFT/TPOT SLOs.
 
 pub mod batching;
 pub mod concurrency;
@@ -30,6 +34,7 @@ pub mod multi;
 pub mod pricing;
 pub mod service;
 pub mod sweep;
+pub mod tokens;
 
 pub use batching::{
     simulate_batching, BatchRecord, ColdStart, RequestRecord, SimOutcome, SimParams,
@@ -56,3 +61,8 @@ pub use multi::{
 pub use pricing::Pricing;
 pub use service::ServiceProfile;
 pub use sweep::{best_feasible, evaluate, ground_truth, sweep, Evaluation};
+pub use tokens::{
+    ceil_ms, record_token_trace, run_controller_tokens, simulate_tokens_continuous,
+    simulate_tokens_windowed, ContinuousCore, Goodput, TokenEvent, TokenInvocation, TokenParams,
+    TokenProfile, TokenRequestRecord, TokenSimOutcome,
+};

@@ -79,6 +79,10 @@ pub enum TraceStage {
     Flush,
     /// The batch was handed to a worker / the simulated backend.
     Dispatch,
+    /// One continuous-batching decode step ran with this request active
+    /// (token-aware disciplines only; anchored on the step's first
+    /// active request, sized with the step cohort).
+    DecodeStep,
     /// The request's response left the system.
     Complete,
 }
@@ -92,7 +96,8 @@ impl TraceStage {
             TraceStage::WindowJoin => 2,
             TraceStage::Flush => 3,
             TraceStage::Dispatch => 4,
-            TraceStage::Complete => 5,
+            TraceStage::DecodeStep => 5,
+            TraceStage::Complete => 6,
         }
     }
 }

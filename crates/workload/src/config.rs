@@ -946,4 +946,88 @@ slo = 0.5
         assert!(AppConfig::from_args(a(&["--set", "sim.slo.deep=1"])).is_err());
         assert!(AppConfig::from_args(a(&["--config"])).is_err());
     }
+
+    #[test]
+    fn set_creates_absent_sections() {
+        let a = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // A file that never mentions [controller] or [faults]; --set must
+        // create the section on the way down, not die on the missing table.
+        let dir = std::env::temp_dir().join("dbat_set_absent_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("minimal.toml");
+        std::fs::write(&path, "[sim]\nslo = 0.2\n").unwrap();
+        let cfg = AppConfig::from_args(a(&[
+            "--config",
+            path.to_str().unwrap(),
+            "--set",
+            "controller.gamma=0.5",
+            "--set",
+            "faults.seed=9",
+        ]))
+        .unwrap();
+        assert_eq!(cfg.sim.slo, 0.2);
+        assert_eq!(cfg.controller.gamma, 0.5);
+        // The rest of the created sections keep their defaults.
+        assert_eq!(cfg.controller.policy, "deepbat");
+        assert_eq!(cfg.faults.seed, 9);
+        assert_eq!(cfg.faults.intensity, 0.0);
+    }
+
+    #[test]
+    fn set_parses_bool_and_negative_scalars() {
+        let a = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Bools land as bools, not the bare-word string fallback.
+        let cfg = AppConfig::from_args(a(&["--set", "gateway.backpressure=true"])).unwrap();
+        assert!(cfg.gateway.backpressure);
+        let cfg = AppConfig::from_args(a(&["--set", "gateway.backpressure=false"])).unwrap();
+        assert!(!cfg.gateway.backpressure);
+        // Negative scalars parse as numbers; every negative-hostile field
+        // then rejects them through validation with its own message,
+        // proving the value did not silently become a string.
+        let err = AppConfig::from_args(a(&["--set", "sim.slo=-0.5"])).unwrap_err();
+        assert!(
+            err.to_string().contains("sim.slo must be finite and > 0"),
+            "unexpected error: {err}"
+        );
+        let err = AppConfig::from_args(a(&["--set", "gateway.linger_s=-1"])).unwrap_err();
+        assert!(
+            err.to_string().contains("gateway.linger_s"),
+            "unexpected error: {err}"
+        );
+        assert_eq!(parse_toml_value("-2.5").unwrap(), Value::Number(-2.5));
+    }
+
+    #[test]
+    fn set_malformed_paths_error_clearly() {
+        let a = |xs: &[&str]| xs.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        // Missing `=` names the expected shape.
+        let err = AppConfig::from_args(a(&["--set", "sim.slo"])).unwrap_err();
+        assert!(
+            err.to_string().contains("section.key=value"),
+            "unexpected error: {err}"
+        );
+        // Empty path segment is called out with the offending path.
+        let err = AppConfig::from_args(a(&["--set", ".slo=1"])).unwrap_err();
+        assert!(
+            err.to_string().contains("empty segment"),
+            "unexpected error: {err}"
+        );
+        // A path through an array (per-class overrides are unsupported)
+        // fails instead of scribbling over the classes list.
+        let dir = std::env::temp_dir().join("dbat_set_malformed_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("classes.toml");
+        std::fs::write(&path, "[[classes]]\nslo = 0.1\n").unwrap();
+        let err = AppConfig::from_args(a(&[
+            "--config",
+            path.to_str().unwrap(),
+            "--set",
+            "classes.0.slo=0.2",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.to_string().contains("not a table"),
+            "unexpected error: {err}"
+        );
+    }
 }

@@ -17,6 +17,8 @@
 //! * [`stats`] — empirical moments, ACF, IDC, percentiles, MAPE;
 //! * [`window`] — fixed-length interarrival windows (the surrogate's input);
 //! * [`class`] — multi-SLO request classes and class-tagged traces;
+//! * [`tokens`] — per-request prompt/output token lengths and TTFT/TPOT
+//!   SLOs for LLM-shaped workloads;
 //! * [`config`] — the typed [`AppConfig`] surface (TOML/JSON) shared by
 //!   the experiment binaries and examples.
 
@@ -29,6 +31,7 @@ pub mod mmpp;
 pub mod nhpp;
 pub mod rng;
 pub mod stats;
+pub mod tokens;
 pub mod trace;
 pub mod traces;
 pub mod window;
@@ -47,6 +50,9 @@ pub use rng::Rng;
 pub use stats::{
     autocorrelation, idc_by_counts, idc_from_interarrivals, idc_series, mape, mean, percentile,
     percentile_sorted, scv, variance, WindowStats,
+};
+pub use tokens::{
+    EmpiricalTokens, LognormalTokens, TokenMix, TokenSlo, TokenSpec, TokenStats, TokenizedTrace,
 };
 pub use trace::Trace;
 pub use traces::{synthetic_segments, SyntheticSegment, TraceKind, DAY, HOUR};
